@@ -1,0 +1,89 @@
+// Abl-7: sustained profile churn (the paper's dynamic setting).
+//
+// A ChurnDriver feeds rating updates, cluster drift and cold-start resets
+// into the lazy queue every iteration; we track KNN quality (cluster
+// purity + sampled recall) and the restart knob's effect on recovery.
+//
+// Usage: bench_churn [--users=N] [--iters=N]
+#include <cstdio>
+
+#include "core/churn.h"
+#include "core/convergence.h"
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "profiles/generators.h"
+#include "util/options.h"
+#include "util/rng.h"
+
+using namespace knnpc;
+
+namespace {
+
+void run_scenario(const char* label, std::uint32_t random_candidates,
+                  VertexId n, std::uint32_t iters) {
+  Rng rng(2025);
+  ClusteredGenConfig gen;
+  gen.base.num_users = n;
+  gen.base.num_items = 1000;
+  gen.num_clusters = 20;
+  auto profiles = clustered_profiles(gen, rng);
+  // Ground-truth labels; kept in sync with the drift log below so purity
+  // always measures against users' *current* communities.
+  auto labels = planted_clusters(n, gen.num_clusters);
+
+  EngineConfig config;
+  config.k = 10;
+  config.num_partitions = 8;
+  config.random_candidates = random_candidates;
+  KnnEngine engine(config, std::move(profiles));
+  engine.run(8, 0.01);  // warm up to a converged graph
+
+  ChurnConfig churn;
+  churn.rating_updates_per_iteration = n / 20;
+  churn.drifting_users_per_iteration = n / 200 + 1;
+  churn.reset_users_per_iteration = n / 400 + 1;
+  churn.generator = gen;
+  ChurnDriver driver(churn);
+
+  std::printf("\n%s (restarts=%u): purity under sustained churn\n", label,
+              random_candidates);
+  std::printf("%4s | %8s %9s %9s | %9s\n", "iter", "updates", "purity",
+              "chg rate", "knn s");
+  std::printf("------------------------------------------------\n");
+  std::size_t drift_seen = 0;
+  for (std::uint32_t i = 0; i < iters; ++i) {
+    const std::size_t pushed = driver.tick(engine);
+    // Sync ground truth with the drift that just entered the queue.
+    for (; drift_seen < driver.drift_log().size(); ++drift_seen) {
+      const auto& drift = driver.drift_log()[drift_seen];
+      labels[drift.user] = drift.to_cluster;
+    }
+    const IterationStats s = engine.run_iteration();
+    std::printf("%4u | %8zu %9.3f %9.4f | %9.3f\n", s.iteration, pushed,
+                cluster_purity(engine.graph(), labels), s.change_rate,
+                s.timings.knn_s);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.add_uint("users", "number of users", 4000);
+  opts.add_uint("iters", "churn iterations", 8);
+  if (!opts.parse(argc, argv)) return 0;
+  const auto n = static_cast<VertexId>(opts.get_uint("users"));
+  const auto iters = static_cast<std::uint32_t>(opts.get_uint("iters"));
+
+  std::printf("Abl-7: KNN quality under sustained profile churn "
+              "(n=%u, %u iterations after warm-up)\n", n, iters);
+  run_scenario("with restarts", 2, n, iters);
+  run_scenario("without restarts", 0, n, iters);
+  std::printf(
+      "\nExpected shape: purity degrades gently as the drift backlog "
+      "accumulates\n(each drifted user needs a few iterations to re-home); "
+      "restarts keep the\ntail of stranded users bounded, so the gap vs "
+      "no-restarts widens with time\n(run more --iters to see it open "
+      "up).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Abl-4: KNN quality — the out-of-core engine vs in-memory NN-Descent vs
+// exact brute force. Reports recall@K, similarity evaluations and time.
+//
+// Usage: bench_quality [--users=N] [--k=N]
+#include <cstdio>
+
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "core/nn_descent.h"
+#include "profiles/generators.h"
+#include "util/options.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace knnpc;
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.add_uint("users", "number of users", 3000);
+  opts.add_uint("k", "neighbours per user", 10);
+  if (!opts.parse(argc, argv)) return 0;
+  const auto n = static_cast<VertexId>(opts.get_uint("users"));
+  const auto k = static_cast<std::uint32_t>(opts.get_uint("k"));
+
+  Rng rng(77);
+  ClusteredGenConfig pconfig;
+  pconfig.base.num_users = n;
+  pconfig.base.num_items = 2000;
+  pconfig.base.min_items = 15;
+  pconfig.base.max_items = 30;
+  pconfig.num_clusters = 30;
+  pconfig.in_cluster_prob = 0.85;
+  const auto profiles = clustered_profiles(pconfig, rng);
+  const auto labels = planted_clusters(n, 30);
+  const InMemoryProfileStore store{profiles};
+
+  std::printf("Abl-4: quality comparison (n=%u, k=%u, clustered profiles)\n",
+              n, k);
+  std::printf("%-22s | %8s %9s | %12s | %9s\n", "method", "recall@K",
+              "purity", "sim evals", "time s");
+  std::printf("----------------------------------------------------------"
+              "-----------\n");
+
+  Timer bf_timer;
+  const KnnGraph exact =
+      brute_force_knn(store, k, SimilarityMeasure::Cosine, 8);
+  const double bf_s = bf_timer.elapsed_seconds();
+  std::printf("%-22s | %8.3f %9.3f | %12llu | %9.3f\n",
+              "brute force (exact)", 1.0, cluster_purity(exact, labels),
+              static_cast<unsigned long long>(
+                  static_cast<std::uint64_t>(n) * (n - 1) / 2),
+              bf_s);
+
+  Timer nnd_timer;
+  NnDescentConfig nnd_config;
+  nnd_config.k = k;
+  NnDescentStats nnd_stats;
+  const KnnGraph descent = nn_descent(store, nnd_config, &nnd_stats);
+  const double nnd_s = nnd_timer.elapsed_seconds();
+  std::printf("%-22s | %8.3f %9.3f | %12llu | %9.3f\n",
+              "nn-descent (memory)", recall_at_k(descent, exact),
+              cluster_purity(descent, labels),
+              static_cast<unsigned long long>(
+                  nnd_stats.similarity_evaluations),
+              nnd_s);
+
+  Timer engine_timer;
+  EngineConfig config;
+  config.k = k;
+  config.num_partitions = 8;
+  KnnEngine engine(config, profiles);
+  const RunStats run = engine.run(15, 0.01);
+  const double engine_s = engine_timer.elapsed_seconds();
+  std::uint64_t engine_sims = 0;
+  for (const auto& it : run.iterations) engine_sims += it.unique_tuples;
+  std::printf("%-22s | %8.3f %9.3f | %12llu | %9.3f\n",
+              "knnpc (out-of-core)", recall_at_k(engine.graph(), exact),
+              cluster_purity(engine.graph(), labels),
+              static_cast<unsigned long long>(engine_sims), engine_s);
+
+  std::printf("\nExpected shape: both approximate methods reach >0.9 recall; "
+              "the\nout-of-core engine trades wall time (it pays disk I/O) "
+              "for bounded memory.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ext-A (paper future work): execution time vs graph size.
+// Sweeps the user count at fixed K and reports per-iteration time, tuple
+// throughput and I/O volume.
+//
+// Usage: bench_scaling [--k=N] [--iters=N] [--sizes=2000,4000,...]
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "profiles/generators.h"
+#include "util/options.h"
+#include "util/rng.h"
+
+using namespace knnpc;
+
+namespace {
+
+std::vector<VertexId> parse_sizes(const std::string& csv) {
+  std::vector<VertexId> out;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    out.push_back(static_cast<VertexId>(std::stoul(token)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.add_uint("k", "neighbours per user", 10);
+  opts.add_uint("iters", "iterations per size", 3);
+  opts.add_string("sizes", "comma-separated user counts",
+                  "2000,4000,8000,16000,32000,64000");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const auto k = static_cast<std::uint32_t>(opts.get_uint("k"));
+  const auto iters = static_cast<std::uint32_t>(opts.get_uint("iters"));
+  std::printf("Ext-A: execution time vs graph size (k=%u, %u iterations "
+              "each, m scales as n/2500)\n", k, iters);
+  std::printf("%8s %6s | %10s %12s %12s %10s | %12s\n", "users", "m",
+              "s/iter", "tuples/iter", "Mtuples/s", "MB/iter", "loads/iter");
+  std::printf("--------------------------------------------------------"
+              "--------------------------\n");
+
+  for (const VertexId n : parse_sizes(opts.get_string("sizes"))) {
+    Rng rng(500 + n);
+    ClusteredGenConfig pconfig;
+    pconfig.base.num_users = n;
+    pconfig.base.num_items = std::max<ItemId>(1000, n / 10);
+    pconfig.num_clusters = 50;
+
+    EngineConfig config;
+    config.k = k;
+    config.num_partitions = std::max<PartitionId>(4, n / 2500);
+    KnnEngine engine(config, clustered_profiles(pconfig, rng));
+
+    double seconds = 0;
+    std::uint64_t tuples = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t loads = 0;
+    for (std::uint32_t i = 0; i < iters; ++i) {
+      const IterationStats s = engine.run_iteration();
+      seconds += s.timings.total();
+      tuples += s.unique_tuples;
+      bytes += s.io.bytes_read + s.io.bytes_written;
+      loads += s.partition_loads;
+    }
+    std::printf("%8u %6u | %10.3f %12llu %12.2f %10.1f | %12llu\n", n,
+                config.num_partitions, seconds / iters,
+                static_cast<unsigned long long>(tuples / iters),
+                static_cast<double>(tuples) / seconds / 1e6,
+                static_cast<double>(bytes) / iters / 1e6,
+                static_cast<unsigned long long>(loads / iters));
+  }
+  std::printf("\nExpected shape: time and I/O grow ~linearly in n at fixed "
+              "K (tuple count is ~n*K^2).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Abl-3: similarity-measure micro-costs (google-benchmark). The phase-4
+// inner loop is one sim(s, d) per tuple; this pins down the per-call cost
+// for every measure and profile size.
+#include <benchmark/benchmark.h>
+
+#include "profiles/generators.h"
+#include "profiles/similarity.h"
+#include "util/rng.h"
+
+using namespace knnpc;
+
+namespace {
+
+std::vector<SparseProfile> make_profiles(std::uint32_t items_per_profile) {
+  Rng rng(9000 + items_per_profile);
+  ProfileGenConfig config;
+  config.num_users = 256;
+  config.num_items = items_per_profile * 20;
+  config.min_items = items_per_profile;
+  config.max_items = items_per_profile;
+  return uniform_profiles(config, rng);
+}
+
+void BM_Similarity(benchmark::State& state) {
+  const auto measure = static_cast<SimilarityMeasure>(state.range(0));
+  const auto size = static_cast<std::uint32_t>(state.range(1));
+  const auto profiles = make_profiles(size);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = profiles[i % profiles.size()];
+    const auto& b = profiles[(i * 7 + 1) % profiles.size()];
+    benchmark::DoNotOptimize(similarity(measure, a, b));
+    ++i;
+  }
+  state.SetLabel(similarity_name(measure) + "/" + std::to_string(size) +
+                 " items");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Similarity)
+    ->ArgsProduct({{static_cast<long>(SimilarityMeasure::Cosine),
+                    static_cast<long>(SimilarityMeasure::Jaccard),
+                    static_cast<long>(SimilarityMeasure::Dice),
+                    static_cast<long>(SimilarityMeasure::Overlap),
+                    static_cast<long>(SimilarityMeasure::CommonItems),
+                    static_cast<long>(SimilarityMeasure::InverseEuclid)},
+                   {8, 32, 128}});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+#include "core/brute_force.h"
+
+#include <mutex>
+
+#include "core/topk.h"
+#include "util/thread_pool.h"
+
+namespace knnpc {
+
+KnnGraph brute_force_knn(const ProfileStore& profiles, std::uint32_t k,
+                         SimilarityMeasure measure, std::uint32_t threads) {
+  const VertexId n = profiles.num_users();
+  KnnGraph graph(n, k);
+  auto compute_user = [&](VertexId s) {
+    std::vector<Neighbor> best;
+    TopKAccumulator acc(1, k);
+    const SparseProfile& ps = profiles.get(s);
+    for (VertexId d = 0; d < n; ++d) {
+      if (d == s) continue;
+      acc.offer(0, d, similarity(measure, ps, profiles.get(d)));
+    }
+    return acc.build_graph();
+  };
+  if (threads <= 1) {
+    for (VertexId s = 0; s < n; ++s) {
+      auto single = compute_user(s);
+      graph.set_neighbors(
+          s, {single.neighbors(0).begin(), single.neighbors(0).end()});
+    }
+    return graph;
+  }
+  ThreadPool pool(threads);
+  std::mutex graph_mutex;
+  pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      auto single = compute_user(static_cast<VertexId>(s));
+      std::vector<Neighbor> list(single.neighbors(0).begin(),
+                                 single.neighbors(0).end());
+      std::lock_guard<std::mutex> lock(graph_mutex);
+      graph.set_neighbors(static_cast<VertexId>(s), std::move(list));
+    }
+  }, /*min_chunk=*/16);
+  return graph;
+}
+
+}  // namespace knnpc

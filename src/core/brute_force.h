@@ -1,0 +1,19 @@
+// Exact KNN by exhaustive pairwise comparison — the ground truth for
+// recall@K and the quality bench (Abl-4). O(n^2) similarities;
+// parallelised over users.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/knn_graph.h"
+#include "profiles/profile_store.h"
+#include "profiles/similarity.h"
+
+namespace knnpc {
+
+/// Computes each user's exact top-K most similar other users.
+/// `threads` > 1 parallelises the outer loop.
+KnnGraph brute_force_knn(const ProfileStore& profiles, std::uint32_t k,
+                         SimilarityMeasure measure, std::uint32_t threads = 1);
+
+}  // namespace knnpc

@@ -1,0 +1,80 @@
+#include "core/churn.h"
+
+#include <stdexcept>
+
+namespace knnpc {
+
+ChurnDriver::ChurnDriver(ChurnConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.generator.num_clusters == 0) {
+    throw std::invalid_argument("ChurnDriver: num_clusters must be > 0");
+  }
+}
+
+SparseProfile ChurnDriver::fresh_profile_for_cluster(std::uint32_t cluster) {
+  // Generate one profile "as user of `cluster`": the clustered generator
+  // assigns cluster round-robin by user index, so a single-user run lands
+  // in cluster 0; shift its item block to the target cluster.
+  ClusteredGenConfig single = config_.generator;
+  single.base.num_users = 1;
+  const auto generated = clustered_profiles(single, rng_);
+  const ItemId block =
+      config_.generator.base.num_items / config_.generator.num_clusters;
+  SparseProfile shifted;
+  for (const ProfileEntry& e : generated[0].entries()) {
+    shifted.set((e.item + cluster * block) %
+                    config_.generator.base.num_items,
+                e.weight);
+  }
+  return shifted;
+}
+
+std::size_t ChurnDriver::tick(KnnEngine& engine) {
+  const VertexId n = engine.profiles().num_users();
+  if (n == 0) return 0;
+  std::size_t pushed = 0;
+  const std::uint32_t clusters = config_.generator.num_clusters;
+  const ItemId items = config_.generator.base.num_items;
+
+  // 1. Plain rating updates: random user bumps a random in-cluster item.
+  for (std::uint32_t i = 0; i < config_.rating_updates_per_iteration; ++i) {
+    ProfileUpdate update;
+    update.kind = ProfileUpdate::Kind::SetItem;
+    update.user = static_cast<VertexId>(rng_.next_below(n));
+    update.item = static_cast<ItemId>(rng_.next_below(items));
+    update.value = static_cast<float>(1.0 - rng_.next_double() * 0.999);
+    engine.update_queue().push(std::move(update));
+    ++pushed;
+  }
+
+  // 2. Drifting users: full replacement with another cluster's profile.
+  for (std::uint32_t i = 0; i < config_.drifting_users_per_iteration; ++i) {
+    const auto user = static_cast<VertexId>(rng_.next_below(n));
+    const auto current = static_cast<std::uint32_t>(user % clusters);
+    const auto target = static_cast<std::uint32_t>(
+        (current + 1 + rng_.next_below(clusters - 1 > 0 ? clusters - 1 : 1)) %
+        clusters);
+    ProfileUpdate update;
+    update.kind = ProfileUpdate::Kind::Replace;
+    update.user = user;
+    update.profile = fresh_profile_for_cluster(target);
+    engine.update_queue().push(std::move(update));
+    drift_log_.push_back({user, target});
+    ++pushed;
+  }
+
+  // 3. Cold-start resets within the user's own cluster.
+  for (std::uint32_t i = 0; i < config_.reset_users_per_iteration; ++i) {
+    const auto user = static_cast<VertexId>(rng_.next_below(n));
+    ProfileUpdate update;
+    update.kind = ProfileUpdate::Kind::Replace;
+    update.user = user;
+    update.profile =
+        fresh_profile_for_cluster(static_cast<std::uint32_t>(user % clusters));
+    engine.update_queue().push(std::move(update));
+    ++pushed;
+  }
+  return pushed;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,62 @@
+// Scripted profile-churn workloads (the dynamic-profiles story of the
+// paper, made reproducible).
+//
+// "We have a set of user profiles P(t) ... which can also change over
+// time": a ChurnDriver generates a deterministic stream of ProfileUpdates
+// per iteration — new ratings arriving, users drifting to another taste
+// community, and cold-start users whose profiles are replaced wholesale —
+// and feeds them into a KnnEngine's lazy update queue.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.h"
+#include "profiles/generators.h"
+#include "util/rng.h"
+
+namespace knnpc {
+
+struct ChurnConfig {
+  /// Single-item rating updates (SetItem) pushed per iteration.
+  std::uint32_t rating_updates_per_iteration = 50;
+  /// Users whose profile is replaced with a fresh one from a *different*
+  /// cluster per iteration (drift).
+  std::uint32_t drifting_users_per_iteration = 2;
+  /// Users whose profile is replaced with a fresh one from their *own*
+  /// cluster (cold start / re-onboarding).
+  std::uint32_t reset_users_per_iteration = 1;
+  /// Cluster structure matching the profile generator that produced the
+  /// engine's initial profiles (for drift targets).
+  ClusteredGenConfig generator;
+  std::uint64_t seed = 1007;
+};
+
+/// Deterministic churn generator; call tick(engine) once per iteration
+/// *before* run_iteration() so the updates land in that iteration's
+/// phase 5.
+class ChurnDriver {
+ public:
+  explicit ChurnDriver(ChurnConfig config);
+
+  /// Pushes this iteration's updates into the engine's queue. Returns the
+  /// number of updates pushed.
+  std::size_t tick(KnnEngine& engine);
+
+  /// Users that have drifted so far and their new cluster.
+  struct Drift {
+    VertexId user;
+    std::uint32_t to_cluster;
+  };
+  [[nodiscard]] const std::vector<Drift>& drift_log() const noexcept {
+    return drift_log_;
+  }
+
+ private:
+  SparseProfile fresh_profile_for_cluster(std::uint32_t cluster);
+
+  ChurnConfig config_;
+  Rng rng_;
+  std::vector<Drift> drift_log_;
+};
+
+}  // namespace knnpc

@@ -1,0 +1,90 @@
+#include "core/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "core/topk.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace knnpc {
+
+SampledRecall sampled_recall(const KnnGraph& graph,
+                             const ProfileStore& profiles,
+                             SimilarityMeasure measure, std::size_t samples,
+                             std::uint64_t seed, std::uint32_t threads) {
+  SampledRecall result;
+  const VertexId n = profiles.num_users();
+  if (n < 2 || samples == 0 || graph.k() == 0) return result;
+  samples = std::min<std::size_t>(samples, n);
+
+  // Sample without replacement.
+  Rng rng(seed);
+  std::unordered_set<VertexId> chosen;
+  std::vector<VertexId> users;
+  users.reserve(samples);
+  while (users.size() < samples) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    if (chosen.insert(u).second) users.push_back(u);
+  }
+
+  std::vector<double> recalls(users.size(), 0.0);
+  auto evaluate = [&](std::size_t lo, std::size_t hi) {
+    std::unordered_set<VertexId> truth;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const VertexId u = users[i];
+      // Exact top-K for this user only.
+      TopKAccumulator acc(1, graph.k());
+      const SparseProfile& pu = profiles.get(u);
+      for (VertexId d = 0; d < n; ++d) {
+        if (d == u) continue;
+        acc.offer(0, d, similarity(measure, pu, profiles.get(d)));
+      }
+      const KnnGraph exact_one = acc.build_graph();
+      const auto exact_list = exact_one.neighbors(0);
+      if (exact_list.empty()) continue;
+      truth.clear();
+      for (const Neighbor& e : exact_list) truth.insert(e.id);
+      std::size_t hits = 0;
+      for (const Neighbor& got : graph.neighbors(u)) {
+        if (truth.contains(got.id)) ++hits;
+      }
+      recalls[i] =
+          static_cast<double>(hits) / static_cast<double>(truth.size());
+    }
+  };
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    pool.parallel_for(0, users.size(), evaluate, /*min_chunk=*/4);
+  } else {
+    evaluate(0, users.size());
+  }
+
+  double sum = 0.0;
+  for (double r : recalls) sum += r;
+  const auto count = static_cast<double>(recalls.size());
+  result.recall = sum / count;
+  result.sampled_users = recalls.size();
+  double sq = 0.0;
+  for (double r : recalls) sq += (r - result.recall) * (r - result.recall);
+  const double stddev = count > 1 ? std::sqrt(sq / (count - 1)) : 0.0;
+  result.margin95 = 1.96 * stddev / std::sqrt(count);
+  return result;
+}
+
+double mean_kth_score(const KnnGraph& graph) {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto list = graph.neighbors(v);
+    if (list.empty()) continue;
+    sum += list.back().score;  // sorted descending: back() is the worst
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace knnpc

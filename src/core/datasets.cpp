@@ -1,0 +1,37 @@
+#include "core/datasets.h"
+
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace knnpc {
+
+const std::vector<Table1Dataset>& table1_datasets() {
+  // Node/edge counts and the three op counts are transcribed from Table 1.
+  static const std::vector<Table1Dataset> kDatasets = {
+      {"wiki-vote", "wiki-Vote", 7115, 100762, 211856, 204706, 202290},
+      {"gen-rel", "ca-GrQc", 5241, 14484, 34506, 32220, 31256},
+      {"high-energy", "ca-HepPh", 12006, 118489, 252754, 242132, 240872},
+      {"astro-phys", "ca-AstroPh", 18771, 198050, 420442, 400050, 401770},
+      {"email", "email-Enron", 36692, 183831, 399604, 382928, 379312},
+      {"gnutella", "p2p-Gnutella24", 26518, 65369, 157040, 144072, 132710},
+  };
+  return kDatasets;
+}
+
+const Table1Dataset& table1_dataset(std::string_view name) {
+  for (const auto& d : table1_datasets()) {
+    if (d.name == name) return d;
+  }
+  throw std::invalid_argument("unknown Table-1 dataset: " +
+                              std::string(name));
+}
+
+EdgeList generate_table1_graph(const Table1Dataset& dataset,
+                               std::uint64_t seed, double gamma) {
+  Rng rng(seed ^ (dataset.nodes * 0x9e3779b97f4a7c15ULL));
+  return chung_lu_directed(dataset.nodes, dataset.edges, gamma, rng);
+}
+
+}  // namespace knnpc

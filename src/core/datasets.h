@@ -1,0 +1,43 @@
+// Registry of the paper's Table-1 datasets and their synthetic stand-ins.
+//
+// The originals are SNAP graphs (not redistributable offline — DESIGN.md
+// §4). Each stand-in is a directed Chung-Lu power-law graph with the
+// paper's exact node and edge counts and a fixed seed, preserving the
+// degree skew the heuristic comparison depends on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace knnpc {
+
+struct Table1Dataset {
+  std::string name;        // paper's row label
+  std::string snap_name;   // the SNAP graph the row corresponds to
+  VertexId nodes = 0;
+  std::size_t edges = 0;   // directed edge count, as in the paper
+  /// Paper-reported load/unload operations (for EXPERIMENTS.md deltas).
+  std::size_t paper_seq = 0;
+  std::size_t paper_high_low = 0;
+  std::size_t paper_low_high = 0;
+};
+
+/// All six Table-1 rows, in the paper's order.
+const std::vector<Table1Dataset>& table1_datasets();
+
+/// Row by name ("wiki-vote", "gen-rel", "high-energy", "astro-phys",
+/// "email", "gnutella"); throws std::invalid_argument on unknown names.
+const Table1Dataset& table1_dataset(std::string_view name);
+
+/// Generates the stand-in graph for a row (deterministic per `seed`).
+/// `gamma` is the power-law exponent; ~2.0 reproduces the degree-1 mass
+/// of the SNAP originals that drives the Table-1 heuristic gaps.
+EdgeList generate_table1_graph(const Table1Dataset& dataset,
+                               std::uint64_t seed = 2014,
+                               double gamma = 2.01);
+
+}  // namespace knnpc

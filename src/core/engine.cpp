@@ -1,0 +1,356 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/convergence.h"
+#include "core/topk.h"
+#include "core/tuple_generation.h"
+#include "core/tuple_table.h"
+#include "graph/digraph.h"
+#include "graph/knn_graph_io.h"
+#include "partition/cost.h"
+#include "partition/partitioner.h"
+#include "pigraph/heuristics.h"
+#include "pigraph/pi_graph.h"
+#include "storage/partition_store.h"
+#include "storage/shard_writer.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/serde.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace knnpc {
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Triangular index of the unordered pair (a, b), a <= b < m.
+std::size_t pair_slot(PartitionId a, PartitionId b, PartitionId m) {
+  if (a > b) std::swap(a, b);
+  // Row a starts after a*m - a*(a-1)/2 slots.
+  return static_cast<std::size_t>(a) * m -
+         static_cast<std::size_t>(a) * (a > 0 ? a - 1 : 0) / 2 + (b - a);
+}
+
+}  // namespace
+
+struct KnnEngine::Impl {
+  std::unique_ptr<ScratchDir> scratch;
+  fs::path work_dir;
+  std::unique_ptr<ThreadPool> pool;
+  IoAccountant shard_io;
+  /// Previous phase-1 assignment (reused when repartition_every > 1).
+  std::optional<PartitionAssignment> last_assignment;
+
+  explicit Impl(const EngineConfig& config)
+      : shard_io(config.io_model) {
+    if (config.work_dir.empty()) {
+      scratch = std::make_unique<ScratchDir>("engine");
+      work_dir = scratch->path();
+    } else {
+      work_dir = config.work_dir;
+      fs::create_directories(work_dir);
+    }
+    if (config.threads > 1) {
+      pool = std::make_unique<ThreadPool>(config.threads);
+    }
+  }
+};
+
+KnnEngine::KnnEngine(EngineConfig config, std::vector<SparseProfile> profiles)
+    : config_(std::move(config)),
+      profiles_(std::move(profiles)),
+      impl_(std::make_unique<Impl>(config_)) {
+  if (config_.num_partitions == 0) {
+    throw std::invalid_argument("KnnEngine: num_partitions must be > 0");
+  }
+  if (config_.memory_slots < 2) {
+    throw std::invalid_argument(
+        "KnnEngine: memory_slots must be >= 2 (a PI pair needs both "
+        "partitions resident)");
+  }
+  Rng rng(config_.seed);
+  graph_ = random_knn_graph(profiles_.num_users(), config_.k, rng);
+}
+
+KnnEngine::~KnnEngine() = default;
+
+void KnnEngine::set_initial_graph(KnnGraph graph) {
+  if (graph.num_vertices() != profiles_.num_users()) {
+    throw std::invalid_argument(
+        "KnnEngine::set_initial_graph: vertex count mismatch");
+  }
+  graph_ = std::move(graph);
+}
+
+IterationStats KnnEngine::run_iteration() {
+  IterationStats stats;
+  stats.iteration = iteration_;
+  const VertexId n = profiles_.num_users();
+  const PartitionId m = config_.num_partitions;
+  PartitionStore store(impl_->work_dir / "partitions", config_.io_model,
+                       config_.storage_mode);
+  impl_->shard_io.reset();
+
+  // ---- Phase 1: partition G(t) and write partition files. -------------
+  PartitionAssignment assignment;
+  {
+    ScopedAccumulator timing(&stats.timings.partition_s);
+    const EdgeList edge_list = graph_.to_edge_list();
+    const Digraph digraph(edge_list);
+    const bool reuse =
+        config_.repartition_every > 1 &&
+        iteration_ % config_.repartition_every != 0 &&
+        impl_->last_assignment.has_value() &&
+        impl_->last_assignment->num_vertices() == n &&
+        impl_->last_assignment->num_partitions() == m;
+    if (reuse) {
+      assignment = *impl_->last_assignment;
+    } else {
+      assignment = make_partitioner(config_.partitioner)->assign(digraph, m);
+      impl_->last_assignment = assignment;
+    }
+    store.write_all(edge_list, assignment, profiles_);
+    if (config_.record_partition_cost) {
+      stats.partition_cost_total = partition_cost(digraph, assignment).total;
+    }
+  }
+
+  // ---- Phase 2: populate H with unique tuples, shard them by pair. ----
+  // Shards stream to disk through a bounded buffer; phase 4 reads each
+  // pair's bundle back sequentially when its turn in the schedule comes.
+  const std::size_t num_slots = pair_slot(m - 1, m - 1, m) + 1;
+  TupleShardWriter shard_writer(impl_->work_dir, "tuples", num_slots,
+                                config_.shard_buffer_bytes,
+                                &impl_->shard_io);
+  {
+    ScopedAccumulator timing(&stats.timings.hash_s);
+    TupleTable table(static_cast<std::size_t>(n) * config_.k * 2);
+    auto admit = [&](Tuple t) {
+      if (table.insert(t)) {
+        shard_writer.add(
+            pair_slot(assignment.owner(t.s), assignment.owner(t.d), m), t);
+      }
+      if (config_.include_reverse) {
+        const Tuple rev{t.d, t.s};
+        if (table.insert(rev)) {
+          shard_writer.add(
+              pair_slot(assignment.owner(rev.s), assignment.owner(rev.d), m),
+              rev);
+        }
+      }
+    };
+    Rng sample_rng(mix64(config_.seed + 1) ^
+                   (0xda942042e4dd58b5ULL * (iteration_ + 1)));
+    const bool sampling = config_.sample_rate < 1.0;
+    for (PartitionId p = 0; p < m; ++p) {
+      const PartitionData part = store.load_edges(p);
+      // Neighbours' neighbours via the sorted merge-join (optionally
+      // subsampled at rate rho, NN-Descent style)...
+      stats.candidate_tuples += merge_join_tuples(
+          part.in_edges, part.out_edges, [&](Tuple t) {
+            if (sampling && !sample_rng.next_bool(config_.sample_rate)) {
+              return;
+            }
+            admit(t);
+          });
+      // ...plus the direct edges of G(t) ("as well as directed edges from
+      // the graph G(t)"); never sampled — the current KNN edges must keep
+      // competing or the graph forgets what it already knows.
+      for (const Edge& e : part.out_edges) {
+        ++stats.candidate_tuples;
+        admit(Tuple{e.src, e.dst});
+      }
+    }
+    // NN-Descent-style random restarts (see EngineConfig docs): a trickle
+    // of uniform candidates so users remain reachable after profile drift.
+    if (config_.random_candidates > 0 && n > 1) {
+      Rng restart_rng(mix64(config_.seed) ^
+                      (0x9e3779b97f4a7c15ULL * (iteration_ + 1)));
+      for (VertexId s = 0; s < n; ++s) {
+        for (std::uint32_t r = 0; r < config_.random_candidates; ++r) {
+          const auto d = static_cast<VertexId>(restart_rng.next_below(n));
+          if (d == s) continue;
+          ++stats.candidate_tuples;
+          admit(Tuple{s, d});
+        }
+      }
+    }
+    stats.unique_tuples = table.size();
+    shard_writer.finish();
+  }
+
+  // ---- Phase 3: PI graph + traversal schedule. -------------------------
+  PiGraph pi(m);
+  Schedule schedule;
+  {
+    ScopedAccumulator timing(&stats.timings.pi_graph_s);
+    for (PartitionId a = 0; a < m; ++a) {
+      for (PartitionId b = a; b < m; ++b) {
+        const auto count = shard_writer.shard_records(pair_slot(a, b, m));
+        if (count > 0) pi.add_edge(a, b, count);
+      }
+    }
+    pi.finalize();
+    stats.pi_pairs = pi.num_pairs();
+    schedule = make_heuristic(config_.heuristic)->schedule(pi);
+  }
+
+  // ---- Phase 4: stream partition pairs, compute sims, keep top-K. -----
+  {
+    ScopedAccumulator timing(&stats.timings.knn_s);
+    TopKAccumulator acc(n, config_.k);
+    // Score-spilling mode: candidates go to per-partition score files
+    // instead of the live accumulator, bounding resident phase-4 state.
+    std::optional<RecordShardWriter<ScoredTuple>> score_writer;
+    if (config_.spill_scores) {
+      score_writer.emplace(impl_->work_dir, "scores", m,
+                           config_.shard_buffer_bytes, &impl_->shard_io);
+    }
+    PartitionCache cache(store, config_.memory_slots);
+    std::vector<float> scores;
+    for (PairIndex idx : schedule) {
+      const PiPair& pair = pi.pair(idx);
+      const std::size_t slot = pair_slot(pair.a, pair.b, m);
+      const std::vector<Tuple> tuples =
+          read_record_shard<Tuple>(shard_writer.shard_path(slot),
+                                   &impl_->shard_io);
+      const PartitionData& pa = cache.get(pair.a);
+      const PartitionData& pb =
+          pair.b == pair.a ? pa : cache.get(pair.b);
+      auto profile_of = [&](VertexId v) -> const SparseProfile& {
+        if (const SparseProfile* p = pa.profile_of(v)) return *p;
+        if (const SparseProfile* p = pb.profile_of(v)) return *p;
+        throw std::logic_error("engine: tuple endpoint outside loaded pair");
+      };
+      scores.assign(tuples.size(), 0.0f);
+      auto score_range = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          scores[i] = similarity(config_.measure, profile_of(tuples[i].s),
+                                 profile_of(tuples[i].d));
+        }
+      };
+      if (impl_->pool) {
+        impl_->pool->parallel_for(0, tuples.size(), score_range,
+                                  /*min_chunk=*/256);
+      } else {
+        score_range(0, tuples.size());
+      }
+      if (score_writer) {
+        for (std::size_t i = 0; i < tuples.size(); ++i) {
+          score_writer->add(assignment.owner(tuples[i].s),
+                            {tuples[i].s, tuples[i].d, scores[i]});
+        }
+      } else {
+        for (std::size_t i = 0; i < tuples.size(); ++i) {
+          acc.offer(tuples[i].s, tuples[i].d, scores[i]);
+        }
+      }
+    }
+    cache.flush();  // count the final unloads, as in the simulator
+    stats.partition_loads = cache.loads();
+    stats.partition_unloads = cache.unloads();
+
+    KnnGraph next(n, config_.k);
+    if (score_writer) {
+      // Finalise one partition's users at a time from its score file.
+      score_writer->finish();
+      for (PartitionId p = 0; p < m; ++p) {
+        const auto spilled = read_record_shard<ScoredTuple>(
+            score_writer->shard_path(p), &impl_->shard_io);
+        for (const ScoredTuple& st : spilled) {
+          acc.offer(st.s, st.d, st.score);
+        }
+        for (VertexId v : assignment.members(p)) {
+          next.set_neighbors(v, acc.take(v));
+        }
+      }
+    } else {
+      next = acc.build_graph();
+    }
+    stats.change_rate = KnnGraph::change_rate(graph_, next);
+    graph_ = std::move(next);
+  }
+
+  // ---- Phase 5: apply queued profile updates (P(t) -> P(t+1)). --------
+  {
+    ScopedAccumulator timing(&stats.timings.update_s);
+    stats.profile_updates_applied = queue_.apply_to(profiles_);
+  }
+
+  if (config_.checkpoint) {
+    save_knn_graph_file(impl_->work_dir / "checkpoint_latest.knng", graph_);
+  }
+
+  if (config_.recall_samples > 0) {
+    stats.sampled_recall =
+        sampled_recall(graph_, profiles_, config_.measure,
+                       config_.recall_samples, config_.seed,
+                       std::max<std::uint32_t>(config_.threads, 1))
+            .recall;
+  }
+
+  stats.io = store.io().counters();
+  stats.io += impl_->shard_io.counters();
+  stats.modeled_io_us =
+      store.io().modeled_us() + impl_->shard_io.modeled_us();
+
+  KNNPC_LOG(Info) << "iteration " << iteration_ << ": "
+                  << stats.unique_tuples << " tuples, " << stats.pi_pairs
+                  << " PI pairs, " << stats.partition_loads << " loads, "
+                  << "change rate " << stats.change_rate;
+  ++iteration_;
+  return stats;
+}
+
+PartitionId suggest_partition_count(std::uint64_t total_data_bytes,
+                                    std::uint64_t memory_budget_bytes,
+                                    std::size_t slots, VertexId num_users) {
+  if (memory_budget_bytes == 0) {
+    throw std::invalid_argument("suggest_partition_count: zero budget");
+  }
+  slots = std::max<std::size_t>(slots, 2);
+  // Each resident partition holds ~ total/m bytes; we need `slots` of them
+  // under the budget: m >= slots * total / budget.
+  const double needed = static_cast<double>(slots) *
+                        static_cast<double>(total_data_bytes) /
+                        static_cast<double>(memory_budget_bytes);
+  auto m = static_cast<PartitionId>(needed) + 1;
+  m = std::max<PartitionId>(m, 1);
+  if (num_users > 0) m = std::min<PartitionId>(m, num_users);
+  return m;
+}
+
+std::uint64_t estimate_data_bytes(const std::vector<SparseProfile>& profiles,
+                                  std::uint32_t k) {
+  std::uint64_t bytes = 0;
+  for (const auto& p : profiles) {
+    bytes += sizeof(std::uint32_t) + p.size() * sizeof(ProfileEntry);
+  }
+  // Each of the n*k edges is stored once in an .in file and once in .out.
+  bytes += 2ULL * profiles.size() * k * sizeof(Edge);
+  return bytes;
+}
+
+RunStats KnnEngine::run(std::uint32_t max_iterations,
+                        double convergence_delta) {
+  RunStats run_stats;
+  Timer total;
+  for (std::uint32_t i = 0; i < max_iterations; ++i) {
+    IterationStats stats = run_iteration();
+    const double change = stats.change_rate;
+    run_stats.iterations.push_back(std::move(stats));
+    if (change < convergence_delta) {
+      run_stats.converged = true;
+      break;
+    }
+  }
+  run_stats.total_seconds = total.elapsed_seconds();
+  return run_stats;
+}
+
+}  // namespace knnpc

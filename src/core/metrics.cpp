@@ -1,0 +1,59 @@
+#include "core/metrics.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace knnpc {
+
+double recall_at_k(const KnnGraph& approx, const KnnGraph& exact) {
+  if (approx.num_vertices() != exact.num_vertices()) {
+    throw std::invalid_argument("recall_at_k: vertex counts differ");
+  }
+  double sum = 0.0;
+  std::size_t counted = 0;
+  std::unordered_set<VertexId> truth;
+  for (VertexId v = 0; v < exact.num_vertices(); ++v) {
+    const auto exact_list = exact.neighbors(v);
+    if (exact_list.empty()) continue;
+    truth.clear();
+    for (const Neighbor& n : exact_list) truth.insert(n.id);
+    std::size_t hit = 0;
+    for (const Neighbor& n : approx.neighbors(v)) {
+      if (truth.contains(n.id)) ++hit;
+    }
+    sum += static_cast<double>(hit) / static_cast<double>(truth.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+double cluster_purity(const KnnGraph& graph,
+                      const std::vector<std::uint32_t>& cluster_of) {
+  if (cluster_of.size() < graph.num_vertices()) {
+    throw std::invalid_argument("cluster_purity: label vector too short");
+  }
+  std::size_t edges = 0;
+  std::size_t intra = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const Neighbor& n : graph.neighbors(v)) {
+      ++edges;
+      if (cluster_of[v] == cluster_of[n.id]) ++intra;
+    }
+  }
+  return edges == 0 ? 0.0
+                    : static_cast<double>(intra) / static_cast<double>(edges);
+}
+
+double mean_edge_score(const KnnGraph& graph) {
+  double sum = 0.0;
+  std::size_t edges = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const Neighbor& n : graph.neighbors(v)) {
+      sum += n.score;
+      ++edges;
+    }
+  }
+  return edges == 0 ? 0.0 : sum / static_cast<double>(edges);
+}
+
+}  // namespace knnpc

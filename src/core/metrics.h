@@ -1,0 +1,24 @@
+// Quality metrics for KNN graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knn_graph.h"
+
+namespace knnpc {
+
+/// recall@K: mean over users of |approx ∩ exact| / |exact|. Both graphs
+/// must have the same vertex count. Users with an empty exact list are
+/// skipped.
+double recall_at_k(const KnnGraph& approx, const KnnGraph& exact);
+
+/// Fraction of KNN edges whose endpoints share a planted cluster label.
+/// With clustered profiles this approaches 1 as the KNN graph converges.
+double cluster_purity(const KnnGraph& graph,
+                      const std::vector<std::uint32_t>& cluster_of);
+
+/// Mean similarity score over all edges (scores stored on the edges).
+double mean_edge_score(const KnnGraph& graph);
+
+}  // namespace knnpc

@@ -1,0 +1,156 @@
+#include "core/nn_descent.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace knnpc {
+namespace {
+
+/// Heap entry with the "new" flag from the NN-Descent paper.
+struct Entry {
+  VertexId id;
+  float score;
+  bool is_new;
+};
+
+/// Keeps B[v] as a sorted-by-score vector of size <= k with unique ids.
+/// Returns true when the candidate entered the list (an "update").
+bool heap_insert(std::vector<Entry>& heap, std::uint32_t k, VertexId id,
+                 float score) {
+  for (const Entry& e : heap) {
+    if (e.id == id) return false;
+  }
+  if (heap.size() < k) {
+    heap.push_back({id, score, true});
+  } else {
+    // Find the worst entry.
+    auto worst = std::min_element(heap.begin(), heap.end(),
+                                  [](const Entry& a, const Entry& b) {
+                                    if (a.score != b.score) {
+                                      return a.score < b.score;
+                                    }
+                                    return a.id > b.id;
+                                  });
+    if (score <= worst->score) return false;
+    *worst = {id, score, true};
+  }
+  return true;
+}
+
+}  // namespace
+
+KnnGraph nn_descent(const ProfileStore& profiles,
+                    const NnDescentConfig& config, NnDescentStats* stats) {
+  const VertexId n = profiles.num_users();
+  const std::uint32_t k = config.k;
+  Rng rng(config.seed);
+  std::uint64_t sim_evals = 0;
+
+  auto sim = [&](VertexId a, VertexId b) {
+    ++sim_evals;
+    return similarity(config.measure, profiles.get(a), profiles.get(b));
+  };
+
+  // B[v] <- k random entries with *measured* similarity (flagged new).
+  std::vector<std::vector<Entry>> b(n);
+  if (n > 1) {
+    for (VertexId v = 0; v < n; ++v) {
+      while (b[v].size() < std::min<std::size_t>(k, n - 1)) {
+        const auto cand = static_cast<VertexId>(rng.next_below(n));
+        if (cand == v) continue;
+        bool dup = false;
+        for (const Entry& e : b[v]) dup = dup || e.id == cand;
+        if (dup) continue;
+        b[v].push_back({cand, sim(v, cand), true});
+      }
+    }
+  }
+
+  std::uint32_t iteration = 0;
+  double update_rate = 1.0;
+  for (; iteration < config.max_iterations; ++iteration) {
+    // Sample "new" neighbours at rate rho; the rest of the joins use olds.
+    std::vector<std::vector<VertexId>> new_fwd(n);
+    std::vector<std::vector<VertexId>> old_fwd(n);
+    for (VertexId v = 0; v < n; ++v) {
+      for (Entry& e : b[v]) {
+        if (e.is_new && rng.next_bool(config.rho)) {
+          new_fwd[v].push_back(e.id);
+          e.is_new = false;  // consumed
+        } else if (!e.is_new) {
+          old_fwd[v].push_back(e.id);
+        }
+      }
+    }
+    // Reverse neighbourhoods.
+    std::vector<std::vector<VertexId>> new_rev(n);
+    std::vector<std::vector<VertexId>> old_rev(n);
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId u : new_fwd[v]) new_rev[u].push_back(v);
+      for (VertexId u : old_fwd[v]) old_rev[u].push_back(v);
+    }
+
+    std::uint64_t updates = 0;
+    std::vector<VertexId> new_set;
+    std::vector<VertexId> old_set;
+    for (VertexId v = 0; v < n; ++v) {
+      new_set = new_fwd[v];
+      old_set = old_fwd[v];
+      // Union with (sampled) reverse sets, as in the paper.
+      for (VertexId u : new_rev[v]) {
+        if (rng.next_bool(config.rho)) new_set.push_back(u);
+      }
+      for (VertexId u : old_rev[v]) {
+        if (rng.next_bool(config.rho)) old_set.push_back(u);
+      }
+      std::sort(new_set.begin(), new_set.end());
+      new_set.erase(std::unique(new_set.begin(), new_set.end()),
+                    new_set.end());
+      std::sort(old_set.begin(), old_set.end());
+      old_set.erase(std::unique(old_set.begin(), old_set.end()),
+                    old_set.end());
+
+      // Local join: new x new, new x old.
+      for (std::size_t i = 0; i < new_set.size(); ++i) {
+        for (std::size_t j = i + 1; j < new_set.size(); ++j) {
+          const VertexId u1 = new_set[i];
+          const VertexId u2 = new_set[j];
+          const float s = sim(u1, u2);
+          if (heap_insert(b[u1], k, u2, s)) ++updates;
+          if (heap_insert(b[u2], k, u1, s)) ++updates;
+        }
+        for (VertexId u2 : old_set) {
+          const VertexId u1 = new_set[i];
+          if (u1 == u2) continue;
+          const float s = sim(u1, u2);
+          if (heap_insert(b[u1], k, u2, s)) ++updates;
+          if (heap_insert(b[u2], k, u1, s)) ++updates;
+        }
+      }
+    }
+
+    update_rate = n == 0 ? 0.0
+                         : static_cast<double>(updates) /
+                               (static_cast<double>(n) * std::max(k, 1u));
+    if (update_rate < config.delta) {
+      ++iteration;
+      break;
+    }
+  }
+
+  KnnGraph graph(n, k);
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<Neighbor> list;
+    list.reserve(b[v].size());
+    for (const Entry& e : b[v]) list.push_back({e.id, e.score});
+    graph.set_neighbors(v, std::move(list));
+  }
+  if (stats != nullptr) {
+    stats->iterations = iteration;
+    stats->similarity_evaluations = sim_evals;
+    stats->final_update_rate = update_rate;
+  }
+  return graph;
+}
+
+}  // namespace knnpc

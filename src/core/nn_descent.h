@@ -1,0 +1,41 @@
+// In-memory NN-Descent (Dong, Moses, Li — WWW 2011), the algorithm the
+// paper scales out of core (its reference [1]) and our quality/time
+// comparator baseline.
+//
+// Full algorithm with the paper's refinements: new/old neighbour flags,
+// reverse neighbourhoods, and sample rate rho.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/knn_graph.h"
+#include "profiles/profile_store.h"
+#include "profiles/similarity.h"
+#include "util/rng.h"
+
+namespace knnpc {
+
+struct NnDescentConfig {
+  std::uint32_t k = 10;
+  SimilarityMeasure measure = SimilarityMeasure::Cosine;
+  /// Sample rate rho: fraction of new neighbours joined per round.
+  double rho = 1.0;
+  /// Stop when the fraction of updated edges drops below this.
+  double delta = 0.001;
+  std::uint32_t max_iterations = 30;
+  std::uint64_t seed = 42;
+};
+
+struct NnDescentStats {
+  std::uint32_t iterations = 0;
+  std::uint64_t similarity_evaluations = 0;
+  /// Edge updates in the final iteration / (n*k).
+  double final_update_rate = 0.0;
+};
+
+/// Runs NN-Descent to convergence; returns the KNN graph (and stats via
+/// out-param when non-null).
+KnnGraph nn_descent(const ProfileStore& profiles, const NnDescentConfig& config,
+                    NnDescentStats* stats = nullptr);
+
+}  // namespace knnpc

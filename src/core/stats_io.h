@@ -1,0 +1,23 @@
+// JSON export of engine run statistics — the machine-readable face of
+// EXPERIMENTS.md. No external JSON dependency: the schema is flat enough
+// to emit directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/engine.h"
+
+namespace knnpc {
+
+/// Writes one iteration's stats as a JSON object (single line).
+void write_iteration_json(std::ostream& out, const IterationStats& stats);
+
+/// Writes a whole run as {"converged":..., "total_seconds":...,
+/// "iterations":[...]} (pretty-printed, one iteration per line).
+void write_run_json(std::ostream& out, const RunStats& run);
+
+/// Convenience: render a run to a string.
+std::string run_to_json(const RunStats& run);
+
+}  // namespace knnpc

@@ -1,0 +1,58 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+namespace knnpc {
+namespace {
+
+/// Heap comparator placing the *worst* entry at the front: lowest score,
+/// and among score ties the largest id (so the kept set is always "top K
+/// by (score desc, id asc)" independent of arrival order).
+struct WorstFirst {
+  bool operator()(const Neighbor& a, const Neighbor& b) const noexcept {
+    // std::push_heap puts the comparator's maximum at front; "maximum"
+    // here must be the worst entry, so a < b  <=>  a is better than b.
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace
+
+TopKAccumulator::TopKAccumulator(VertexId num_users, std::uint32_t k)
+    : k_(k), heaps_(num_users) {}
+
+void TopKAccumulator::offer(VertexId s, VertexId d, float score) {
+  auto& heap = heaps_.at(s);
+  if (heap.size() < k_) {
+    heap.push_back({d, score});
+    std::push_heap(heap.begin(), heap.end(), WorstFirst{});
+    return;
+  }
+  if (k_ == 0) return;
+  const Neighbor& worst = heap.front();
+  if (score < worst.score ||
+      (score == worst.score && d >= worst.id)) {
+    return;  // not better than the current worst
+  }
+  std::pop_heap(heap.begin(), heap.end(), WorstFirst{});
+  heap.back() = {d, score};
+  std::push_heap(heap.begin(), heap.end(), WorstFirst{});
+}
+
+std::vector<Neighbor> TopKAccumulator::take(VertexId s) {
+  std::vector<Neighbor> out = std::move(heaps_.at(s));
+  heaps_.at(s).clear();
+  return out;
+}
+
+KnnGraph TopKAccumulator::build_graph() {
+  KnnGraph graph(num_users(), k_);
+  for (VertexId v = 0; v < num_users(); ++v) {
+    graph.set_neighbors(v, std::move(heaps_[v]));
+    heaps_[v].clear();
+  }
+  return graph;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,50 @@
+// Phase 4 output side: per-user bounded top-K accumulators.
+//
+// Each user's accumulator is a size-K min-heap on score; offering a
+// candidate is O(1) when it doesn't beat the current worst and O(log K)
+// otherwise. Memory is O(n * K) — the light state that stays resident
+// while profiles stream through the 2-slot cache (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knn_graph.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+class TopKAccumulator {
+ public:
+  TopKAccumulator(VertexId num_users, std::uint32_t k);
+
+  /// Offers candidate `d` with `score` for user `s`. Callers must not
+  /// offer the same (s, d) twice within one iteration (H guarantees
+  /// uniqueness); duplicates would occupy two heap slots.
+  void offer(VertexId s, VertexId d, float score);
+
+  [[nodiscard]] VertexId num_users() const noexcept {
+    return static_cast<VertexId>(heaps_.size());
+  }
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+
+  /// Current candidate count for user s (<= k).
+  [[nodiscard]] std::size_t count(VertexId s) const {
+    return heaps_.at(s).size();
+  }
+
+  /// Freezes all accumulators into the next KNN graph G(t+1) and resets
+  /// this accumulator.
+  [[nodiscard]] KnnGraph build_graph();
+
+  /// Removes and returns one user's candidates (unsorted heap order).
+  /// Used by the score-spilling path, which finalises users one partition
+  /// at a time.
+  [[nodiscard]] std::vector<Neighbor> take(VertexId s);
+
+ private:
+  std::uint32_t k_;
+  std::vector<std::vector<Neighbor>> heaps_;  // min-heap on score
+};
+
+}  // namespace knnpc

@@ -1,0 +1,69 @@
+// Phase 1's payoff: sequential merge-join of a partition's sorted in-edge
+// and out-edge lists to emit neighbours-of-neighbours tuples.
+//
+// In-edges {(s, v)} and out-edges {(v, d)} are sorted by the bridge v, so
+// one linear pass pairs every in-source s with every out-destination d of
+// the same bridge: "the vertex v acts as a bridge between s and d".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "graph/digraph.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+/// Calls `emit(Tuple{s, d})` for every bridge pairing; skips s == d
+/// (a user is not its own KNN candidate). Inputs MUST be sorted by
+/// bridge: in_edges by .dst, out_edges by .src (the partition-store file
+/// order). Returns the number of emitted tuples.
+template <typename Emit>
+std::uint64_t merge_join_tuples(std::span<const Edge> in_edges,
+                                std::span<const Edge> out_edges,
+                                Emit&& emit) {
+  std::uint64_t emitted = 0;
+  std::size_t i = 0;
+  std::size_t o = 0;
+  while (i < in_edges.size() && o < out_edges.size()) {
+    const VertexId bridge_in = in_edges[i].dst;
+    const VertexId bridge_out = out_edges[o].src;
+    if (bridge_in < bridge_out) {
+      ++i;
+      continue;
+    }
+    if (bridge_out < bridge_in) {
+      ++o;
+      continue;
+    }
+    // Runs with equal bridge: cross product.
+    const VertexId bridge = bridge_in;
+    std::size_t i_end = i;
+    while (i_end < in_edges.size() && in_edges[i_end].dst == bridge) ++i_end;
+    std::size_t o_end = o;
+    while (o_end < out_edges.size() && out_edges[o_end].src == bridge) {
+      ++o_end;
+    }
+    for (std::size_t x = i; x < i_end; ++x) {
+      for (std::size_t y = o; y < o_end; ++y) {
+        const VertexId s = in_edges[x].src;
+        const VertexId d = out_edges[y].dst;
+        if (s == d) continue;
+        emit(Tuple{s, d});
+        ++emitted;
+      }
+    }
+    i = i_end;
+    o = o_end;
+  }
+  return emitted;
+}
+
+/// Reference tuple generator for tests: all (s, d) with d a
+/// neighbour's-neighbour of s (s -> v -> d, s != d), via plain adjacency
+/// walks on the whole graph. O(sum over v of in(v)*out(v)).
+std::uint64_t all_bridge_tuples(const Digraph& graph,
+                                const std::function<void(Tuple)>& emit);
+
+}  // namespace knnpc

@@ -1,0 +1,62 @@
+#include "core/tuple_table.h"
+
+#include "util/hash.h"
+
+namespace knnpc {
+
+TupleTable::TupleTable(std::size_t expected) {
+  // Keep the load factor under ~0.7.
+  const std::size_t capacity = next_pow2(expected * 3 / 2 + 16);
+  slots_.assign(capacity, kEmpty);
+  mask_ = capacity - 1;
+}
+
+std::size_t TupleTable::probe_start(std::uint64_t key) const noexcept {
+  return static_cast<std::size_t>(mix64(key)) & mask_;
+}
+
+bool TupleTable::insert(Tuple t) {
+  ++attempts_;
+  const std::uint64_t key = tuple_key(t);
+  std::size_t slot = probe_start(key);
+  for (;;) {
+    if (slots_[slot] == key) return false;
+    if (slots_[slot] == kEmpty) break;
+    slot = (slot + 1) & mask_;
+  }
+  slots_[slot] = key;
+  ++size_;
+  if (size_ * 3 > slots_.size() * 2) grow();
+  return true;
+}
+
+bool TupleTable::contains(Tuple t) const {
+  const std::uint64_t key = tuple_key(t);
+  std::size_t slot = probe_start(key);
+  for (;;) {
+    if (slots_[slot] == key) return true;
+    if (slots_[slot] == kEmpty) return false;
+    slot = (slot + 1) & mask_;
+  }
+}
+
+void TupleTable::grow() {
+  std::vector<std::uint64_t> old;
+  old.swap(slots_);
+  slots_.assign(old.size() * 2, kEmpty);
+  mask_ = slots_.size() - 1;
+  for (std::uint64_t key : old) {
+    if (key == kEmpty) continue;
+    std::size_t slot = probe_start(key);
+    while (slots_[slot] != kEmpty) slot = (slot + 1) & mask_;
+    slots_[slot] = key;
+  }
+}
+
+void TupleTable::clear() {
+  std::fill(slots_.begin(), slots_.end(), kEmpty);
+  size_ = 0;
+  attempts_ = 0;
+}
+
+}  // namespace knnpc

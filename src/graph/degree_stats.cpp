@@ -1,0 +1,56 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/stats.h"
+
+namespace knnpc {
+
+DegreeSummary summarize_degrees(const Digraph& graph) {
+  DegreeSummary s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  if (s.num_vertices == 0) return s;
+
+  std::vector<double> totals;
+  totals.reserve(s.num_vertices);
+  RunningStats out_stats;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::size_t od = graph.out_degree(v);
+    const std::size_t id = graph.in_degree(v);
+    out_stats.add(static_cast<double>(od));
+    s.max_out_degree = std::max(s.max_out_degree, od);
+    s.max_in_degree = std::max(s.max_in_degree, id);
+    s.max_total_degree = std::max(s.max_total_degree, od + id);
+    totals.push_back(static_cast<double>(od + id));
+  }
+  s.mean_out_degree = out_stats.mean();
+  s.p50_total_degree = percentile(totals, 50);
+  s.p99_total_degree = percentile(totals, 99);
+
+  // Gini via the sorted-rank formula.
+  std::sort(totals.begin(), totals.end());
+  const double sum = std::accumulate(totals.begin(), totals.end(), 0.0);
+  if (sum > 0) {
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * totals[i];
+    }
+    const auto n = static_cast<double>(totals.size());
+    s.degree_gini = (2.0 * weighted) / (n * sum) - (n + 1.0) / n;
+  }
+  return s;
+}
+
+std::vector<std::size_t> degree_histogram(const Digraph& graph) {
+  std::vector<std::size_t> hist;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::size_t d = graph.degree(v);
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+}  // namespace knnpc

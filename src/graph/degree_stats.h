@@ -1,0 +1,32 @@
+// Degree-distribution summaries: used by the dataset registry to verify
+// that synthetic Table-1 stand-ins actually have a heavy tail, and by
+// benches that report workload shape.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace knnpc {
+
+struct DegreeSummary {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  double mean_out_degree = 0.0;
+  std::size_t max_out_degree = 0;
+  std::size_t max_in_degree = 0;
+  std::size_t max_total_degree = 0;
+  double p50_total_degree = 0.0;
+  double p99_total_degree = 0.0;
+  /// Gini coefficient of the total-degree distribution; ~0 for regular
+  /// graphs, > 0.5 for strongly skewed (power-law-ish) graphs.
+  double degree_gini = 0.0;
+};
+
+DegreeSummary summarize_degrees(const Digraph& graph);
+
+/// Total-degree histogram: result[d] = #vertices with total degree d.
+std::vector<std::size_t> degree_histogram(const Digraph& graph);
+
+}  // namespace knnpc

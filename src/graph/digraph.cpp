@@ -1,0 +1,75 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace knnpc {
+
+Digraph::Digraph(const EdgeList& list) : n_(list.num_vertices) {
+  if (!endpoints_in_range(list)) {
+    throw std::invalid_argument("Digraph: edge endpoint out of range");
+  }
+  const std::size_t m = list.edges.size();
+  out_offsets_.assign(n_ + 1, 0);
+  in_offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : list.edges) {
+    ++out_offsets_[e.src + 1];
+    ++in_offsets_[e.dst + 1];
+  }
+  for (std::size_t v = 0; v < n_; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  out_adj_.resize(m);
+  in_adj_.resize(m);
+  std::vector<std::size_t> out_cursor(out_offsets_.begin(),
+                                      out_offsets_.end() - 1);
+  std::vector<std::size_t> in_cursor(in_offsets_.begin(),
+                                     in_offsets_.end() - 1);
+  for (const Edge& e : list.edges) {
+    out_adj_[out_cursor[e.src]++] = e.dst;
+    in_adj_[in_cursor[e.dst]++] = e.src;
+  }
+  // Sort each adjacency run so neighbour scans are cache-friendly and
+  // binary-searchable.
+  for (std::size_t v = 0; v < n_; ++v) {
+    std::sort(out_adj_.begin() + static_cast<std::ptrdiff_t>(out_offsets_[v]),
+              out_adj_.begin() + static_cast<std::ptrdiff_t>(out_offsets_[v + 1]));
+    std::sort(in_adj_.begin() + static_cast<std::ptrdiff_t>(in_offsets_[v]),
+              in_adj_.begin() + static_cast<std::ptrdiff_t>(in_offsets_[v + 1]));
+  }
+}
+
+std::span<const VertexId> Digraph::out_neighbors(VertexId v) const {
+  return {out_adj_.data() + out_offsets_.at(v),
+          out_offsets_.at(v + 1) - out_offsets_.at(v)};
+}
+
+std::span<const VertexId> Digraph::in_neighbors(VertexId v) const {
+  return {in_adj_.data() + in_offsets_.at(v),
+          in_offsets_.at(v + 1) - in_offsets_.at(v)};
+}
+
+std::size_t Digraph::out_degree(VertexId v) const {
+  return out_offsets_.at(v + 1) - out_offsets_.at(v);
+}
+
+std::size_t Digraph::in_degree(VertexId v) const {
+  return in_offsets_.at(v + 1) - in_offsets_.at(v);
+}
+
+std::size_t Digraph::degree(VertexId v) const {
+  return out_degree(v) + in_degree(v);
+}
+
+EdgeList Digraph::to_edge_list() const {
+  EdgeList out;
+  out.num_vertices = n_;
+  out.edges.reserve(num_edges());
+  for (VertexId v = 0; v < n_; ++v) {
+    for (VertexId d : out_neighbors(v)) out.edges.push_back({v, d});
+  }
+  return out;
+}
+
+}  // namespace knnpc

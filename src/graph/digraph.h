@@ -1,0 +1,51 @@
+// Immutable CSR directed graph with both out- and in-adjacency.
+//
+// The static substrate: the partitioner, the PI-graph heuristics and the
+// Table-1 bench all consume this form. The *mutable* KNN graph lives in
+// knn_graph.h; an iteration freezes it into a Digraph for phases 1-4.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Builds CSR from an edge list (need not be sorted; duplicates kept).
+  /// Endpoints must be < list.num_vertices.
+  explicit Digraph(const EdgeList& list);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return out_adj_.size();
+  }
+
+  /// Out-neighbours of v (order = insertion order after counting sort).
+  [[nodiscard]] std::span<const VertexId> out_neighbors(VertexId v) const;
+  /// In-neighbours of v.
+  [[nodiscard]] std::span<const VertexId> in_neighbors(VertexId v) const;
+
+  [[nodiscard]] std::size_t out_degree(VertexId v) const;
+  [[nodiscard]] std::size_t in_degree(VertexId v) const;
+  /// out_degree + in_degree (the "degree" used by the PI-graph heuristics).
+  [[nodiscard]] std::size_t degree(VertexId v) const;
+
+  /// Materialises the edges back into a (sorted) edge list.
+  [[nodiscard]] EdgeList to_edge_list() const;
+
+ private:
+  VertexId n_ = 0;
+  std::vector<std::size_t> out_offsets_;  // n_+1 entries
+  std::vector<VertexId> out_adj_;
+  std::vector<std::size_t> in_offsets_;   // n_+1 entries
+  std::vector<VertexId> in_adj_;
+};
+
+}  // namespace knnpc

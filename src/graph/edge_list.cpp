@@ -1,0 +1,62 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+namespace knnpc {
+
+void sort_and_dedup(EdgeList& list) {
+  std::sort(list.edges.begin(), list.edges.end());
+  list.edges.erase(std::unique(list.edges.begin(), list.edges.end()),
+                   list.edges.end());
+}
+
+void remove_self_loops(EdgeList& list) {
+  std::erase_if(list.edges, [](const Edge& e) { return e.src == e.dst; });
+}
+
+void fit_num_vertices(EdgeList& list) {
+  VertexId max_v = 0;
+  bool any = false;
+  for (const Edge& e : list.edges) {
+    max_v = std::max({max_v, e.src, e.dst});
+    any = true;
+  }
+  list.num_vertices = any ? max_v + 1 : 0;
+}
+
+bool is_sorted_unique(const EdgeList& list) {
+  return std::adjacent_find(list.edges.begin(), list.edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return !(a < b);
+                            }) == list.edges.end();
+}
+
+bool endpoints_in_range(const EdgeList& list) {
+  return std::all_of(list.edges.begin(), list.edges.end(),
+                     [&](const Edge& e) {
+                       return e.src < list.num_vertices &&
+                              e.dst < list.num_vertices;
+                     });
+}
+
+EdgeList reversed(const EdgeList& list) {
+  EdgeList out;
+  out.num_vertices = list.num_vertices;
+  out.edges.reserve(list.edges.size());
+  for (const Edge& e : list.edges) out.edges.push_back({e.dst, e.src});
+  return out;
+}
+
+EdgeList symmetrized(const EdgeList& list) {
+  EdgeList out;
+  out.num_vertices = list.num_vertices;
+  out.edges.reserve(list.edges.size() * 2);
+  for (const Edge& e : list.edges) {
+    out.edges.push_back(e);
+    out.edges.push_back({e.dst, e.src});
+  }
+  sort_and_dedup(out);
+  return out;
+}
+
+}  // namespace knnpc

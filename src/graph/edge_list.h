@@ -1,0 +1,46 @@
+// Edge-list representation plus the sort/dedup plumbing every loader and
+// generator shares.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace knnpc {
+
+/// A bag of directed edges. Invariants (num_vertices covers all endpoints,
+/// sortedness, uniqueness) are established explicitly via the helpers below
+/// rather than maintained implicitly — generators build in bulk.
+struct EdgeList {
+  VertexId num_vertices = 0;
+  std::vector<Edge> edges;
+
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges.size();
+  }
+};
+
+/// Sorts by (src, dst) and removes duplicate edges.
+void sort_and_dedup(EdgeList& list);
+
+/// Removes self-loops (src == dst).
+void remove_self_loops(EdgeList& list);
+
+/// Recomputes num_vertices as 1 + max endpoint (0 if no edges).
+void fit_num_vertices(EdgeList& list);
+
+/// True when edges are sorted by (src, dst) and unique.
+[[nodiscard]] bool is_sorted_unique(const EdgeList& list);
+
+/// True when all endpoints are < num_vertices.
+[[nodiscard]] bool endpoints_in_range(const EdgeList& list);
+
+/// Returns the list with every edge reversed (dst -> src).
+[[nodiscard]] EdgeList reversed(const EdgeList& list);
+
+/// Interprets the list as undirected: for every (a,b) adds (b,a), then
+/// dedups. Used when reading SNAP collaboration networks.
+[[nodiscard]] EdgeList symmetrized(const EdgeList& list);
+
+}  // namespace knnpc

@@ -1,0 +1,276 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace knnpc {
+namespace {
+
+/// Dedup key for an undirected pair with a < b.
+std::uint64_t pair_key(VertexId a, VertexId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Relabels vertices with a random permutation. Weight-ranked generators
+/// (Chung-Lu) would otherwise correlate vertex id with degree — real
+/// datasets don't, and id-ordered baselines (e.g. the Sequential PI
+/// traversal) must not accidentally see a degree ordering.
+void shuffle_labels(EdgeList& list, Rng& rng) {
+  std::vector<VertexId> perm(list.num_vertices);
+  for (VertexId v = 0; v < list.num_vertices; ++v) perm[v] = v;
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  for (Edge& e : list.edges) {
+    e.src = perm[e.src];
+    e.dst = perm[e.dst];
+  }
+  sort_and_dedup(list);
+}
+
+}  // namespace
+
+EdgeList erdos_renyi(VertexId n, std::size_t m, Rng& rng) {
+  const auto max_edges =
+      static_cast<std::size_t>(n) * (n > 0 ? n - 1 : 0);
+  if (m > max_edges) {
+    throw std::invalid_argument("erdos_renyi: m exceeds n*(n-1)");
+  }
+  EdgeList out;
+  out.num_vertices = n;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  out.edges.reserve(m);
+  while (out.edges.size() < m) {
+    const auto s = static_cast<VertexId>(rng.next_below(n));
+    const auto d = static_cast<VertexId>(rng.next_below(n));
+    if (s == d) continue;
+    const std::uint64_t key = tuple_key({s, d});
+    if (!seen.insert(key).second) continue;
+    out.edges.push_back({s, d});
+  }
+  sort_and_dedup(out);
+  return out;
+}
+
+EdgeList barabasi_albert(VertexId n, std::uint32_t attach, Rng& rng) {
+  if (attach == 0 || n < attach + 1) {
+    throw std::invalid_argument("barabasi_albert: need n > attach >= 1");
+  }
+  EdgeList out;
+  out.num_vertices = n;
+  // repeated-endpoints list implements preferential attachment in O(1).
+  std::vector<VertexId> endpoint_pool;
+  std::unordered_set<std::uint64_t> seen;
+  // Seed clique over the first attach+1 vertices.
+  for (VertexId a = 0; a <= attach; ++a) {
+    for (VertexId b = a + 1; b <= attach; ++b) {
+      out.edges.push_back({a, b});
+      seen.insert(pair_key(a, b));
+      endpoint_pool.push_back(a);
+      endpoint_pool.push_back(b);
+    }
+  }
+  for (VertexId v = attach + 1; v < n; ++v) {
+    std::unordered_set<VertexId> targets;
+    while (targets.size() < attach) {
+      const VertexId t =
+          endpoint_pool[rng.next_below(endpoint_pool.size())];
+      if (t == v) continue;
+      targets.insert(t);
+    }
+    for (VertexId t : targets) {
+      if (!seen.insert(pair_key(v, t)).second) continue;
+      out.edges.push_back({v, t});
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return symmetrized(out);
+}
+
+EdgeList chung_lu(VertexId n, std::size_t target_edges, double gamma,
+                  Rng& rng) {
+  if (n < 2) throw std::invalid_argument("chung_lu: need n >= 2");
+  const auto max_undirected =
+      static_cast<std::size_t>(n) * (n - 1) / 2;
+  if (target_edges > max_undirected) {
+    throw std::invalid_argument("chung_lu: target_edges too large");
+  }
+  // Power-law weights; i0 offsets the head so the max degree stays
+  // sub-linear in n (standard Chung-Lu regularisation).
+  const double exponent = -1.0 / (gamma - 1.0);
+  const double i0 = std::max(1.0, static_cast<double>(n) * 0.001);
+  std::vector<double> weights(n);
+  double weight_sum = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + i0, exponent);
+    weight_sum += weights[i];
+  }
+  // Scale so that expected undirected edges ≈ target. Expected edges under
+  // Chung-Lu is (Σw)^2 / (2 * S) with S = Σw when p_ij = w_i w_j / S; we
+  // instead sample by picking endpoints ∝ w (a fast equivalent for sparse
+  // graphs) until we have the exact count.
+  std::vector<double> cumulative(n);
+  double acc = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    acc += weights[i];
+    cumulative[i] = acc;
+  }
+  auto sample_vertex = [&]() -> VertexId {
+    const double r = rng.next_double() * weight_sum;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    return static_cast<VertexId>(it - cumulative.begin());
+  };
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(target_edges * 2);
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(target_edges);
+  // Rejection loop; bail out to uniform fill-up if the weighted sampler
+  // saturates (possible when target is close to the weighted support).
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_edges * 64 + 1024;
+  while (out.edges.size() < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const VertexId a = sample_vertex();
+    const VertexId b = sample_vertex();
+    if (a == b) continue;
+    if (!seen.insert(pair_key(a, b)).second) continue;
+    out.edges.push_back({std::min(a, b), std::max(a, b)});
+  }
+  while (out.edges.size() < target_edges) {  // uniform fix-up, exact count
+    const auto a = static_cast<VertexId>(rng.next_below(n));
+    const auto b = static_cast<VertexId>(rng.next_below(n));
+    if (a == b) continue;
+    if (!seen.insert(pair_key(a, b)).second) continue;
+    out.edges.push_back({std::min(a, b), std::max(a, b)});
+  }
+  EdgeList sym = symmetrized(out);
+  shuffle_labels(sym, rng);
+  return sym;
+}
+
+EdgeList chung_lu_directed(VertexId n, std::size_t target_edges,
+                           double gamma, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("chung_lu_directed: need n >= 2");
+  const auto max_edges = static_cast<std::size_t>(n) * (n - 1);
+  if (target_edges > max_edges) {
+    throw std::invalid_argument("chung_lu_directed: target_edges too large");
+  }
+  const double exponent = -1.0 / (gamma - 1.0);
+  const double i0 = std::max(1.0, static_cast<double>(n) * 0.001);
+  std::vector<double> cumulative(n);
+  double acc = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    acc += std::pow(static_cast<double>(i) + i0, exponent);
+    cumulative[i] = acc;
+  }
+  const double weight_sum = acc;
+  auto sample_vertex = [&]() -> VertexId {
+    const double r = rng.next_double() * weight_sum;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    return static_cast<VertexId>(it - cumulative.begin());
+  };
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(target_edges * 2);
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(target_edges);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_edges * 64 + 1024;
+  while (out.edges.size() < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const VertexId s = sample_vertex();
+    const VertexId d = sample_vertex();
+    if (s == d) continue;
+    if (!seen.insert(tuple_key({s, d})).second) continue;
+    out.edges.push_back({s, d});
+  }
+  while (out.edges.size() < target_edges) {  // uniform fix-up, exact count
+    const auto s = static_cast<VertexId>(rng.next_below(n));
+    const auto d = static_cast<VertexId>(rng.next_below(n));
+    if (s == d) continue;
+    if (!seen.insert(tuple_key({s, d})).second) continue;
+    out.edges.push_back({s, d});
+  }
+  shuffle_labels(out, rng);
+  return out;
+}
+
+EdgeList watts_strogatz(VertexId n, std::uint32_t k_each, double beta,
+                        Rng& rng) {
+  if (n < 2 * k_each + 2) {
+    throw std::invalid_argument("watts_strogatz: n too small for k_each");
+  }
+  std::unordered_set<std::uint64_t> seen;
+  EdgeList out;
+  out.num_vertices = n;
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t j = 1; j <= k_each; ++j) {
+      VertexId t = (v + j) % n;
+      if (rng.next_bool(beta)) {
+        // Rewire to a uniform non-duplicate target.
+        for (int tries = 0; tries < 64; ++tries) {
+          const auto cand = static_cast<VertexId>(rng.next_below(n));
+          if (cand == v || seen.contains(pair_key(v, cand))) continue;
+          t = cand;
+          break;
+        }
+      }
+      if (t == v) continue;
+      if (seen.insert(pair_key(v, t)).second) {
+        out.edges.push_back({v, t});
+      }
+    }
+  }
+  return symmetrized(out);
+}
+
+EdgeList ring_lattice(VertexId n, std::uint32_t k) {
+  if (n == 0) return {};
+  if (k >= n) throw std::invalid_argument("ring_lattice: k must be < n");
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(static_cast<std::size_t>(n) * k);
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t j = 1; j <= k; ++j) {
+      out.edges.push_back({v, static_cast<VertexId>((v + j) % n)});
+    }
+  }
+  sort_and_dedup(out);
+  return out;
+}
+
+EdgeList star(VertexId n) {
+  EdgeList out;
+  out.num_vertices = n;
+  for (VertexId v = 1; v < n; ++v) {
+    out.edges.push_back({0, v});
+    out.edges.push_back({v, 0});
+  }
+  sort_and_dedup(out);
+  return out;
+}
+
+EdgeList complete(VertexId n) {
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(static_cast<std::size_t>(n) * (n - 1));
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = 0; b < n; ++b) {
+      if (a != b) out.edges.push_back({a, b});
+    }
+  }
+  return out;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,56 @@
+// Synthetic graph generators.
+//
+// These stand in for the SNAP datasets of Table 1 (not available offline;
+// see DESIGN.md §4). Chung-Lu with an exact-edge-count fix-up is the main
+// one: it reproduces the heavy-tailed degree skew that drives the PI-graph
+// heuristic comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "util/rng.h"
+
+namespace knnpc {
+
+/// G(n, m) Erdős–Rényi: exactly `m` distinct directed edges, no self-loops.
+/// Requires m <= n*(n-1).
+EdgeList erdos_renyi(VertexId n, std::size_t m, Rng& rng);
+
+/// Barabási–Albert preferential attachment; every new vertex attaches
+/// `attach` undirected edges, stored as a symmetric directed edge list.
+EdgeList barabasi_albert(VertexId n, std::uint32_t attach, Rng& rng);
+
+/// Chung-Lu expected-degree model with a power-law weight sequence
+/// w_i ∝ (i + i0)^(-1/(gamma-1)), scaled so the expected edge count is
+/// `target_edges`, then fixed up (random additions / deletions) to hit the
+/// count exactly. Undirected (symmetric) output; no self-loops.
+///
+/// gamma in (2, 3.5] matches social / collaboration networks.
+EdgeList chung_lu(VertexId n, std::size_t target_edges, double gamma,
+                  Rng& rng);
+
+/// Directed Chung-Lu: exactly `target_edges` unique directed edges (no
+/// self-loops), endpoints drawn from the same power-law weight sequence.
+/// Matches SNAP directed datasets (e.g. Wiki-Vote, Gnutella) where the
+/// paper's Table-1 "Edges" column counts directed edges.
+EdgeList chung_lu_directed(VertexId n, std::size_t target_edges, double gamma,
+                           Rng& rng);
+
+/// Watts–Strogatz small world: ring of n vertices, each linked to `k_each`
+/// nearest neighbours on each side, rewired with probability `beta`.
+/// Symmetric output.
+EdgeList watts_strogatz(VertexId n, std::uint32_t k_each, double beta,
+                        Rng& rng);
+
+/// Directed ring lattice: v -> (v+1..v+k mod n). Deterministic; handy for
+/// tests where the exact structure matters.
+EdgeList ring_lattice(VertexId n, std::uint32_t k);
+
+/// Star: vertex 0 points at all others and all others point at 0.
+EdgeList star(VertexId n);
+
+/// Complete directed graph (all ordered pairs, no self-loops). Small n only.
+EdgeList complete(VertexId n);
+
+}  // namespace knnpc

@@ -1,0 +1,129 @@
+#include "graph/knn_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace knnpc {
+
+KnnGraph::KnnGraph(VertexId n, std::uint32_t k)
+    : k_(k), adjacency_(n) {}
+
+std::size_t KnnGraph::num_edges() const noexcept {
+  std::size_t total = 0;
+  for (const auto& list : adjacency_) total += list.size();
+  return total;
+}
+
+std::span<const Neighbor> KnnGraph::neighbors(VertexId v) const {
+  return adjacency_.at(v);
+}
+
+void KnnGraph::set_neighbors(VertexId v, std::vector<Neighbor> list) {
+  std::sort(list.begin(), list.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;  // deterministic tie-break
+            });
+  if (list.size() > k_) list.resize(k_);
+  adjacency_.at(v) = std::move(list);
+}
+
+bool KnnGraph::has_edge(VertexId v, VertexId d) const {
+  const auto& list = adjacency_.at(v);
+  return std::any_of(list.begin(), list.end(),
+                     [d](const Neighbor& n) { return n.id == d; });
+}
+
+EdgeList KnnGraph::to_edge_list() const {
+  EdgeList out;
+  out.num_vertices = num_vertices();
+  out.edges.reserve(num_edges());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    for (const Neighbor& n : adjacency_[v]) out.edges.push_back({v, n.id});
+  }
+  return out;
+}
+
+double KnnGraph::change_rate(const KnnGraph& a, const KnnGraph& b) {
+  if (a.num_vertices() != b.num_vertices()) {
+    throw std::invalid_argument("change_rate: vertex counts differ");
+  }
+  if (a.num_vertices() == 0) return 0.0;
+  std::size_t differing = 0;
+  std::unordered_set<VertexId> set;
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    set.clear();
+    for (const Neighbor& n : a.adjacency_[v]) set.insert(n.id);
+    std::size_t common = 0;
+    for (const Neighbor& n : b.adjacency_[v]) {
+      if (set.contains(n.id)) ++common;
+    }
+    differing += (a.adjacency_[v].size() - common) +
+                 (b.adjacency_[v].size() - common);
+  }
+  const double denom = static_cast<double>(a.num_vertices()) *
+                       std::max<std::uint32_t>(a.k_, 1);
+  return static_cast<double>(differing) / denom;
+}
+
+KnnGraph knn_graph_from_edges(const EdgeList& list, std::uint32_t k,
+                              Rng& rng) {
+  const VertexId n = list.num_vertices;
+  KnnGraph graph(n, k);
+  if (n <= 1 || k == 0) return graph;
+  // Collect out-neighbours per vertex (dedup, drop self loops).
+  std::vector<std::vector<VertexId>> out(n);
+  for (const Edge& e : list.edges) {
+    if (e.src >= n || e.dst >= n) {
+      throw std::invalid_argument("knn_graph_from_edges: endpoint range");
+    }
+    if (e.src != e.dst) out[e.src].push_back(e.dst);
+  }
+  const std::uint32_t per_vertex = std::min<std::uint32_t>(k, n - 1);
+  std::unordered_set<VertexId> chosen;
+  for (VertexId v = 0; v < n; ++v) {
+    auto& candidates = out[v];
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    chosen.clear();
+    std::vector<Neighbor> neighbors;
+    neighbors.reserve(per_vertex);
+    for (VertexId d : candidates) {
+      if (neighbors.size() >= per_vertex) break;
+      chosen.insert(d);
+      neighbors.push_back({d, 0.0f});
+    }
+    while (neighbors.size() < per_vertex) {  // random top-up
+      const auto d = static_cast<VertexId>(rng.next_below(n));
+      if (d == v || chosen.contains(d)) continue;
+      chosen.insert(d);
+      neighbors.push_back({d, 0.0f});
+    }
+    graph.set_neighbors(v, std::move(neighbors));
+  }
+  return graph;
+}
+
+KnnGraph random_knn_graph(VertexId n, std::uint32_t k, Rng& rng) {
+  KnnGraph graph(n, k);
+  if (n <= 1 || k == 0) return graph;
+  const std::uint32_t per_vertex = std::min<std::uint32_t>(k, n - 1);
+  std::unordered_set<VertexId> chosen;
+  for (VertexId v = 0; v < n; ++v) {
+    chosen.clear();
+    std::vector<Neighbor> list;
+    list.reserve(per_vertex);
+    while (list.size() < per_vertex) {
+      auto candidate = static_cast<VertexId>(rng.next_below(n));
+      if (candidate == v || chosen.contains(candidate)) continue;
+      chosen.insert(candidate);
+      list.push_back({candidate, 0.0f});
+    }
+    graph.set_neighbors(v, std::move(list));
+  }
+  return graph;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,74 @@
+// The mutable, bounded-outdegree KNN graph G(t).
+//
+// This is exactly the structure GraphChi / X-Stream cannot express: every
+// iteration *replaces* each vertex's out-edges with its new top-K. Each
+// out-edge carries the similarity score that put it there.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+/// One scored out-edge of the KNN graph.
+struct Neighbor {
+  VertexId id = kInvalidVertex;
+  float score = 0.0f;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+class KnnGraph {
+ public:
+  KnnGraph() = default;
+
+  /// Empty graph: n vertices, no edges, out-degree capped at k.
+  KnnGraph(VertexId n, std::uint32_t k);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(adjacency_.size());
+  }
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept;
+
+  /// Current neighbours of v, sorted by descending score.
+  [[nodiscard]] std::span<const Neighbor> neighbors(VertexId v) const;
+
+  /// Replaces v's entire neighbour list (phase 4 output). The list is
+  /// truncated to k and sorted by descending score. Self-edges and
+  /// duplicate ids must already have been removed by the caller.
+  void set_neighbors(VertexId v, std::vector<Neighbor> list);
+
+  /// True if v currently points at d.
+  [[nodiscard]] bool has_edge(VertexId v, VertexId d) const;
+
+  /// Freezes the out-edges into a plain edge list (drops scores).
+  [[nodiscard]] EdgeList to_edge_list() const;
+
+  /// Counts edges present in `a` but not in `b` plus edges in `b` not in
+  /// `a`, divided by (n*k): NN-Descent's "scan rate" convergence signal.
+  static double change_rate(const KnnGraph& a, const KnnGraph& b);
+
+ private:
+  std::uint32_t k_ = 0;
+  std::vector<std::vector<Neighbor>> adjacency_;
+};
+
+/// Random initial KNN graph: each vertex gets k distinct random neighbours
+/// (!= itself) with score 0. The standard NN-Descent bootstrap.
+KnnGraph random_knn_graph(VertexId n, std::uint32_t k, Rng& rng);
+
+/// Seeds a KNN graph from an existing directed graph (e.g. a social
+/// network): each vertex keeps up to k of its out-neighbours (score 0),
+/// topped up with random vertices when it has fewer than k. The paper's
+/// input graph "could be at any stage in the computation: initial,
+/// intermediate, or near-convergence" — this is the warm-start path.
+KnnGraph knn_graph_from_edges(const EdgeList& list, std::uint32_t k,
+                              Rng& rng);
+
+}  // namespace knnpc

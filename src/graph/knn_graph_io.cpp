@@ -1,0 +1,99 @@
+#include "graph/knn_graph_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace knnpc {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'N', 'N', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_knn_graph: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void save_knn_graph(std::ostream& out, const KnnGraph& graph) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, graph.num_vertices());
+  write_pod(out, graph.k());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto list = graph.neighbors(v);
+    write_pod(out, static_cast<std::uint32_t>(list.size()));
+    for (const Neighbor& n : list) {
+      write_pod(out, n.id);
+      write_pod(out, n.score);
+    }
+  }
+  if (!out) throw std::runtime_error("save_knn_graph: write failed");
+}
+
+void save_knn_graph_file(const std::filesystem::path& path,
+                         const KnnGraph& graph) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("save_knn_graph_file: cannot open " +
+                             path.string());
+  }
+  save_knn_graph(out, graph);
+}
+
+KnnGraph load_knn_graph(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_knn_graph: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("load_knn_graph: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto n = read_pod<VertexId>(in);
+  const auto k = read_pod<std::uint32_t>(in);
+  KnnGraph graph(n, k);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto count = read_pod<std::uint32_t>(in);
+    if (count > k) {
+      throw std::runtime_error("load_knn_graph: neighbour count exceeds k");
+    }
+    std::vector<Neighbor> list;
+    list.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Neighbor nb;
+      nb.id = read_pod<VertexId>(in);
+      nb.score = read_pod<float>(in);
+      if (nb.id >= n) {
+        throw std::runtime_error("load_knn_graph: neighbour id out of range");
+      }
+      list.push_back(nb);
+    }
+    graph.set_neighbors(v, std::move(list));
+  }
+  return graph;
+}
+
+KnnGraph load_knn_graph_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_knn_graph_file: cannot open " +
+                             path.string());
+  }
+  return load_knn_graph(in);
+}
+
+}  // namespace knnpc

@@ -1,0 +1,27 @@
+// Binary (de)serialisation of scored KNN graphs.
+//
+// Format (little endian):
+//   magic "KNNG" (4 bytes), u32 version, u32 n, u32 k,
+//   then per vertex: u32 count, count x {u32 id, f32 score}.
+//
+// Used by KnnEngine's per-iteration checkpoints (EngineConfig::checkpoint)
+// so a long run can resume after a crash — part of the "commodity PC"
+// operational story.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "graph/knn_graph.h"
+
+namespace knnpc {
+
+void save_knn_graph(std::ostream& out, const KnnGraph& graph);
+void save_knn_graph_file(const std::filesystem::path& path,
+                         const KnnGraph& graph);
+
+/// Throws std::runtime_error on bad magic, version, or truncation.
+KnnGraph load_knn_graph(std::istream& in);
+KnnGraph load_knn_graph_file(const std::filesystem::path& path);
+
+}  // namespace knnpc

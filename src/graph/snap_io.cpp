@@ -1,0 +1,57 @@
+#include "graph/snap_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace knnpc {
+
+EdgeList load_snap(std::istream& in) {
+  EdgeList out;
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  auto intern = [&](std::uint64_t raw) -> VertexId {
+    auto [it, inserted] =
+        remap.try_emplace(raw, static_cast<VertexId>(remap.size()));
+    return it->second;
+  };
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    std::uint64_t raw_src = 0;
+    std::uint64_t raw_dst = 0;
+    if (!(fields >> raw_src >> raw_dst)) {
+      throw std::runtime_error("load_snap: malformed line " +
+                               std::to_string(lineno) + ": " + line);
+    }
+    out.edges.push_back({intern(raw_src), intern(raw_dst)});
+  }
+  out.num_vertices = static_cast<VertexId>(remap.size());
+  return out;
+}
+
+EdgeList load_snap_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_snap_file: cannot open " + path);
+  return load_snap(in);
+}
+
+void save_snap(std::ostream& out, const EdgeList& list) {
+  out << "# knnpc edge list: " << list.num_vertices << " vertices, "
+      << list.edges.size() << " edges\n";
+  for (const Edge& e : list.edges) {
+    out << e.src << '\t' << e.dst << '\n';
+  }
+}
+
+void save_snap_file(const std::string& path, const EdgeList& list) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_snap_file: cannot open " + path);
+  save_snap(out, list);
+}
+
+}  // namespace knnpc

@@ -1,0 +1,30 @@
+// Readers/writers for the SNAP plain-text edge-list format:
+//   # comment lines
+//   <src>\t<dst>
+//
+// Vertex ids in SNAP files are arbitrary; load_snap() compacts them to a
+// dense [0, n) range (preserving first-appearance order) like the paper's
+// preprocessing must.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.h"
+
+namespace knnpc {
+
+/// Parses SNAP text from a stream. Throws std::runtime_error on malformed
+/// lines. Self-loops are kept; callers strip them if undesired.
+EdgeList load_snap(std::istream& in);
+
+/// Convenience overload opening a file path.
+EdgeList load_snap_file(const std::string& path);
+
+/// Writes SNAP text (with a one-line header comment).
+void save_snap(std::ostream& out, const EdgeList& list);
+
+/// Convenience overload writing to a file path.
+void save_snap_file(const std::string& path, const EdgeList& list);
+
+}  // namespace knnpc

@@ -1,0 +1,88 @@
+#include "graph/traversal.h"
+
+#include <deque>
+
+#include "util/rng.h"
+
+namespace knnpc {
+
+std::vector<std::uint32_t> bfs_distances(const Digraph& graph,
+                                         VertexId source) {
+  std::vector<std::uint32_t> dist(graph.num_vertices(), kUnreachable);
+  if (source >= graph.num_vertices()) return dist;
+  std::deque<VertexId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    for (VertexId d : graph.out_neighbors(v)) {
+      if (dist[d] == kUnreachable) {
+        dist[d] = dist[v] + 1;
+        frontier.push_back(d);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> weakly_connected_components(const Digraph& graph) {
+  std::vector<std::uint32_t> label(graph.num_vertices(), kUnreachable);
+  std::uint32_t next_label = 0;
+  std::deque<VertexId> frontier;
+  for (VertexId root = 0; root < graph.num_vertices(); ++root) {
+    if (label[root] != kUnreachable) continue;
+    label[root] = next_label;
+    frontier.push_back(root);
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop_front();
+      auto visit = [&](VertexId u) {
+        if (label[u] == kUnreachable) {
+          label[u] = next_label;
+          frontier.push_back(u);
+        }
+      };
+      for (VertexId u : graph.out_neighbors(v)) visit(u);
+      for (VertexId u : graph.in_neighbors(v)) visit(u);
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+std::size_t count_weak_components(const Digraph& graph) {
+  if (graph.num_vertices() == 0) return 0;
+  const auto labels = weakly_connected_components(graph);
+  std::uint32_t max_label = 0;
+  for (std::uint32_t l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+ReachabilitySummary sample_reachability(const Digraph& graph,
+                                        std::size_t samples,
+                                        std::uint64_t seed) {
+  ReachabilitySummary summary;
+  if (graph.num_vertices() == 0 || samples == 0) return summary;
+  Rng rng(seed);
+  std::vector<bool> reached(graph.num_vertices(), false);
+  double distance_sum = 0.0;
+  std::size_t finite = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto source =
+        static_cast<VertexId>(rng.next_below(graph.num_vertices()));
+    const auto dist = bfs_distances(graph, source);
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (dist[v] == kUnreachable) continue;
+      reached[v] = true;
+      distance_sum += dist[v];
+      ++finite;
+      summary.max_distance = std::max(summary.max_distance, dist[v]);
+    }
+  }
+  for (bool r : reached) summary.reached += r;
+  summary.mean_distance =
+      finite == 0 ? 0.0 : distance_sum / static_cast<double>(finite);
+  return summary;
+}
+
+}  // namespace knnpc

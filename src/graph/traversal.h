@@ -1,0 +1,47 @@
+// Basic graph traversals used as diagnostics on KNN graphs.
+//
+// The engine's candidate propagation is a bounded-hop BFS over G(t):
+// whether every user is eventually *reachable* from meaningful seeds
+// determines whether local search can converge (see
+// EngineConfig::random_candidates). These helpers quantify that.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace knnpc {
+
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS hop distance from `source` along out-edges; kUnreachable where the
+/// source cannot reach.
+std::vector<std::uint32_t> bfs_distances(const Digraph& graph,
+                                         VertexId source);
+
+/// Weakly-connected component label per vertex (labels are dense, in
+/// order of first discovery).
+std::vector<std::uint32_t> weakly_connected_components(const Digraph& graph);
+
+/// Number of distinct labels returned by weakly_connected_components.
+std::size_t count_weak_components(const Digraph& graph);
+
+struct ReachabilitySummary {
+  /// Vertices reachable from the sampled sources (union).
+  std::size_t reached = 0;
+  /// Mean finite BFS distance over reached vertices.
+  double mean_distance = 0.0;
+  /// Max finite BFS distance seen.
+  std::uint32_t max_distance = 0;
+};
+
+/// BFS from `samples` random sources; summarises how much of the graph
+/// local candidate propagation can touch. Deterministic per seed.
+ReachabilitySummary sample_reachability(const Digraph& graph,
+                                        std::size_t samples,
+                                        std::uint64_t seed = 17);
+
+}  // namespace knnpc

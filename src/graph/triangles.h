@@ -1,0 +1,30 @@
+// Triangle counting — with PageRank, the second algorithm the paper names
+// as what static-graph frameworks are built for ("various algorithms such
+// as PageRank and triangle counting").
+//
+// Exact counting by sorted-adjacency intersection on the undirected view
+// of the graph (each triangle counted once).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace knnpc {
+
+struct TriangleCounts {
+  std::uint64_t total = 0;
+  /// Triangles incident to each vertex (each triangle contributes to all
+  /// three corners).
+  std::vector<std::uint64_t> per_vertex;
+  /// Global clustering coefficient: 3*triangles / open wedges (0 if no
+  /// wedges).
+  double global_clustering = 0.0;
+};
+
+/// Counts triangles of the graph's undirected view. O(sum of
+/// min-degree-ordered intersections) — the standard forward algorithm.
+TriangleCounts count_triangles(const Digraph& graph);
+
+}  // namespace knnpc

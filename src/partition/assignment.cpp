@@ -1,0 +1,67 @@
+#include "partition/assignment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace knnpc {
+
+PartitionAssignment::PartitionAssignment(VertexId num_vertices,
+                                         PartitionId num_partitions)
+    : owner_(num_vertices, kInvalidPartition), m_(num_partitions) {
+  if (num_partitions == 0) {
+    throw std::invalid_argument("PartitionAssignment: m must be > 0");
+  }
+}
+
+PartitionAssignment::PartitionAssignment(std::vector<PartitionId> owner,
+                                         PartitionId num_partitions)
+    : owner_(std::move(owner)), m_(num_partitions) {
+  if (num_partitions == 0) {
+    throw std::invalid_argument("PartitionAssignment: m must be > 0");
+  }
+  for (PartitionId p : owner_) {
+    if (p != kInvalidPartition && p >= m_) {
+      throw std::invalid_argument("PartitionAssignment: owner out of range");
+    }
+  }
+}
+
+void PartitionAssignment::assign(VertexId v, PartitionId p) {
+  if (p >= m_) {
+    throw std::invalid_argument("PartitionAssignment: partition out of range");
+  }
+  owner_.at(v) = p;
+}
+
+bool PartitionAssignment::fully_assigned() const noexcept {
+  return std::all_of(owner_.begin(), owner_.end(),
+                     [](PartitionId p) { return p != kInvalidPartition; });
+}
+
+std::vector<VertexId> PartitionAssignment::members(PartitionId p) const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < owner_.size(); ++v) {
+    if (owner_[v] == p) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::size_t> PartitionAssignment::sizes() const {
+  std::vector<std::size_t> out(m_, 0);
+  for (PartitionId p : owner_) {
+    if (p != kInvalidPartition) ++out[p];
+  }
+  return out;
+}
+
+double PartitionAssignment::imbalance() const {
+  if (owner_.empty()) return 1.0;
+  const auto counts = sizes();
+  const std::size_t max_size = *std::max_element(counts.begin(), counts.end());
+  const std::size_t ideal = (owner_.size() + m_ - 1) / m_;
+  return ideal == 0 ? 1.0
+                    : static_cast<double>(max_size) /
+                          static_cast<double>(ideal);
+}
+
+}  // namespace knnpc

@@ -1,0 +1,50 @@
+// Phase 1 output: which partition R_i owns each user vertex.
+//
+// The paper fixes partition sizes at n/m users each; we allow a small
+// imbalance tolerance (the greedy partitioner needs slack to do anything
+// useful) and expose balance checks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace knnpc {
+
+class PartitionAssignment {
+ public:
+  PartitionAssignment() = default;
+
+  /// All vertices initially unassigned (kInvalidPartition).
+  PartitionAssignment(VertexId num_vertices, PartitionId num_partitions);
+
+  /// Builds directly from an owner vector; validates owners < m.
+  PartitionAssignment(std::vector<PartitionId> owner,
+                      PartitionId num_partitions);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(owner_.size());
+  }
+  [[nodiscard]] PartitionId num_partitions() const noexcept { return m_; }
+
+  [[nodiscard]] PartitionId owner(VertexId v) const { return owner_.at(v); }
+  void assign(VertexId v, PartitionId p);
+
+  [[nodiscard]] bool fully_assigned() const noexcept;
+
+  /// Vertices owned by partition p, in ascending id order.
+  [[nodiscard]] std::vector<VertexId> members(PartitionId p) const;
+
+  /// Number of vertices in each partition.
+  [[nodiscard]] std::vector<std::size_t> sizes() const;
+
+  /// max partition size / ceil(n/m); 1.0 means perfectly balanced.
+  [[nodiscard]] double imbalance() const;
+
+ private:
+  std::vector<PartitionId> owner_;
+  PartitionId m_ = 0;
+};
+
+}  // namespace knnpc

@@ -1,0 +1,61 @@
+#include "partition/cost.h"
+
+#include <unordered_set>
+
+namespace knnpc {
+namespace {
+
+PartitionCost cost_impl(const Digraph& graph,
+                        const PartitionAssignment& assignment,
+                        bool external_only) {
+  const PartitionId m = assignment.num_partitions();
+  PartitionCost cost;
+  cost.unique_in_sources.assign(m, 0);
+  cost.unique_out_destinations.assign(m, 0);
+
+  // One pass per partition with hash sets of unique endpoints.
+  std::vector<std::unordered_set<VertexId>> in_sources(m);
+  std::vector<std::unordered_set<VertexId>> out_dests(m);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const PartitionId pv = assignment.owner(v);
+    for (VertexId s : graph.in_neighbors(v)) {
+      if (external_only && assignment.owner(s) == pv) continue;
+      in_sources[pv].insert(s);
+    }
+    for (VertexId d : graph.out_neighbors(v)) {
+      if (external_only && assignment.owner(d) == pv) continue;
+      out_dests[pv].insert(d);
+    }
+  }
+  for (PartitionId p = 0; p < m; ++p) {
+    cost.unique_in_sources[p] = in_sources[p].size();
+    cost.unique_out_destinations[p] = out_dests[p].size();
+    cost.total += in_sources[p].size() + out_dests[p].size();
+  }
+  return cost;
+}
+
+}  // namespace
+
+PartitionCost partition_cost(const Digraph& graph,
+                             const PartitionAssignment& assignment) {
+  return cost_impl(graph, assignment, /*external_only=*/false);
+}
+
+PartitionCost external_partition_cost(const Digraph& graph,
+                                      const PartitionAssignment& assignment) {
+  return cost_impl(graph, assignment, /*external_only=*/true);
+}
+
+std::size_t edge_cut(const Digraph& graph,
+                     const PartitionAssignment& assignment) {
+  std::size_t cut = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId d : graph.out_neighbors(v)) {
+      if (assignment.owner(v) != assignment.owner(d)) ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace knnpc

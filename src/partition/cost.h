@@ -1,0 +1,44 @@
+// The paper's phase-1 partitioning objective:
+//   min Σ_i (N_in_i + N_out_i)
+// where N_in_i  = # unique source vertices of in-edges into R_i, and
+//       N_out_i = # unique destination vertices of out-edges leaving R_i.
+//
+// Intuition: N_in_i + N_out_i is how many *foreign* profiles phase 4 must
+// pair with partition i, i.e. its data-locality deficit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "partition/assignment.h"
+
+namespace knnpc {
+
+struct PartitionCost {
+  /// Per-partition N_in_i (unique in-edge sources).
+  std::vector<std::size_t> unique_in_sources;
+  /// Per-partition N_out_i (unique out-edge destinations).
+  std::vector<std::size_t> unique_out_destinations;
+  /// Σ_i (N_in_i + N_out_i) — the objective.
+  std::size_t total = 0;
+};
+
+/// Evaluates the objective. Follows the paper's definition literally:
+/// *all* unique endpoint vertices count, including those inside R_i itself
+/// (internal endpoints still occupy partition working-set space; and the
+/// formula in the paper carries no "external-only" qualifier).
+PartitionCost partition_cost(const Digraph& graph,
+                             const PartitionAssignment& assignment);
+
+/// Variant counting only *external* endpoints (owner != i). Strictly a
+/// locality measure; exposed for the partitioner ablation bench.
+PartitionCost external_partition_cost(const Digraph& graph,
+                                      const PartitionAssignment& assignment);
+
+/// Number of edges whose endpoints lie in different partitions (classic
+/// edge-cut, reported alongside the paper's objective for context).
+std::size_t edge_cut(const Digraph& graph,
+                     const PartitionAssignment& assignment);
+
+}  // namespace knnpc

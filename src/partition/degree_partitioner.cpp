@@ -1,0 +1,30 @@
+#include "partition/degree_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace knnpc {
+
+PartitionAssignment DegreeRangePartitioner::assign(const Digraph& graph,
+                                                   PartitionId m) const {
+  if (m == 0) {
+    throw std::invalid_argument("DegreeRangePartitioner: m must be > 0");
+  }
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return graph.degree(a) > graph.degree(b);
+  });
+  PartitionAssignment assignment(n, m);
+  const VertexId chunk = n == 0 ? 1 : (n + m - 1) / m;
+  for (VertexId rank = 0; rank < n; ++rank) {
+    assignment.assign(order[rank],
+                      std::min<PartitionId>(rank / chunk, m - 1));
+  }
+  return assignment;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,20 @@
+// Degree-ordered range partitioner: vertices sorted by total degree
+// (descending) and cut into contiguous chunks of that order.
+//
+// Groups hubs together so the partitions holding them concentrate the
+// high-traffic tuple bundles — a cheap preprocessing trick (one sort)
+// between plain range and the greedy streaming partitioner.
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace knnpc {
+
+class DegreeRangePartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] PartitionAssignment assign(const Digraph& graph,
+                                           PartitionId m) const override;
+  [[nodiscard]] std::string name() const override { return "degree-range"; }
+};
+
+}  // namespace knnpc

@@ -1,0 +1,21 @@
+#include <stdexcept>
+
+#include "partition/degree_partitioner.h"
+#include "partition/greedy_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "partition/partitioner.h"
+#include "partition/range_partitioner.h"
+
+namespace knnpc {
+
+std::unique_ptr<Partitioner> make_partitioner(std::string_view name) {
+  if (name == "range") return std::make_unique<RangePartitioner>();
+  if (name == "hash") return std::make_unique<HashPartitioner>();
+  if (name == "greedy") return std::make_unique<GreedyPartitioner>();
+  if (name == "degree-range") {
+    return std::make_unique<DegreeRangePartitioner>();
+  }
+  throw std::invalid_argument("unknown partitioner: " + std::string(name));
+}
+
+}  // namespace knnpc

@@ -1,0 +1,70 @@
+#include "partition/greedy_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace knnpc {
+
+PartitionAssignment GreedyPartitioner::assign(const Digraph& graph,
+                                              PartitionId m) const {
+  if (m == 0) throw std::invalid_argument("GreedyPartitioner: m must be > 0");
+  const VertexId n = graph.num_vertices();
+  PartitionAssignment assignment(n, m);
+  const std::size_t capacity = (n + m - 1) / m;
+
+  // Stream order: descending total degree (hubs placed first anchor their
+  // neighbourhoods), id ascending as tie-break for determinism.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const std::size_t da = graph.degree(a);
+    const std::size_t db = graph.degree(b);
+    return da != db ? da > db : a < b;
+  });
+
+  // endpoint_sets[p] approximates the unique external endpoint set of p:
+  // all neighbours (either direction) of members of p.
+  std::vector<std::unordered_set<VertexId>> endpoint_sets(m);
+  std::vector<std::size_t> fill(m, 0);
+  Rng rng(seed_);
+
+  for (VertexId v : order) {
+    // Count how many neighbours of v are *already counted* in each
+    // partition's endpoint set — placing v there adds fewer new uniques.
+    double best_score = -1e300;
+    PartitionId best = 0;
+    for (PartitionId p = 0; p < m; ++p) {
+      if (fill[p] >= capacity) continue;
+      std::size_t already = 0;
+      std::size_t neighbors = 0;
+      auto count = [&](VertexId u) {
+        ++neighbors;
+        if (endpoint_sets[p].contains(u)) ++already;
+      };
+      for (VertexId u : graph.out_neighbors(v)) count(u);
+      for (VertexId u : graph.in_neighbors(v)) count(u);
+      // LDG balance factor: prefer emptier partitions among equal overlap.
+      const double balance =
+          1.0 - static_cast<double>(fill[p]) / static_cast<double>(capacity);
+      const double score =
+          static_cast<double>(already) * balance +
+          1e-9 * rng.next_double();  // deterministic-seed tie noise
+      if (score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    assignment.assign(v, best);
+    ++fill[best];
+    for (VertexId u : graph.out_neighbors(v)) endpoint_sets[best].insert(u);
+    for (VertexId u : graph.in_neighbors(v)) endpoint_sets[best].insert(u);
+  }
+  return assignment;
+}
+
+}  // namespace knnpc

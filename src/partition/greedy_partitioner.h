@@ -1,0 +1,29 @@
+// Greedy streaming partitioner (LDG-style, Stanton & Kliot KDD'12 adapted
+// to the paper's objective).
+//
+// Vertices are streamed in descending-degree order; each is placed in the
+// partition where it adds the fewest *new* unique external endpoints
+// (the marginal Σ(N_in + N_out) increase), weighted by remaining capacity
+// so sizes stay within ceil(n/m).
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace knnpc {
+
+class GreedyPartitioner final : public Partitioner {
+ public:
+  /// `seed` breaks score ties deterministically.
+  explicit GreedyPartitioner(std::uint64_t seed = 42) : seed_(seed) {}
+
+  [[nodiscard]] PartitionAssignment assign(const Digraph& graph,
+                                           PartitionId m) const override;
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace knnpc

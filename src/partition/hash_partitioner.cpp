@@ -1,0 +1,28 @@
+#include "partition/hash_partitioner.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace knnpc {
+
+PartitionAssignment HashPartitioner::assign(const Digraph& graph,
+                                            PartitionId m) const {
+  if (m == 0) throw std::invalid_argument("HashPartitioner: m must be > 0");
+  const VertexId n = graph.num_vertices();
+  PartitionAssignment assignment(n, m);
+  const std::size_t capacity = (n + m - 1) / m;
+  std::vector<std::size_t> fill(m, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    PartitionId p = mix32(v) % m;
+    // Linear probe to the next partition with room (keeps sizes at n/m,
+    // matching the paper's fixed-size constraint).
+    while (fill[p] >= capacity) p = (p + 1) % m;
+    assignment.assign(v, p);
+    ++fill[p];
+  }
+  return assignment;
+}
+
+}  // namespace knnpc

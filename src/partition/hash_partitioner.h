@@ -1,0 +1,17 @@
+// Hash partitioner: v goes to mix32(v) % m with capacity overflow spill.
+// Destroys locality by construction — the "random" baseline the greedy
+// partitioner must beat on the paper's objective.
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace knnpc {
+
+class HashPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] PartitionAssignment assign(const Digraph& graph,
+                                           PartitionId m) const override;
+  [[nodiscard]] std::string name() const override { return "hash"; }
+};
+
+}  // namespace knnpc

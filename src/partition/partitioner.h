@@ -1,0 +1,31 @@
+// Partitioner strategy interface (phase 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "graph/digraph.h"
+#include "partition/assignment.h"
+
+namespace knnpc {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Splits the graph's vertices into `m` partitions. Implementations must
+  /// return a fully-assigned, capacity-respecting assignment (each
+  /// partition holds at most ceil(n/m) * slack vertices).
+  [[nodiscard]] virtual PartitionAssignment assign(const Digraph& graph,
+                                                   PartitionId m) const = 0;
+
+  /// Strategy name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory: "range" | "hash" | "greedy". Throws std::invalid_argument on
+/// unknown names.
+std::unique_ptr<Partitioner> make_partitioner(std::string_view name);
+
+}  // namespace knnpc

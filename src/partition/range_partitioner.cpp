@@ -1,0 +1,19 @@
+#include "partition/range_partitioner.h"
+
+#include <stdexcept>
+
+namespace knnpc {
+
+PartitionAssignment RangePartitioner::assign(const Digraph& graph,
+                                             PartitionId m) const {
+  if (m == 0) throw std::invalid_argument("RangePartitioner: m must be > 0");
+  const VertexId n = graph.num_vertices();
+  PartitionAssignment assignment(n, m);
+  const VertexId chunk = (n + m - 1) / m;  // ceil(n/m)
+  for (VertexId v = 0; v < n; ++v) {
+    assignment.assign(v, chunk == 0 ? 0 : std::min<PartitionId>(v / chunk, m - 1));
+  }
+  return assignment;
+}
+
+}  // namespace knnpc

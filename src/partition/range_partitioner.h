@@ -1,0 +1,17 @@
+// Contiguous-range partitioner: vertex v goes to partition v / ceil(n/m).
+// The paper's strict "fixed number of users n/m" baseline; also the layout
+// GraphChi's sharding produces.
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace knnpc {
+
+class RangePartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] PartitionAssignment assign(const Digraph& graph,
+                                           PartitionId m) const override;
+  [[nodiscard]] std::string name() const override { return "range"; }
+};
+
+}  // namespace knnpc

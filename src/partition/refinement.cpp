@@ -1,0 +1,127 @@
+#include "partition/refinement.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "partition/cost.h"
+#include "util/rng.h"
+
+namespace knnpc {
+namespace {
+
+/// Incremental objective bookkeeping: per partition, a multiset (counted
+/// hash map) of endpoint vertices contributed by member edges. The unique
+/// count is the map's size; moving one vertex updates only its incident
+/// endpoints.
+class CostTracker {
+ public:
+  CostTracker(const Digraph& graph, const PartitionAssignment& assignment)
+      : graph_(graph),
+        owner_(assignment.num_vertices()),
+        in_counts_(assignment.num_partitions()),
+        out_counts_(assignment.num_partitions()) {
+    for (VertexId v = 0; v < assignment.num_vertices(); ++v) {
+      owner_[v] = assignment.owner(v);
+    }
+    for (VertexId v = 0; v < assignment.num_vertices(); ++v) {
+      add_vertex_contrib(v, owner_[v]);
+    }
+  }
+
+  [[nodiscard]] std::size_t total() const {
+    std::size_t sum = 0;
+    for (const auto& s : in_counts_) sum += s.size();
+    for (const auto& s : out_counts_) sum += s.size();
+    return sum;
+  }
+
+  [[nodiscard]] PartitionId owner(VertexId v) const { return owner_[v]; }
+
+  void move(VertexId v, PartitionId to) {
+    remove_vertex_contrib(v, owner_[v]);
+    owner_[v] = to;
+    add_vertex_contrib(v, to);
+  }
+
+ private:
+  void add_vertex_contrib(VertexId v, PartitionId p) {
+    // v's in-edges (s, v) contribute source s to N_in of p; v's out-edges
+    // (v, d) contribute destination d to N_out of p.
+    for (VertexId s : graph_.in_neighbors(v)) bump(in_counts_[p], s, +1);
+    for (VertexId d : graph_.out_neighbors(v)) bump(out_counts_[p], d, +1);
+  }
+
+  void remove_vertex_contrib(VertexId v, PartitionId p) {
+    for (VertexId s : graph_.in_neighbors(v)) bump(in_counts_[p], s, -1);
+    for (VertexId d : graph_.out_neighbors(v)) bump(out_counts_[p], d, -1);
+  }
+
+  static void bump(std::unordered_map<VertexId, std::int64_t>& counts,
+                   VertexId key, std::int64_t delta) {
+    auto it = counts.try_emplace(key, 0).first;
+    it->second += delta;
+    if (it->second == 0) counts.erase(it);
+  }
+
+  const Digraph& graph_;
+  std::vector<PartitionId> owner_;
+  std::vector<std::unordered_map<VertexId, std::int64_t>> in_counts_;
+  std::vector<std::unordered_map<VertexId, std::int64_t>> out_counts_;
+};
+
+}  // namespace
+
+RefinementResult refine_swaps(const Digraph& graph,
+                              PartitionAssignment& assignment,
+                              std::size_t max_rounds,
+                              std::size_t samples_per_round,
+                              std::uint64_t seed, double sideways_prob) {
+  RefinementResult result;
+  const VertexId n = assignment.num_vertices();
+  if (n < 2 || assignment.num_partitions() < 2) {
+    result.cost_before = result.cost_after =
+        partition_cost(graph, assignment).total;
+    return result;
+  }
+  CostTracker tracker(graph, assignment);
+  result.cost_before = tracker.total();
+  Rng rng(seed);
+
+  std::size_t stagnant_rounds = 0;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    std::size_t improved_this_round = 0;
+    for (std::size_t s = 0; s < samples_per_round; ++s) {
+      const auto a = static_cast<VertexId>(rng.next_below(n));
+      const auto b = static_cast<VertexId>(rng.next_below(n));
+      const PartitionId pa = tracker.owner(a);
+      const PartitionId pb = tracker.owner(b);
+      if (a == b || pa == pb) continue;
+      const std::size_t before = tracker.total();
+      tracker.move(a, pb);
+      tracker.move(b, pa);
+      const std::size_t after = tracker.total();
+      const bool keep =
+          after < before ||
+          (after == before && rng.next_bool(sideways_prob));
+      if (!keep) {
+        tracker.move(a, pa);  // revert
+        tracker.move(b, pb);
+      } else if (after < before) {
+        ++improved_this_round;
+        ++result.swaps_applied;
+      }
+    }
+    // With sideways moves enabled, allow plateau walking for a couple of
+    // rounds before giving up; without them, stop at the first dry round.
+    stagnant_rounds = improved_this_round == 0 ? stagnant_rounds + 1 : 0;
+    const std::size_t patience = sideways_prob > 0.0 ? 3 : 1;
+    if (stagnant_rounds >= patience) break;
+  }
+
+  for (VertexId v = 0; v < n; ++v) assignment.assign(v, tracker.owner(v));
+  result.cost_after = tracker.total();
+  return result;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,35 @@
+// Kernighan–Lin-style local refinement on the paper's objective.
+//
+// Takes any assignment and repeatedly swaps vertex pairs across partitions
+// while Σ(N_in + N_out) strictly decreases. Swaps (not moves) preserve the
+// fixed n/m partition sizes the paper requires.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.h"
+#include "partition/assignment.h"
+
+namespace knnpc {
+
+struct RefinementResult {
+  std::size_t swaps_applied = 0;
+  std::size_t cost_before = 0;
+  std::size_t cost_after = 0;
+};
+
+/// Hill-climbs by sampled pair swaps: up to `max_rounds` rounds, each
+/// examining `samples_per_round` random candidate swaps and applying those
+/// that improve the objective. The objective has large plateaus (moving a
+/// vertex between partitions that both already count its endpoints changes
+/// nothing), so cost-neutral swaps are also accepted with probability
+/// `sideways_prob` — a random walk along the plateau that never worsens
+/// the objective. Deterministic for a fixed seed.
+RefinementResult refine_swaps(const Digraph& graph,
+                              PartitionAssignment& assignment,
+                              std::size_t max_rounds = 8,
+                              std::size_t samples_per_round = 2048,
+                              std::uint64_t seed = 7,
+                              double sideways_prob = 0.2);
+
+}  // namespace knnpc

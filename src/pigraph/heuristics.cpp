@@ -1,0 +1,311 @@
+#include "pigraph/heuristics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace knnpc {
+namespace {
+
+PartitionId counterpart(const PiPair& pair, PartitionId pivot) {
+  return pair.a == pivot ? pair.b : pair.a;
+}
+
+/// Shared pivot-sweep skeleton: visit pivots in `pivot_order`; for each,
+/// emit its not-yet-consumed incident pairs sorted by `counterpart_less`.
+template <typename CounterpartLess>
+Schedule pivot_sweep(const PiGraph& pi,
+                     const std::vector<PartitionId>& pivot_order,
+                     CounterpartLess counterpart_less) {
+  Schedule out;
+  out.reserve(pi.num_pairs());
+  std::vector<bool> consumed(pi.num_pairs(), false);
+  std::vector<PairIndex> run;
+  for (PartitionId pivot : pivot_order) {
+    run.clear();
+    for (PairIndex idx : pi.incident(pivot)) {
+      if (!consumed[idx]) run.push_back(idx);
+    }
+    std::sort(run.begin(), run.end(), [&](PairIndex x, PairIndex y) {
+      return counterpart_less(counterpart(pi.pair(x), pivot),
+                              counterpart(pi.pair(y), pivot), x, y);
+    });
+    for (PairIndex idx : run) {
+      consumed[idx] = true;
+      out.push_back(idx);
+    }
+  }
+  return out;
+}
+
+std::vector<PartitionId> partitions_by_id(const PiGraph& pi) {
+  std::vector<PartitionId> order(pi.num_partitions());
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+std::vector<PartitionId> partitions_by_degree_desc(const PiGraph& pi) {
+  auto order = partitions_by_id(pi);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](PartitionId a, PartitionId b) {
+                     return pi.degree(a) > pi.degree(b);
+                   });
+  return order;
+}
+
+}  // namespace
+
+Schedule SequentialHeuristic::schedule(const PiGraph& pi) const {
+  // "loads the partition starting from number 1, processes all its edges,
+  // removes this partition from further consideration, and continues with
+  // next partition number 2, and so on".
+  return pivot_sweep(pi, partitions_by_id(pi),
+                     [](PartitionId ca, PartitionId cb, PairIndex,
+                        PairIndex) { return ca < cb; });
+}
+
+Schedule DegreeHeuristic::schedule(const PiGraph& pi) const {
+  const auto order = partitions_by_degree_desc(pi);
+  const bool high_first = high_to_low_;
+  return pivot_sweep(
+      pi, order,
+      [&pi, high_first](PartitionId ca, PartitionId cb, PairIndex,
+                        PairIndex) {
+        const std::size_t da = pi.degree(ca);
+        const std::size_t db = pi.degree(cb);
+        if (da != db) return high_first ? da > db : da < db;
+        return ca < cb;  // deterministic tie-break
+      });
+}
+
+Schedule RandomHeuristic::schedule(const PiGraph& pi) const {
+  Schedule out(pi.num_pairs());
+  std::iota(out.begin(), out.end(), 0);
+  Rng rng(seed_);
+  // Fisher-Yates.
+  for (std::size_t i = out.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(out[i - 1], out[j]);
+  }
+  return out;
+}
+
+Schedule GreedyResidentHeuristic::schedule(const PiGraph& pi) const {
+  // Maintain the 2-slot resident set explicitly; always prefer a pair
+  // incident to a resident partition (cost 2 ops) over a cold pair
+  // (cost 4). Among candidates prefer the one whose counterpart has the
+  // most remaining pairs, to extend future reuse.
+  Schedule out;
+  out.reserve(pi.num_pairs());
+  std::vector<bool> consumed(pi.num_pairs(), false);
+  std::vector<std::size_t> remaining(pi.num_partitions(), 0);
+  for (PartitionId p = 0; p < pi.num_partitions(); ++p) {
+    remaining[p] = pi.degree(p);
+  }
+  PartitionId slot_a = kInvalidPartition;
+  PartitionId slot_b = kInvalidPartition;
+  std::size_t produced = 0;
+  while (produced < pi.num_pairs()) {
+    PairIndex best = static_cast<PairIndex>(pi.num_pairs());
+    std::size_t best_score = 0;
+    bool best_warm = false;
+    auto consider = [&](PairIndex idx, bool warm) {
+      if (consumed[idx]) return;
+      const PiPair& pr = pi.pair(idx);
+      const std::size_t score = remaining[pr.a] + remaining[pr.b];
+      if (best == pi.num_pairs() || (warm && !best_warm) ||
+          (warm == best_warm && score > best_score)) {
+        best = idx;
+        best_score = score;
+        best_warm = warm;
+      }
+    };
+    if (slot_a != kInvalidPartition) {
+      for (PairIndex idx : pi.incident(slot_a)) consider(idx, true);
+    }
+    if (slot_b != kInvalidPartition && slot_b != slot_a) {
+      for (PairIndex idx : pi.incident(slot_b)) consider(idx, true);
+    }
+    if (best == pi.num_pairs() || !best_warm) {
+      // No warm pair: fall back to the globally best remaining pair.
+      for (PairIndex idx = 0; idx < pi.num_pairs(); ++idx) {
+        consider(idx, false);
+      }
+    }
+    const PiPair& chosen = pi.pair(best);
+    consumed[best] = true;
+    out.push_back(best);
+    ++produced;
+    if (remaining[chosen.a] > 0) --remaining[chosen.a];
+    if (chosen.b != chosen.a && remaining[chosen.b] > 0) {
+      --remaining[chosen.b];
+    }
+    // Mirror the simulator's eviction: the pair's endpoints are resident.
+    if (chosen.a != slot_a && chosen.a != slot_b) {
+      // Evict the slot not used by this pair.
+      if (slot_a != chosen.b) {
+        slot_a = chosen.a;
+      } else {
+        slot_b = chosen.a;
+      }
+    }
+    if (chosen.b != slot_a && chosen.b != slot_b) {
+      if (slot_a != chosen.a) {
+        slot_a = chosen.b;
+      } else {
+        slot_b = chosen.b;
+      }
+    }
+  }
+  return out;
+}
+
+Schedule DynamicDegreeHeuristic::schedule(const PiGraph& pi) const {
+  Schedule out;
+  out.reserve(pi.num_pairs());
+  std::vector<bool> consumed(pi.num_pairs(), false);
+  std::vector<std::size_t> remaining(pi.num_partitions(), 0);
+  for (PartitionId p = 0; p < pi.num_partitions(); ++p) {
+    remaining[p] = pi.degree(p);
+  }
+  std::vector<bool> done(pi.num_partitions(), false);
+  std::vector<PairIndex> run;
+  for (std::size_t sweep = 0; sweep < pi.num_partitions(); ++sweep) {
+    // Next pivot: max remaining pairs among unfinished partitions.
+    PartitionId pivot = kInvalidPartition;
+    std::size_t best = 0;
+    for (PartitionId p = 0; p < pi.num_partitions(); ++p) {
+      if (done[p]) continue;
+      if (pivot == kInvalidPartition || remaining[p] > best) {
+        pivot = p;
+        best = remaining[p];
+      }
+    }
+    if (pivot == kInvalidPartition) break;
+    done[pivot] = true;
+    run.clear();
+    for (PairIndex idx : pi.incident(pivot)) {
+      if (!consumed[idx]) run.push_back(idx);
+    }
+    // Low-High counterpart order on *remaining* degree.
+    std::sort(run.begin(), run.end(), [&](PairIndex x, PairIndex y) {
+      const PartitionId cx = counterpart(pi.pair(x), pivot);
+      const PartitionId cy = counterpart(pi.pair(y), pivot);
+      if (remaining[cx] != remaining[cy]) {
+        return remaining[cx] < remaining[cy];
+      }
+      return cx < cy;
+    });
+    for (PairIndex idx : run) {
+      consumed[idx] = true;
+      out.push_back(idx);
+      const PiPair& pr = pi.pair(idx);
+      if (remaining[pr.a] > 0) --remaining[pr.a];
+      if (pr.b != pr.a && remaining[pr.b] > 0) --remaining[pr.b];
+    }
+  }
+  return out;
+}
+
+CostAwareHeuristic::CostAwareHeuristic(
+    std::vector<std::uint64_t> partition_bytes, IoModel model,
+    double sim_cost_us)
+    : partition_bytes_(std::move(partition_bytes)), model_(std::move(model)),
+      sim_cost_us_(sim_cost_us) {}
+
+Schedule CostAwareHeuristic::schedule(const PiGraph& pi) const {
+  auto bytes_of = [&](PartitionId p) -> std::uint64_t {
+    // Equal nominal size when no byte map was given: the heuristic then
+    // degrades to "tuples per cold load".
+    return p < partition_bytes_.size() ? partition_bytes_[p] : 1 << 20;
+  };
+  Schedule out;
+  out.reserve(pi.num_pairs());
+  std::vector<bool> consumed(pi.num_pairs(), false);
+  PartitionId slot_a = kInvalidPartition;
+  PartitionId slot_b = kInvalidPartition;
+  auto resident = [&](PartitionId p) { return p == slot_a || p == slot_b; };
+  // Modelled device time to make this pair co-resident right now.
+  auto load_cost_us = [&](const PiPair& pr) {
+    double cost = 0.0;
+    if (!resident(pr.a)) cost += model_.op_cost_us(bytes_of(pr.a));
+    if (pr.b != pr.a && !resident(pr.b)) {
+      cost += model_.op_cost_us(bytes_of(pr.b));
+    }
+    return cost;
+  };
+  std::size_t produced = 0;
+  while (produced < pi.num_pairs()) {
+    PairIndex best = static_cast<PairIndex>(pi.num_pairs());
+    double best_density = -1.0;
+    auto consider = [&](PairIndex idx) {
+      if (consumed[idx]) return;
+      const PiPair& pr = pi.pair(idx);
+      const double work =
+          static_cast<double>(pr.tuples) * sim_cost_us_ + 1e-9;
+      const double io = load_cost_us(pr) + 1e-9;  // avoid div by zero
+      const double density = work / io;
+      if (density > best_density) {
+        best_density = density;
+        best = idx;
+      }
+    };
+    // Prefer warm pairs; fall back to a global scan when the resident
+    // partitions have nothing left (or nothing is resident yet).
+    if (slot_a != kInvalidPartition) {
+      for (PairIndex idx : pi.incident(slot_a)) consider(idx);
+    }
+    if (slot_b != kInvalidPartition && slot_b != slot_a) {
+      for (PairIndex idx : pi.incident(slot_b)) consider(idx);
+    }
+    if (best == pi.num_pairs()) {
+      for (PairIndex idx = 0; idx < pi.num_pairs(); ++idx) consider(idx);
+    }
+    const PiPair& chosen = pi.pair(best);
+    consumed[best] = true;
+    out.push_back(best);
+    ++produced;
+    // Mirror the simulator's 2-slot eviction.
+    if (!resident(chosen.a)) {
+      (slot_a == chosen.b ? slot_b : slot_a) = chosen.a;
+    }
+    if (!resident(chosen.b)) {
+      (slot_a == chosen.a ? slot_b : slot_a) = chosen.b;
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<TraversalHeuristic> make_heuristic(std::string_view name) {
+  if (name == "sequential") return std::make_unique<SequentialHeuristic>();
+  if (name == "high-low") return std::make_unique<DegreeHeuristic>(true);
+  if (name == "low-high") return std::make_unique<DegreeHeuristic>(false);
+  if (name == "random") return std::make_unique<RandomHeuristic>();
+  if (name == "greedy-resident") {
+    return std::make_unique<GreedyResidentHeuristic>();
+  }
+  if (name == "dynamic-degree") {
+    return std::make_unique<DynamicDegreeHeuristic>();
+  }
+  if (name == "cost-aware") return std::make_unique<CostAwareHeuristic>();
+  throw std::invalid_argument("unknown heuristic: " + std::string(name));
+}
+
+std::vector<std::string> all_heuristic_names() {
+  return {"sequential",      "high-low",       "low-high", "random",
+          "greedy-resident", "dynamic-degree", "cost-aware"};
+}
+
+bool is_valid_schedule(const PiGraph& pi, const Schedule& s) {
+  if (s.size() != pi.num_pairs()) return false;
+  std::vector<bool> seen(pi.num_pairs(), false);
+  for (PairIndex idx : s) {
+    if (idx >= pi.num_pairs() || seen[idx]) return false;
+    seen[idx] = true;
+  }
+  return true;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,123 @@
+// Phase-3 traversal heuristics: the order in which PI pairs are processed.
+//
+// Paper heuristics:
+//   Sequential   — pivot partitions in id order; within a pivot, counterpart
+//                  partitions in id order; processed pairs are removed.
+//   DegreeHighLow — pivots in descending PI-degree order; counterparts in
+//                  descending degree ("highest to lowest").
+//   DegreeLowHigh — pivots descending; counterparts ascending degree
+//                  ("lowest to highest" — the usually-best variant in
+//                  Table 1, because each pivot run *ends* at its
+//                  highest-degree remaining counterpart, which tends to be
+//                  the next pivot and is thus already resident).
+//
+// Extensions (ablation bench Abl-2):
+//   Random        — shuffled pair order (worst-case-ish baseline).
+//   GreedyResident — always pick a pair touching the resident set if any.
+//   DynamicDegree  — pivots by *remaining* degree, recomputed as pairs are
+//                    consumed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pigraph/pi_graph.h"
+#include "storage/io_model.h"
+
+namespace knnpc {
+
+/// A schedule visits every pair of the PI graph exactly once.
+using Schedule = std::vector<PairIndex>;
+
+class TraversalHeuristic {
+ public:
+  virtual ~TraversalHeuristic() = default;
+  [[nodiscard]] virtual Schedule schedule(const PiGraph& pi) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class SequentialHeuristic final : public TraversalHeuristic {
+ public:
+  [[nodiscard]] Schedule schedule(const PiGraph& pi) const override;
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+};
+
+class DegreeHeuristic final : public TraversalHeuristic {
+ public:
+  /// high_to_low == true reproduces the paper's first degree-based variant
+  /// ("High-Low"); false the second ("Low-High").
+  explicit DegreeHeuristic(bool high_to_low) : high_to_low_(high_to_low) {}
+  [[nodiscard]] Schedule schedule(const PiGraph& pi) const override;
+  [[nodiscard]] std::string name() const override {
+    return high_to_low_ ? "high-low" : "low-high";
+  }
+
+ private:
+  bool high_to_low_;
+};
+
+class RandomHeuristic final : public TraversalHeuristic {
+ public:
+  explicit RandomHeuristic(std::uint64_t seed = 1234) : seed_(seed) {}
+  [[nodiscard]] Schedule schedule(const PiGraph& pi) const override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class GreedyResidentHeuristic final : public TraversalHeuristic {
+ public:
+  [[nodiscard]] Schedule schedule(const PiGraph& pi) const override;
+  [[nodiscard]] std::string name() const override {
+    return "greedy-resident";
+  }
+};
+
+class DynamicDegreeHeuristic final : public TraversalHeuristic {
+ public:
+  /// Counterpart order within a pivot follows the Low-High rule.
+  [[nodiscard]] Schedule schedule(const PiGraph& pi) const override;
+  [[nodiscard]] std::string name() const override {
+    return "dynamic-degree";
+  }
+};
+
+/// The paper's future-work heuristic: "consider the amount of time consumed
+/// for both partition load/unload operations and the similarity computation
+/// for tuples given two partitions."
+///
+/// Greedy-resident variant whose priority is modelled *work density*: the
+/// similarity time a pair buys (tuples x per-tuple cost) divided by the
+/// device time its loads would cost now (bytes of the non-resident
+/// endpoints through the IoModel). Cold pairs therefore only win when
+/// their tuple bundles are big enough to amortise the seek.
+class CostAwareHeuristic final : public TraversalHeuristic {
+ public:
+  /// `partition_bytes[p]` is partition p's on-disk size (empty = all equal).
+  /// `sim_cost_us` is the modelled per-tuple similarity cost.
+  explicit CostAwareHeuristic(std::vector<std::uint64_t> partition_bytes = {},
+                              IoModel model = IoModel::hdd(),
+                              double sim_cost_us = 0.2);
+  [[nodiscard]] Schedule schedule(const PiGraph& pi) const override;
+  [[nodiscard]] std::string name() const override { return "cost-aware"; }
+
+ private:
+  std::vector<std::uint64_t> partition_bytes_;
+  IoModel model_;
+  double sim_cost_us_;
+};
+
+/// Factory: "sequential" | "high-low" | "low-high" | "random" |
+/// "greedy-resident" | "dynamic-degree". Throws on unknown names.
+std::unique_ptr<TraversalHeuristic> make_heuristic(std::string_view name);
+
+/// All heuristic names, in bench-report order.
+std::vector<std::string> all_heuristic_names();
+
+/// Validates that `s` covers every pair of `pi` exactly once.
+[[nodiscard]] bool is_valid_schedule(const PiGraph& pi, const Schedule& s);
+
+}  // namespace knnpc

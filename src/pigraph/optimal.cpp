@@ -1,0 +1,101 @@
+#include "pigraph/optimal.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pigraph/simulator_state.h"
+
+namespace knnpc {
+
+void ResidencyState::touch(PartitionId p) {
+  const auto it = std::find(lru_.begin(), lru_.end(), p);
+  if (it != lru_.end()) {
+    lru_.erase(it);
+    lru_.insert(lru_.begin(), p);
+  }
+}
+
+std::uint64_t ResidencyState::ensure(PartitionId p, PartitionId also_needed) {
+  if (std::find(lru_.begin(), lru_.end(), p) != lru_.end()) {
+    touch(p);
+    return 0;
+  }
+  if (lru_.size() >= slots_) {
+    // Evict the least-recent resident that the pair doesn't need.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (*it != also_needed) {
+        lru_.erase(std::next(it).base());
+        break;
+      }
+    }
+  }
+  lru_.insert(lru_.begin(), p);
+  ++loads_;
+  return 1;
+}
+
+std::uint64_t ResidencyState::step(const PiPair& pair) {
+  std::uint64_t ops = ensure(pair.a, pair.b);
+  if (pair.b != pair.a) ops += ensure(pair.b, pair.a);
+  touch(pair.a);
+  return ops;
+}
+
+namespace {
+
+struct SearchContext {
+  const PiGraph* pi;
+  std::size_t slots;
+  std::vector<bool> used;
+  Schedule current;
+  Schedule best;
+  std::uint64_t best_loads;
+};
+
+void search(SearchContext& ctx, ResidencyState& state) {
+  if (ctx.current.size() == ctx.pi->num_pairs()) {
+    if (state.loads() < ctx.best_loads) {
+      ctx.best_loads = state.loads();
+      ctx.best = ctx.current;
+    }
+    return;
+  }
+  if (state.loads() >= ctx.best_loads) return;  // bound: loads only grow
+  for (PairIndex idx = 0; idx < ctx.pi->num_pairs(); ++idx) {
+    if (ctx.used[idx]) continue;
+    const auto snap = state.snapshot();
+    state.step(ctx.pi->pair(idx));
+    ctx.used[idx] = true;
+    ctx.current.push_back(idx);
+    search(ctx, state);
+    ctx.current.pop_back();
+    ctx.used[idx] = false;
+    state.restore(snap);
+  }
+}
+
+}  // namespace
+
+OptimalSchedule optimal_schedule(const PiGraph& pi, std::size_t slots,
+                                 std::size_t max_pairs) {
+  if (pi.num_pairs() > max_pairs) {
+    throw std::invalid_argument(
+        "optimal_schedule: PI graph too large for exhaustive search");
+  }
+  if (slots < 2) {
+    throw std::invalid_argument("optimal_schedule: need >= 2 slots");
+  }
+  OptimalSchedule result;
+  if (pi.num_pairs() == 0) return result;
+  SearchContext ctx{&pi, slots, std::vector<bool>(pi.num_pairs(), false),
+                    {},  {},    ~0ULL};
+  ResidencyState state(slots);
+  search(ctx, state);
+  result.schedule = ctx.best;
+  // Total operations = loads + unloads; everything loaded is eventually
+  // unloaded (the simulator's final flush), so ops = 2 * loads.
+  result.operations = 2 * ctx.best_loads;
+  return result;
+}
+
+}  // namespace knnpc

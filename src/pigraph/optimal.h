@@ -1,0 +1,27 @@
+// Exhaustive-optimal PI traversal for small graphs.
+//
+// Branch-and-bound over pair permutations: gives the true minimum
+// load/unload count so the heuristics can be measured against the
+// optimum (tests and the heuristic ablation use it). Exponential — only
+// sensible for num_pairs <= ~10.
+#pragma once
+
+#include <cstdint>
+
+#include "pigraph/heuristics.h"
+#include "pigraph/pi_graph.h"
+
+namespace knnpc {
+
+struct OptimalSchedule {
+  Schedule schedule;
+  std::uint64_t operations = 0;
+};
+
+/// Finds a schedule with the minimum simulator operations for `slots`
+/// resident slots. Throws std::invalid_argument when the PI graph has
+/// more than `max_pairs` pairs (guard against accidental blow-up).
+OptimalSchedule optimal_schedule(const PiGraph& pi, std::size_t slots = 2,
+                                 std::size_t max_pairs = 10);
+
+}  // namespace knnpc

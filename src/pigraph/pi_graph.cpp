@@ -1,0 +1,99 @@
+#include "pigraph/pi_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace knnpc {
+
+PiGraph::PiGraph(PartitionId m) : m_(m) {
+  if (m == 0) throw std::invalid_argument("PiGraph: m must be > 0");
+}
+
+void PiGraph::add_edge(PartitionId a, PartitionId b, std::uint64_t tuples) {
+  if (finalized_) throw std::logic_error("PiGraph: add_edge after finalize");
+  if (a >= m_ || b >= m_) {
+    throw std::invalid_argument("PiGraph: partition id out of range");
+  }
+  if (a > b) std::swap(a, b);
+  pairs_.push_back({a, b, tuples});
+}
+
+void PiGraph::finalize() {
+  if (finalized_) return;
+  // Merge duplicate pairs by (a, b), summing tuple counts.
+  std::sort(pairs_.begin(), pairs_.end(),
+            [](const PiPair& x, const PiPair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < pairs_.size();) {
+    PiPair merged = pairs_[read++];
+    while (read < pairs_.size() && pairs_[read].a == merged.a &&
+           pairs_[read].b == merged.b) {
+      merged.tuples += pairs_[read++].tuples;
+    }
+    pairs_[write++] = merged;
+  }
+  pairs_.resize(write);
+
+  // Incidence index: each pair appears under both endpoints (once for a
+  // self-pair).
+  adj_offsets_.assign(m_ + 1, 0);
+  for (const PiPair& p : pairs_) {
+    ++adj_offsets_[p.a + 1];
+    if (p.b != p.a) ++adj_offsets_[p.b + 1];
+  }
+  for (PartitionId p = 0; p < m_; ++p) adj_offsets_[p + 1] += adj_offsets_[p];
+  adj_.resize(adj_offsets_[m_]);
+  std::vector<std::size_t> cursor(adj_offsets_.begin(),
+                                  adj_offsets_.end() - 1);
+  for (PairIndex i = 0; i < pairs_.size(); ++i) {
+    adj_[cursor[pairs_[i].a]++] = i;
+    if (pairs_[i].b != pairs_[i].a) adj_[cursor[pairs_[i].b]++] = i;
+  }
+  // Within each partition's incidence list, sort by counterpart id so the
+  // Sequential heuristic's "next partition number" order falls out.
+  for (PartitionId p = 0; p < m_; ++p) {
+    auto begin = adj_.begin() + static_cast<std::ptrdiff_t>(adj_offsets_[p]);
+    auto end = adj_.begin() + static_cast<std::ptrdiff_t>(adj_offsets_[p + 1]);
+    std::sort(begin, end, [&](PairIndex x, PairIndex y) {
+      const auto other = [&](const PiPair& pr) {
+        return pr.a == p ? pr.b : pr.a;
+      };
+      return other(pairs_[x]) < other(pairs_[y]);
+    });
+  }
+  finalized_ = true;
+}
+
+std::span<const PairIndex> PiGraph::incident(PartitionId p) const {
+  if (!finalized_) throw std::logic_error("PiGraph: finalize() first");
+  if (p >= m_) throw std::out_of_range("PiGraph: partition out of range");
+  return {adj_.data() + adj_offsets_[p],
+          adj_offsets_[p + 1] - adj_offsets_[p]};
+}
+
+std::size_t PiGraph::degree(PartitionId p) const {
+  return incident(p).size();
+}
+
+std::uint64_t PiGraph::total_tuples() const noexcept {
+  std::uint64_t total = 0;
+  for (const PiPair& p : pairs_) total += p.tuples;
+  return total;
+}
+
+PiGraph PiGraph::from_digraph(const Digraph& graph) {
+  PiGraph pi(std::max<PartitionId>(graph.num_vertices(), 1));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId d : graph.out_neighbors(v)) {
+      pi.add_edge(v, d, 1);
+    }
+  }
+  pi.finalize();
+  return pi;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,77 @@
+// Phase 3: the partition-interaction (PI) graph.
+//
+// One node per partition R_i; a directed paper-edge (R_i, R_j) bundles the
+// tuples {(s,d) ∈ H : s ∈ R_i, d ∈ R_j}. Since processing (R_i, R_j) and
+// (R_j, R_i) both require exactly the pair {R_i, R_j} co-resident, we
+// normalise to *unordered pairs* carrying the combined tuple count; the
+// traversal heuristics and the load/unload simulator operate on pairs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+/// Index of a pair within PiGraph::pairs().
+using PairIndex = std::uint32_t;
+
+/// One unordered partition pair {a, b} (a <= b; a == b for intra-partition
+/// tuple bundles) with the number of tuples charged to it.
+struct PiPair {
+  PartitionId a = kInvalidPartition;
+  PartitionId b = kInvalidPartition;
+  std::uint64_t tuples = 0;
+
+  friend bool operator==(const PiPair&, const PiPair&) = default;
+};
+
+class PiGraph {
+ public:
+  /// Graph over `m` partitions with no pairs yet.
+  explicit PiGraph(PartitionId m);
+
+  /// Accumulates `tuples` onto pair {a, b} (normalised). Must be called
+  /// before finalize().
+  void add_edge(PartitionId a, PartitionId b, std::uint64_t tuples = 1);
+
+  /// Builds the adjacency index. Further add_edge() calls throw.
+  void finalize();
+
+  [[nodiscard]] PartitionId num_partitions() const noexcept { return m_; }
+  [[nodiscard]] std::size_t num_pairs() const noexcept {
+    return pairs_.size();
+  }
+  [[nodiscard]] const std::vector<PiPair>& pairs() const noexcept {
+    return pairs_;
+  }
+  [[nodiscard]] const PiPair& pair(PairIndex i) const { return pairs_.at(i); }
+
+  /// Indices of pairs incident to partition p, sorted by counterpart id
+  /// (self-pair first). finalize() required.
+  [[nodiscard]] std::span<const PairIndex> incident(PartitionId p) const;
+
+  /// Number of incident pairs (self-pair counts once) — the "degree" the
+  /// paper's heuristics order by.
+  [[nodiscard]] std::size_t degree(PartitionId p) const;
+
+  /// Total tuples across all pairs.
+  [[nodiscard]] std::uint64_t total_tuples() const noexcept;
+
+  /// Interprets a vertex-level graph as a PI graph (Table 1's methodology:
+  /// "if the PI graph structure were to resemble these networks"). Every
+  /// directed edge becomes a pair with one tuple; mutual edges merge.
+  static PiGraph from_digraph(const Digraph& graph);
+
+ private:
+  PartitionId m_ = 0;
+  bool finalized_ = false;
+  std::vector<PiPair> pairs_;
+  std::vector<std::size_t> adj_offsets_;  // m_+1 after finalize
+  std::vector<PairIndex> adj_;
+};
+
+}  // namespace knnpc

@@ -1,0 +1,81 @@
+#include "pigraph/simulator.h"
+
+#include <algorithm>
+#include <list>
+#include <stdexcept>
+
+namespace knnpc {
+
+LoadUnloadSimulator::LoadUnloadSimulator(
+    std::size_t slots, std::vector<std::uint64_t> partition_bytes,
+    IoModel model)
+    : slots_(slots), partition_bytes_(std::move(partition_bytes)),
+      model_(std::move(model)) {
+  if (slots_ < 2) {
+    throw std::invalid_argument(
+        "LoadUnloadSimulator: need at least 2 slots to co-locate a pair");
+  }
+}
+
+SimulationResult LoadUnloadSimulator::run(const PiGraph& pi,
+                                          const Schedule& schedule) const {
+  if (!is_valid_schedule(pi, schedule)) {
+    throw std::invalid_argument("LoadUnloadSimulator: invalid schedule");
+  }
+  SimulationResult result;
+  // Resident set as an LRU list: front = most recently used.
+  std::list<PartitionId> resident;
+  auto bytes_of = [&](PartitionId p) -> std::uint64_t {
+    return p < partition_bytes_.size() ? partition_bytes_[p] : 0;
+  };
+  auto touch = [&](PartitionId p) {
+    const auto it = std::find(resident.begin(), resident.end(), p);
+    if (it != resident.end()) {
+      resident.erase(it);
+      resident.push_front(p);
+    }
+  };
+  auto ensure_resident = [&](PartitionId p, PartitionId also_needed) {
+    if (std::find(resident.begin(), resident.end(), p) != resident.end()) {
+      touch(p);
+      return;
+    }
+    if (resident.size() >= slots_) {
+      // Evict LRU that isn't the pair's other endpoint.
+      for (auto it = resident.rbegin(); it != resident.rend(); ++it) {
+        if (*it != also_needed) {
+          ++result.unloads;
+          result.bytes_moved += bytes_of(*it);
+          result.modeled_us += model_.op_cost_us(bytes_of(*it));
+          resident.erase(std::next(it).base());
+          break;
+        }
+      }
+    }
+    resident.push_front(p);
+    ++result.loads;
+    result.bytes_moved += bytes_of(p);
+    result.modeled_us += model_.op_cost_us(bytes_of(p));
+  };
+
+  for (PairIndex idx : schedule) {
+    const PiPair& pair = pi.pair(idx);
+    ensure_resident(pair.a, pair.b);
+    if (pair.b != pair.a) ensure_resident(pair.b, pair.a);
+    touch(pair.a);  // pair endpoints end as most-recent
+  }
+  // Final flush: everything still resident is unloaded once.
+  for (PartitionId p : resident) {
+    ++result.unloads;
+    result.bytes_moved += bytes_of(p);
+    result.modeled_us += model_.op_cost_us(bytes_of(p));
+  }
+  return result;
+}
+
+SimulationResult LoadUnloadSimulator::run(
+    const PiGraph& pi, const TraversalHeuristic& heuristic) const {
+  return run(pi, heuristic.schedule(pi));
+}
+
+}  // namespace knnpc

@@ -1,0 +1,55 @@
+// Load/unload simulator: replays a schedule against `slots` resident
+// partition slots and counts operations — Table 1's metric.
+//
+// Counting model (DESIGN.md §5): loading a partition is 1 operation,
+// unloading (evicting) is 1 operation; a pair can be processed only when
+// both endpoints are resident; eviction picks the least-recently-used
+// resident partition not needed by the current pair; residual partitions
+// are unloaded (and counted) when the run finishes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pigraph/heuristics.h"
+#include "pigraph/pi_graph.h"
+#include "storage/io_model.h"
+
+namespace knnpc {
+
+struct SimulationResult {
+  std::uint64_t loads = 0;
+  std::uint64_t unloads = 0;
+  /// Bytes moved (loads + unloads), if partition sizes were supplied.
+  std::uint64_t bytes_moved = 0;
+  /// Modelled device time for the moves, microseconds (IoModel).
+  double modeled_us = 0.0;
+
+  [[nodiscard]] std::uint64_t operations() const noexcept {
+    return loads + unloads;
+  }
+};
+
+class LoadUnloadSimulator {
+ public:
+  /// `slots` >= 2 (a pair needs both endpoints resident). Optional
+  /// per-partition byte sizes enable byte/device-time accounting.
+  explicit LoadUnloadSimulator(std::size_t slots = 2,
+                               std::vector<std::uint64_t> partition_bytes = {},
+                               IoModel model = IoModel::none());
+
+  /// Replays `schedule` (must be valid for `pi`) and returns the counts.
+  [[nodiscard]] SimulationResult run(const PiGraph& pi,
+                                     const Schedule& schedule) const;
+
+  /// Convenience: schedule with `heuristic`, then run.
+  [[nodiscard]] SimulationResult run(const PiGraph& pi,
+                                     const TraversalHeuristic& heuristic) const;
+
+ private:
+  std::size_t slots_;
+  std::vector<std::uint64_t> partition_bytes_;
+  IoModel model_;
+};
+
+}  // namespace knnpc

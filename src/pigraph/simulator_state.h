@@ -1,0 +1,49 @@
+// Incremental simulator state shared by the optimal searcher: replays
+// pairs one at a time with undo, so branch-and-bound can explore without
+// re-running whole schedules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pigraph/pi_graph.h"
+
+namespace knnpc {
+
+/// 2-slot-or-more resident set with LRU eviction (matching
+/// LoadUnloadSimulator's policy) and cheap step/undo.
+class ResidencyState {
+ public:
+  explicit ResidencyState(std::size_t slots) : slots_(slots) {}
+
+  /// Operations (loads; unloads mirror them) incurred by processing pair.
+  /// Returns the op delta and mutates the state.
+  std::uint64_t step(const PiPair& pair);
+
+  [[nodiscard]] std::uint64_t loads() const noexcept { return loads_; }
+  /// Residents currently held (most recent first).
+  [[nodiscard]] const std::vector<PartitionId>& residents() const noexcept {
+    return lru_;
+  }
+
+  /// Snapshot/restore for backtracking.
+  struct Snapshot {
+    std::vector<PartitionId> lru;
+    std::uint64_t loads;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return {lru_, loads_}; }
+  void restore(const Snapshot& snap) {
+    lru_ = snap.lru;
+    loads_ = snap.loads;
+  }
+
+ private:
+  void touch(PartitionId p);
+  std::uint64_t ensure(PartitionId p, PartitionId also_needed);
+
+  std::size_t slots_;
+  std::vector<PartitionId> lru_;  // front = most recent
+  std::uint64_t loads_ = 0;
+};
+
+}  // namespace knnpc

@@ -1,0 +1,54 @@
+#include "profiles/compact.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace knnpc {
+
+CompactionResult compact_profiles(const std::vector<SparseProfile>& profiles,
+                                  const CompactionConfig& config) {
+  CompactionResult result;
+
+  // Pass 1: item support counts.
+  std::unordered_map<ItemId, std::uint32_t> support;
+  for (const auto& p : profiles) {
+    for (const ProfileEntry& e : p.entries()) ++support[e.item];
+  }
+
+  // Dense renumbering for surviving items, in ascending original-id order
+  // (deterministic).
+  std::vector<ItemId> surviving;
+  surviving.reserve(support.size());
+  for (const auto& [item, count] : support) {
+    if (count >= config.min_item_support) surviving.push_back(item);
+  }
+  std::sort(surviving.begin(), surviving.end());
+  std::unordered_map<ItemId, ItemId> remap;
+  remap.reserve(surviving.size());
+  for (ItemId new_id = 0; new_id < surviving.size(); ++new_id) {
+    remap[surviving[new_id]] = new_id;
+  }
+  result.kept_items = std::move(surviving);
+  result.dropped_items = support.size() - result.kept_items.size();
+
+  // Pass 2: rebuild profiles, dropping under-supported items and then
+  // under-sized users.
+  for (VertexId u = 0; u < profiles.size(); ++u) {
+    std::vector<ProfileEntry> entries;
+    entries.reserve(profiles[u].size());
+    for (const ProfileEntry& e : profiles[u].entries()) {
+      const auto it = remap.find(e.item);
+      if (it != remap.end()) entries.push_back({it->second, e.weight});
+    }
+    if (entries.size() <
+        static_cast<std::size_t>(config.min_profile_size)) {
+      ++result.dropped_users;
+      continue;
+    }
+    result.profiles.emplace_back(std::move(entries));
+    result.kept_users.push_back(u);
+  }
+  return result;
+}
+
+}  // namespace knnpc

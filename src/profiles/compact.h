@@ -1,0 +1,41 @@
+// Profile-set compaction: the preprocessing pass real rating logs need
+// before KNN makes sense.
+//
+//  * drop items that fewer than `min_item_support` users have (they can
+//    never contribute to a meaningful similarity),
+//  * drop users left with fewer than `min_profile_size` items (cold
+//    users whose neighbourhoods would be noise),
+//  * renumber the surviving items densely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "profiles/profile.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+struct CompactionConfig {
+  /// An item survives when at least this many users have it.
+  std::uint32_t min_item_support = 2;
+  /// A user survives when, after item filtering, they still have at least
+  /// this many items.
+  std::uint32_t min_profile_size = 1;
+};
+
+struct CompactionResult {
+  std::vector<SparseProfile> profiles;  // surviving users, renumbered items
+  /// new user index -> original user index.
+  std::vector<VertexId> kept_users;
+  /// new item id -> original item id.
+  std::vector<ItemId> kept_items;
+  std::size_t dropped_items = 0;
+  std::size_t dropped_users = 0;
+};
+
+/// Applies the config; deterministic (order-preserving) renumbering.
+CompactionResult compact_profiles(const std::vector<SparseProfile>& profiles,
+                                  const CompactionConfig& config);
+
+}  // namespace knnpc

@@ -1,0 +1,136 @@
+#include "profiles/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace knnpc {
+namespace {
+
+std::uint32_t items_for_user(const ProfileGenConfig& config, Rng& rng) {
+  if (config.min_items > config.max_items) {
+    throw std::invalid_argument("profile gen: min_items > max_items");
+  }
+  const std::uint32_t span = config.max_items - config.min_items + 1;
+  return config.min_items + static_cast<std::uint32_t>(rng.next_below(span));
+}
+
+SparseProfile make_profile(const std::vector<ItemId>& items, Rng& rng) {
+  std::vector<ProfileEntry> entries;
+  entries.reserve(items.size());
+  for (ItemId item : items) {
+    // Weight in (0, 1]: never zero, so entries are never dropped.
+    entries.push_back(
+        {item, static_cast<float>(1.0 - rng.next_double() * 0.999)});
+  }
+  return SparseProfile(std::move(entries));
+}
+
+}  // namespace
+
+std::vector<SparseProfile> uniform_profiles(const ProfileGenConfig& config,
+                                            Rng& rng) {
+  if (config.num_items == 0) {
+    throw std::invalid_argument("profile gen: num_items must be > 0");
+  }
+  std::vector<SparseProfile> out;
+  out.reserve(config.num_users);
+  std::unordered_set<ItemId> picked;
+  for (VertexId u = 0; u < config.num_users; ++u) {
+    const std::uint32_t want =
+        std::min<std::uint32_t>(items_for_user(config, rng),
+                                config.num_items);
+    picked.clear();
+    std::vector<ItemId> items;
+    items.reserve(want);
+    while (items.size() < want) {
+      const auto item = static_cast<ItemId>(rng.next_below(config.num_items));
+      if (picked.insert(item).second) items.push_back(item);
+    }
+    out.push_back(make_profile(items, rng));
+  }
+  return out;
+}
+
+std::vector<SparseProfile> clustered_profiles(
+    const ClusteredGenConfig& config, Rng& rng) {
+  const auto& base = config.base;
+  if (config.num_clusters == 0) {
+    throw std::invalid_argument("clustered gen: num_clusters must be > 0");
+  }
+  if (base.num_items < config.num_clusters) {
+    throw std::invalid_argument("clustered gen: need num_items >= clusters");
+  }
+  const ItemId block = base.num_items / config.num_clusters;
+  std::vector<SparseProfile> out;
+  out.reserve(base.num_users);
+  std::unordered_set<ItemId> picked;
+  for (VertexId u = 0; u < base.num_users; ++u) {
+    const std::uint32_t cluster = u % config.num_clusters;
+    const ItemId block_lo = cluster * block;
+    const std::uint32_t want =
+        std::min<std::uint32_t>(items_for_user(base, rng), base.num_items);
+    picked.clear();
+    std::vector<ItemId> items;
+    items.reserve(want);
+    std::size_t guard = 0;
+    while (items.size() < want && guard++ < 100000) {
+      ItemId item;
+      if (rng.next_bool(config.in_cluster_prob)) {
+        item = block_lo + static_cast<ItemId>(rng.next_below(block));
+      } else {
+        item = static_cast<ItemId>(rng.next_below(base.num_items));
+      }
+      if (picked.insert(item).second) items.push_back(item);
+    }
+    out.push_back(make_profile(items, rng));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> planted_clusters(VertexId num_users,
+                                            std::uint32_t num_clusters) {
+  std::vector<std::uint32_t> out(num_users);
+  for (VertexId u = 0; u < num_users; ++u) out[u] = u % num_clusters;
+  return out;
+}
+
+std::vector<SparseProfile> zipf_profiles(const ProfileGenConfig& config,
+                                         double alpha, Rng& rng) {
+  if (config.num_items == 0) {
+    throw std::invalid_argument("profile gen: num_items must be > 0");
+  }
+  // Precompute the Zipf CDF once.
+  std::vector<double> cdf(config.num_items);
+  double acc = 0.0;
+  for (ItemId i = 0; i < config.num_items; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf[i] = acc;
+  }
+  auto sample_item = [&]() -> ItemId {
+    const double r = rng.next_double() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    return static_cast<ItemId>(it - cdf.begin());
+  };
+  std::vector<SparseProfile> out;
+  out.reserve(config.num_users);
+  std::unordered_set<ItemId> picked;
+  for (VertexId u = 0; u < config.num_users; ++u) {
+    const std::uint32_t want =
+        std::min<std::uint32_t>(items_for_user(config, rng),
+                                config.num_items);
+    picked.clear();
+    std::vector<ItemId> items;
+    items.reserve(want);
+    std::size_t guard = 0;
+    while (items.size() < want && guard++ < 100000) {
+      const ItemId item = sample_item();
+      if (picked.insert(item).second) items.push_back(item);
+    }
+    out.push_back(make_profile(items, rng));
+  }
+  return out;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,53 @@
+// Synthetic profile generators (DESIGN.md §4: the paper fixes no profile
+// dataset, so we plant structure ourselves).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "profiles/profile.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+struct ProfileGenConfig {
+  VertexId num_users = 0;
+  ItemId num_items = 1000;
+  /// Items per user drawn uniformly from [min_items, max_items].
+  std::uint32_t min_items = 5;
+  std::uint32_t max_items = 30;
+};
+
+/// Uniform item choice, uniform weights in (0, 1]. No planted structure —
+/// the "hard" case where all similarities are small and noisy.
+std::vector<SparseProfile> uniform_profiles(const ProfileGenConfig& config,
+                                            Rng& rng);
+
+struct ClusteredGenConfig {
+  ProfileGenConfig base;
+  /// Users are split round-robin across this many planted communities.
+  std::uint32_t num_clusters = 10;
+  /// Probability that an item pick comes from the user's own cluster's
+  /// item block (vs. uniform noise). Higher = cleaner ground truth.
+  double in_cluster_prob = 0.8;
+};
+
+/// Planted-communities profiles: cluster c owns the item block
+/// [c * num_items / num_clusters, (c+1) * ...). Users of one cluster are
+/// strongly similar, so brute-force KNN has an unambiguous answer —
+/// the recall metric in core/metrics.h depends on this.
+std::vector<SparseProfile> clustered_profiles(
+    const ClusteredGenConfig& config, Rng& rng);
+
+/// Returns the planted cluster of each user for the clustered generator
+/// (user u belongs to cluster u % num_clusters).
+std::vector<std::uint32_t> planted_clusters(VertexId num_users,
+                                            std::uint32_t num_clusters);
+
+/// Zipf-popular items: item popularity ~ 1/rank^alpha; models real
+/// recommender catalogues where few items dominate.
+std::vector<SparseProfile> zipf_profiles(const ProfileGenConfig& config,
+                                         double alpha, Rng& rng);
+
+}  // namespace knnpc

@@ -1,0 +1,54 @@
+#include "profiles/profile_store.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/serde.h"
+
+namespace knnpc {
+
+std::vector<std::byte> pack_profiles(const std::vector<SparseProfile>& ps) {
+  std::vector<std::byte> out;
+  // Size estimate: header + per-profile header + entries.
+  std::size_t bytes = sizeof(std::uint32_t);
+  for (const auto& p : ps) {
+    bytes += sizeof(std::uint32_t) + p.size() * sizeof(ProfileEntry);
+  }
+  out.reserve(bytes);
+  append_record(out, static_cast<std::uint32_t>(ps.size()));
+  for (const auto& p : ps) {
+    append_record(out, static_cast<std::uint32_t>(p.size()));
+    for (const ProfileEntry& e : p.entries()) {
+      append_record(out, e);
+    }
+  }
+  return out;
+}
+
+std::vector<SparseProfile> unpack_profiles(
+    const std::vector<std::byte>& bytes) {
+  std::span<const std::byte> view(bytes);
+  std::size_t offset = 0;
+  std::uint32_t count = 0;
+  if (!read_record(view, offset, count)) {
+    throw std::runtime_error("unpack_profiles: truncated header");
+  }
+  std::vector<SparseProfile> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t entries = 0;
+    if (!read_record(view, offset, entries)) {
+      throw std::runtime_error("unpack_profiles: truncated profile header");
+    }
+    std::vector<ProfileEntry> list(entries);
+    for (std::uint32_t j = 0; j < entries; ++j) {
+      if (!read_record(view, offset, list[j])) {
+        throw std::runtime_error("unpack_profiles: truncated entry");
+      }
+    }
+    out.emplace_back(std::move(list));
+  }
+  return out;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,140 @@
+#include "profiles/ratings_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace knnpc {
+
+RatingsData load_ratings(std::istream& in) {
+  RatingsData data;
+  std::unordered_map<std::uint64_t, VertexId> user_remap;
+  std::unordered_map<std::uint64_t, ItemId> item_remap;
+  // Entries per user, merged into profiles at the end (last rating wins,
+  // implemented by overwriting in a per-user map).
+  std::vector<std::unordered_map<ItemId, float>> entries;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::replace(line.begin(), line.end(), ',', ' ');
+    std::replace(line.begin(), line.end(), '\t', ' ');
+    std::istringstream fields(line);
+    std::uint64_t raw_user = 0;
+    std::uint64_t raw_item = 0;
+    float rating = 0.0f;
+    if (!(fields >> raw_user >> raw_item >> rating)) {
+      throw std::runtime_error("load_ratings: malformed line " +
+                               std::to_string(lineno) + ": " + line);
+    }
+    auto [user_it, new_user] =
+        user_remap.try_emplace(raw_user,
+                               static_cast<VertexId>(user_remap.size()));
+    if (new_user) {
+      data.user_ids.push_back(raw_user);
+      entries.emplace_back();
+    }
+    auto [item_it, new_item] =
+        item_remap.try_emplace(raw_item,
+                               static_cast<ItemId>(item_remap.size()));
+    if (new_item) data.item_ids.push_back(raw_item);
+    entries[user_it->second][item_it->second] = rating;
+    ++data.num_ratings;
+  }
+
+  data.profiles.reserve(entries.size());
+  for (const auto& user_entries : entries) {
+    std::vector<ProfileEntry> list;
+    list.reserve(user_entries.size());
+    for (const auto& [item, rating] : user_entries) {
+      list.push_back({item, rating});
+    }
+    data.profiles.emplace_back(std::move(list));
+  }
+  return data;
+}
+
+RatingsData load_ratings_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_ratings_file: cannot open " + path);
+  }
+  return load_ratings(in);
+}
+
+void save_ratings(std::ostream& out, const RatingsData& data) {
+  out << "# knnpc ratings: " << data.profiles.size() << " users\n";
+  for (VertexId u = 0; u < data.profiles.size(); ++u) {
+    const std::uint64_t raw_user =
+        u < data.user_ids.size() ? data.user_ids[u] : u;
+    for (const ProfileEntry& e : data.profiles[u].entries()) {
+      const std::uint64_t raw_item =
+          e.item < data.item_ids.size() ? data.item_ids[e.item] : e.item;
+      out << raw_user << ',' << raw_item << ',' << e.weight << '\n';
+    }
+  }
+}
+
+void save_ratings_file(const std::string& path, const RatingsData& data) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_ratings_file: cannot open " + path);
+  }
+  save_ratings(out, data);
+}
+
+RatingsData synthetic_ratings(const SyntheticRatingsConfig& config,
+                              Rng& rng) {
+  if (config.num_items == 0 || config.rating_levels == 0) {
+    throw std::invalid_argument("synthetic_ratings: bad config");
+  }
+  if (config.min_ratings > config.max_ratings) {
+    throw std::invalid_argument("synthetic_ratings: min > max ratings");
+  }
+  // Zipf CDF over items.
+  std::vector<double> cdf(config.num_items);
+  double acc = 0.0;
+  for (ItemId i = 0; i < config.num_items; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1),
+                          config.popularity_alpha);
+    cdf[i] = acc;
+  }
+  RatingsData data;
+  data.profiles.reserve(config.num_users);
+  data.user_ids.resize(config.num_users);
+  data.item_ids.resize(config.num_items);
+  for (VertexId u = 0; u < config.num_users; ++u) data.user_ids[u] = u;
+  for (ItemId i = 0; i < config.num_items; ++i) data.item_ids[i] = i;
+
+  std::unordered_set<ItemId> picked;
+  for (VertexId u = 0; u < config.num_users; ++u) {
+    const std::uint32_t span = config.max_ratings - config.min_ratings + 1;
+    const std::uint32_t want = std::min<std::uint32_t>(
+        config.min_ratings + static_cast<std::uint32_t>(rng.next_below(span)),
+        config.num_items);
+    picked.clear();
+    std::vector<ProfileEntry> list;
+    list.reserve(want);
+    std::size_t guard = 0;
+    while (list.size() < want && guard++ < 100000) {
+      const double r = rng.next_double() * acc;
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+      const auto item = static_cast<ItemId>(it - cdf.begin());
+      if (!picked.insert(item).second) continue;
+      const float stars = static_cast<float>(
+          1 + rng.next_below(config.rating_levels));
+      list.push_back({item, stars});
+      ++data.num_ratings;
+    }
+    data.profiles.emplace_back(std::move(list));
+  }
+  return data;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,57 @@
+// Rating-triple I/O: the standard interchange format of recommender
+// datasets (MovieLens & friends):
+//
+//   user,item,rating            (or tab/space separated)
+//   # comments and blank lines ignored
+//
+// Users and items keep their raw ids when dense, or are compacted to
+// [0, n) preserving first appearance (like graph/snap_io.h). This is the
+// realistic on-ramp for feeding production rating logs into KnnEngine.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "profiles/profile.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+struct RatingsData {
+  std::vector<SparseProfile> profiles;  // one per (remapped) user
+  /// remapped user id -> raw id from the file.
+  std::vector<std::uint64_t> user_ids;
+  /// remapped item id -> raw id from the file.
+  std::vector<std::uint64_t> item_ids;
+  std::size_t num_ratings = 0;
+};
+
+/// Parses rating triples; accepts ',', '\t' or ' ' separators. Repeated
+/// (user, item) pairs keep the *last* rating. Throws std::runtime_error
+/// on malformed lines.
+RatingsData load_ratings(std::istream& in);
+RatingsData load_ratings_file(const std::string& path);
+
+/// Writes profiles back as rating triples (raw ids when provided).
+void save_ratings(std::ostream& out, const RatingsData& data);
+void save_ratings_file(const std::string& path, const RatingsData& data);
+
+struct SyntheticRatingsConfig {
+  VertexId num_users = 1000;
+  ItemId num_items = 500;
+  std::uint32_t min_ratings = 5;
+  std::uint32_t max_ratings = 40;
+  /// Zipf exponent of item popularity.
+  double popularity_alpha = 1.1;
+  /// Rating values are drawn from {1..5} like classic star ratings.
+  std::uint32_t rating_levels = 5;
+};
+
+/// Generates a MovieLens-shaped synthetic rating set (for examples, tests
+/// and benches when no real log is available).
+RatingsData synthetic_ratings(const SyntheticRatingsConfig& config, Rng& rng);
+
+}  // namespace knnpc

@@ -1,0 +1,222 @@
+#include "profiles/similarity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace knnpc {
+namespace {
+
+/// Sorted-merge statistics shared by the set-based measures.
+struct MergeCounts {
+  std::size_t common = 0;     // |A ∩ B|
+  double dot = 0.0;           // Σ a_i b_i over common items
+  double sq_diff = 0.0;       // Σ (a_i - b_i)^2 over the union
+};
+
+MergeCounts merge_counts(const SparseProfile& a, const SparseProfile& b) {
+  MergeCounts c;
+  auto ea = a.entries();
+  auto eb = b.entries();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].item < eb[j].item) {
+      c.sq_diff += static_cast<double>(ea[i].weight) * ea[i].weight;
+      ++i;
+    } else if (eb[j].item < ea[i].item) {
+      c.sq_diff += static_cast<double>(eb[j].weight) * eb[j].weight;
+      ++j;
+    } else {
+      ++c.common;
+      c.dot += static_cast<double>(ea[i].weight) * eb[j].weight;
+      const double d = static_cast<double>(ea[i].weight) - eb[j].weight;
+      c.sq_diff += d * d;
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < ea.size(); ++i) {
+    c.sq_diff += static_cast<double>(ea[i].weight) * ea[i].weight;
+  }
+  for (; j < eb.size(); ++j) {
+    c.sq_diff += static_cast<double>(eb[j].weight) * eb[j].weight;
+  }
+  return c;
+}
+
+}  // namespace
+
+SimilarityMeasure parse_similarity(std::string_view name) {
+  if (name == "cosine") return SimilarityMeasure::Cosine;
+  if (name == "jaccard") return SimilarityMeasure::Jaccard;
+  if (name == "dice") return SimilarityMeasure::Dice;
+  if (name == "overlap") return SimilarityMeasure::Overlap;
+  if (name == "common") return SimilarityMeasure::CommonItems;
+  if (name == "inv-euclid") return SimilarityMeasure::InverseEuclid;
+  if (name == "pearson") return SimilarityMeasure::Pearson;
+  if (name == "adj-cosine") return SimilarityMeasure::AdjustedCosine;
+  throw std::invalid_argument("unknown similarity measure: " +
+                              std::string(name));
+}
+
+std::string similarity_name(SimilarityMeasure measure) {
+  switch (measure) {
+    case SimilarityMeasure::Cosine: return "cosine";
+    case SimilarityMeasure::Jaccard: return "jaccard";
+    case SimilarityMeasure::Dice: return "dice";
+    case SimilarityMeasure::Overlap: return "overlap";
+    case SimilarityMeasure::CommonItems: return "common";
+    case SimilarityMeasure::InverseEuclid: return "inv-euclid";
+    case SimilarityMeasure::Pearson: return "pearson";
+    case SimilarityMeasure::AdjustedCosine: return "adj-cosine";
+  }
+  return "?";
+}
+
+float similarity(SimilarityMeasure measure, const SparseProfile& a,
+                 const SparseProfile& b) {
+  switch (measure) {
+    case SimilarityMeasure::Cosine: return cosine_similarity(a, b);
+    case SimilarityMeasure::Jaccard: return jaccard_similarity(a, b);
+    case SimilarityMeasure::Dice: return dice_similarity(a, b);
+    case SimilarityMeasure::Overlap: return overlap_similarity(a, b);
+    case SimilarityMeasure::CommonItems: return common_items(a, b);
+    case SimilarityMeasure::InverseEuclid: return inverse_euclidean(a, b);
+    case SimilarityMeasure::Pearson: return pearson_similarity(a, b);
+    case SimilarityMeasure::AdjustedCosine: return adjusted_cosine(a, b);
+  }
+  return 0.0f;
+}
+
+float cosine_similarity(const SparseProfile& a, const SparseProfile& b) {
+  if (a.empty() || b.empty()) return 0.0f;
+  const double denom = a.norm() * b.norm();
+  if (denom == 0.0) return 0.0f;
+  return static_cast<float>(merge_counts(a, b).dot / denom);
+}
+
+float jaccard_similarity(const SparseProfile& a, const SparseProfile& b) {
+  if (a.empty() && b.empty()) return 0.0f;
+  const std::size_t common = merge_counts(a, b).common;
+  const std::size_t uni = a.size() + b.size() - common;
+  return uni == 0 ? 0.0f
+                  : static_cast<float>(static_cast<double>(common) /
+                                       static_cast<double>(uni));
+}
+
+float dice_similarity(const SparseProfile& a, const SparseProfile& b) {
+  if (a.empty() && b.empty()) return 0.0f;
+  const std::size_t common = merge_counts(a, b).common;
+  return static_cast<float>(2.0 * static_cast<double>(common) /
+                            static_cast<double>(a.size() + b.size()));
+}
+
+float overlap_similarity(const SparseProfile& a, const SparseProfile& b) {
+  if (a.empty() || b.empty()) return 0.0f;
+  const std::size_t common = merge_counts(a, b).common;
+  return static_cast<float>(static_cast<double>(common) /
+                            static_cast<double>(std::min(a.size(), b.size())));
+}
+
+float common_items(const SparseProfile& a, const SparseProfile& b) {
+  return static_cast<float>(merge_counts(a, b).common);
+}
+
+namespace {
+
+/// Mean weight of a profile's own entries (0 for empty).
+double mean_weight(const SparseProfile& p) {
+  if (p.empty()) return 0.0;
+  double sum = 0.0;
+  for (const ProfileEntry& e : p.entries()) sum += e.weight;
+  return sum / static_cast<double>(p.size());
+}
+
+/// Cosine of the two profiles after subtracting the given per-profile
+/// offsets, computed over the union of items; mapped from [-1,1] to [0,1].
+float centered_cosine(const SparseProfile& a, const SparseProfile& b,
+                      double mean_a, double mean_b, bool common_only) {
+  auto ea = a.entries();
+  auto eb = b.entries();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  std::size_t common = 0;
+  auto account_a = [&](double x) { norm_a += x * x; };
+  auto account_b = [&](double x) { norm_b += x * x; };
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].item < eb[j].item) {
+      if (!common_only) account_a(ea[i].weight - mean_a);
+      ++i;
+    } else if (eb[j].item < ea[i].item) {
+      if (!common_only) account_b(eb[j].weight - mean_b);
+      ++j;
+    } else {
+      const double xa = ea[i].weight - mean_a;
+      const double xb = eb[j].weight - mean_b;
+      dot += xa * xb;
+      account_a(xa);
+      account_b(xb);
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  if (!common_only) {
+    for (; i < ea.size(); ++i) account_a(ea[i].weight - mean_a);
+    for (; j < eb.size(); ++j) account_b(eb[j].weight - mean_b);
+  }
+  if (common < 2 || norm_a == 0.0 || norm_b == 0.0) {
+    return 0.5f;  // no evidence either way
+  }
+  const double correlation = dot / std::sqrt(norm_a * norm_b);
+  return static_cast<float>((correlation + 1.0) / 2.0);
+}
+
+}  // namespace
+
+float pearson_similarity(const SparseProfile& a, const SparseProfile& b) {
+  // Means over the *common* items (the textbook user-CF definition), and
+  // correlation over common items only.
+  auto ea = a.entries();
+  auto eb = b.entries();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  std::size_t common = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].item < eb[j].item) {
+      ++i;
+    } else if (eb[j].item < ea[i].item) {
+      ++j;
+    } else {
+      sum_a += ea[i].weight;
+      sum_b += eb[j].weight;
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  if (common < 2) return 0.5f;
+  return centered_cosine(a, b, sum_a / static_cast<double>(common),
+                         sum_b / static_cast<double>(common),
+                         /*common_only=*/true);
+}
+
+float adjusted_cosine(const SparseProfile& a, const SparseProfile& b) {
+  return centered_cosine(a, b, mean_weight(a), mean_weight(b),
+                         /*common_only=*/true);
+}
+
+float inverse_euclidean(const SparseProfile& a, const SparseProfile& b) {
+  // Two empty profiles have distance 0 => similarity 1; this is consistent
+  // ("identical profiles are maximally similar"), unlike cosine which is
+  // undefined there.
+  const double dist = std::sqrt(merge_counts(a, b).sq_diff);
+  return static_cast<float>(1.0 / (1.0 + dist));
+}
+
+}  // namespace knnpc

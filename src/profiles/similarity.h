@@ -1,0 +1,54 @@
+// Similarity measures sim(s, d) for phase 4.
+//
+// All measures return values where *larger is more similar* so the top-K
+// selector needs no per-measure special-casing. All run in O(|a| + |b|)
+// over the sorted entry lists.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "profiles/profile.h"
+
+namespace knnpc {
+
+enum class SimilarityMeasure {
+  Cosine,          // dot / (|a| |b|)
+  Jaccard,         // |A ∩ B| / |A ∪ B| over item *sets*
+  Dice,            // 2|A ∩ B| / (|A| + |B|)
+  Overlap,         // |A ∩ B| / min(|A|, |B|)
+  CommonItems,     // |A ∩ B| (raw count; the simplest recommender signal)
+  InverseEuclid,   // 1 / (1 + ||a - b||_2)
+  Pearson,         // correlation over common items, mapped to [0, 1]
+  AdjustedCosine,  // cosine after subtracting each user's mean rating
+};
+
+/// Parses "cosine" / "jaccard" / "dice" / "overlap" / "common" /
+/// "inv-euclid" (case-sensitive); throws std::invalid_argument otherwise.
+SimilarityMeasure parse_similarity(std::string_view name);
+
+/// Human-readable name (inverse of parse_similarity).
+std::string similarity_name(SimilarityMeasure measure);
+
+/// Dispatches on `measure`. Both profiles may be empty (similarity 0, or
+/// 1 for InverseEuclid of two empties — documented per measure below).
+float similarity(SimilarityMeasure measure, const SparseProfile& a,
+                 const SparseProfile& b);
+
+// Direct entry points (used by tests and perf-critical inner loops).
+float cosine_similarity(const SparseProfile& a, const SparseProfile& b);
+float jaccard_similarity(const SparseProfile& a, const SparseProfile& b);
+float dice_similarity(const SparseProfile& a, const SparseProfile& b);
+float overlap_similarity(const SparseProfile& a, const SparseProfile& b);
+float common_items(const SparseProfile& a, const SparseProfile& b);
+float inverse_euclidean(const SparseProfile& a, const SparseProfile& b);
+/// Pearson correlation of ratings over the common items, linearly mapped
+/// from [-1, 1] to [0, 1] so that "larger is more similar" holds and the
+/// top-K machinery stays measure-agnostic. Fewer than 2 common items (or
+/// zero variance) yield 0.5 ("no evidence either way").
+float pearson_similarity(const SparseProfile& a, const SparseProfile& b);
+/// Cosine over mean-centred ratings (each user's mean over their own
+/// items subtracted — the item-CF classic), mapped to [0, 1] like Pearson.
+float adjusted_cosine(const SparseProfile& a, const SparseProfile& b);
+
+}  // namespace knnpc

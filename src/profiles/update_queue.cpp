@@ -1,0 +1,34 @@
+#include "profiles/update_queue.h"
+
+#include <stdexcept>
+
+namespace knnpc {
+
+std::size_t UpdateQueue::apply_to(InMemoryProfileStore& store) {
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    ProfileUpdate& u = queue_[i];
+    if (u.user >= store.num_users()) {
+      // Keep the unapplied tail so the caller can inspect it.
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      throw std::out_of_range("UpdateQueue: user id out of range");
+    }
+    switch (u.kind) {
+      case ProfileUpdate::Kind::Replace:
+        store.set(u.user, std::move(u.profile));
+        break;
+      case ProfileUpdate::Kind::SetItem:
+        store.mutable_get(u.user).set(u.item, u.value);
+        break;
+      case ProfileUpdate::Kind::AddDelta:
+        store.mutable_get(u.user).add(u.item, u.value);
+        break;
+    }
+    ++applied;
+  }
+  queue_.clear();
+  return applied;
+}
+
+}  // namespace knnpc

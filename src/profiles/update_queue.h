@@ -1,0 +1,50 @@
+// Phase 5: the lazy profile-update queue.
+//
+// "Throughout the iteration t, any changes in the profiles of the users are
+// stored in a queue q but not incorporated into P(t). In this phase, the
+// queue is read to update the profiles to P(t+1)."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "profiles/profile.h"
+#include "profiles/profile_store.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+/// One queued change. Replace swaps the whole profile; SetItem / AddDelta
+/// touch one entry (RemoveItem is SetItem with weight 0).
+struct ProfileUpdate {
+  enum class Kind { Replace, SetItem, AddDelta };
+
+  Kind kind = Kind::SetItem;
+  VertexId user = kInvalidVertex;
+  ItemId item = 0;          // SetItem / AddDelta
+  float value = 0.0f;       // SetItem weight or AddDelta delta
+  SparseProfile profile;    // Replace payload
+};
+
+/// FIFO queue of profile changes, applied in arrival order (later updates
+/// to the same user win — the paper's queue semantics).
+class UpdateQueue {
+ public:
+  void push(ProfileUpdate update) { queue_.push_back(std::move(update)); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+  /// Applies every queued update to `store` in FIFO order and clears the
+  /// queue. Returns the number of updates applied. Updates addressed to
+  /// out-of-range users throw std::out_of_range (and the queue keeps the
+  /// unapplied tail).
+  std::size_t apply_to(InMemoryProfileStore& store);
+
+  void clear() noexcept { queue_.clear(); }
+
+ private:
+  std::vector<ProfileUpdate> queue_;
+};
+
+}  // namespace knnpc

@@ -1,0 +1,80 @@
+// Mini X-Stream: edge-centric scatter-gather over *unsorted* edge
+// streams (Roy, Mihailovic & Zwaenepoel — SOSP'13), the paper's second
+// foil.
+//
+// X-Stream's bet: never sort edges; stream them sequentially and route
+// per-edge "updates" into per-partition buckets, then stream the buckets.
+// One iteration is
+//     scatter:  for every edge, read state(src), append update to
+//               bucket(partition(dst));
+//     gather:   for every bucket, stream its updates into state(dst).
+// Like GraphChi, edge *structure* never changes — fine for PageRank,
+// impossible for KNN.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "storage/io_model.h"
+#include "util/types.h"
+
+namespace knnpc::staticgraph {
+
+/// One routed update (X-Stream's "update" record).
+struct StreamUpdate {
+  VertexId dst = kInvalidVertex;
+  float value = 0.0f;
+};
+
+class EdgeStreamEngine {
+ public:
+  /// Writes the (unsorted!) edge stream under `dir`, split into
+  /// `partitions` streaming partitions by destination.
+  EdgeStreamEngine(std::filesystem::path dir, const EdgeList& graph,
+                   std::uint32_t partitions,
+                   IoModel model = IoModel::none());
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_; }
+  [[nodiscard]] std::uint32_t num_partitions() const noexcept {
+    return partitions_;
+  }
+
+  /// One scatter-gather sweep.
+  ///  - `scatter(src, dst)` returns the update value for that edge (the
+  ///    caller reads its own vertex state for src);
+  ///  - `gather(dst, value)` folds one update into dst's state.
+  /// Edges stream sequentially from disk; updates go through per-partition
+  /// bucket files (all I/O accounted).
+  void run_iteration(
+      const std::function<float(VertexId src, VertexId dst)>& scatter,
+      const std::function<void(VertexId dst, float value)>& gather);
+
+  [[nodiscard]] const IoAccountant& io() const noexcept { return io_; }
+  void reset_io() noexcept { io_.reset(); }
+
+  /// Out-degrees (PageRank needs them).
+  [[nodiscard]] const std::vector<std::uint32_t>& out_degrees() const {
+    return out_degrees_;
+  }
+
+ private:
+  std::filesystem::path dir_;
+  VertexId n_ = 0;
+  std::size_t edges_ = 0;
+  std::uint32_t partitions_ = 1;
+  std::vector<std::uint32_t> out_degrees_;
+  mutable IoAccountant io_;
+};
+
+/// PageRank on the edge-stream engine (same semantics as the sharded
+/// version; used to cross-check the two static engines against each
+/// other and against graph/ in-memory results).
+std::vector<double> edge_stream_pagerank(EdgeStreamEngine& engine,
+                                         std::uint32_t iterations,
+                                         double damping = 0.85);
+
+}  // namespace knnpc::staticgraph

@@ -1,0 +1,160 @@
+#include "staticgraph/sharded_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "storage/block_file.h"
+#include "util/serde.h"
+
+namespace knnpc::staticgraph {
+namespace fs = std::filesystem;
+
+ShardedGraph::ShardedGraph(fs::path dir, const EdgeList& graph,
+                           std::uint32_t intervals, float initial_data,
+                           IoModel model)
+    : dir_(std::move(dir)), n_(graph.num_vertices),
+      edges_(graph.edges.size()), intervals_(std::max(intervals, 1u)),
+      io_(std::move(model)) {
+  if (!endpoints_in_range(graph)) {
+    throw std::invalid_argument("ShardedGraph: endpoint out of range");
+  }
+  fs::create_directories(dir_);
+  chunk_ = n_ == 0 ? 1 : (n_ + intervals_ - 1) / intervals_;
+  chunk_ = std::max<VertexId>(chunk_, 1);
+
+  out_degrees_.assign(n_, 0);
+  for (const Edge& e : graph.edges) ++out_degrees_[e.src];
+
+  // Bucket into (dst interval, src interval) blocks sorted by (dst, src).
+  std::vector<std::vector<EdgeRecord>> blocks(
+      static_cast<std::size_t>(intervals_) * intervals_);
+  for (const Edge& e : graph.edges) {
+    const std::uint32_t p = interval_of(e.dst);
+    const std::uint32_t q = interval_of(e.src);
+    blocks[static_cast<std::size_t>(p) * intervals_ + q].push_back(
+        {e.src, e.dst, initial_data});
+  }
+  IoCounters raw;
+  for (std::uint32_t p = 0; p < intervals_; ++p) {
+    for (std::uint32_t q = 0; q < intervals_; ++q) {
+      auto& block = blocks[static_cast<std::size_t>(p) * intervals_ + q];
+      std::sort(block.begin(), block.end(),
+                [](const EdgeRecord& a, const EdgeRecord& b) {
+                  return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+                });
+      const auto bytes = to_bytes(block);
+      write_file(block_path(p, q), bytes, raw);
+      io_.charge_write(bytes.size());
+    }
+  }
+}
+
+std::uint32_t ShardedGraph::interval_of(VertexId v) const {
+  return std::min<std::uint32_t>(v / chunk_, intervals_ - 1);
+}
+
+VertexId ShardedGraph::interval_begin(std::uint32_t p) const {
+  return std::min<VertexId>(p * chunk_, n_);
+}
+
+fs::path ShardedGraph::block_path(std::uint32_t p, std::uint32_t q) const {
+  return dir_ /
+         ("block_" + std::to_string(p) + "_" + std::to_string(q) + ".bin");
+}
+
+std::size_t ShardedGraph::run_iteration(const UpdateFn& update) {
+  std::size_t updated = 0;
+  IoCounters raw;
+  for (std::uint32_t p = 0; p < intervals_; ++p) {
+    // Load the in-edge column (p, *): all in-edges of interval p, and the
+    // out-edge row (*, p): all out-edges of interval p. This is the
+    // memory footprint of GraphChi's sliding window for interval p.
+    std::vector<EdgeRecord> in_edges;
+    for (std::uint32_t q = 0; q < intervals_; ++q) {
+      const auto bytes = read_file(block_path(p, q), raw);
+      io_.charge_read(bytes.size());
+      const auto records = from_bytes<EdgeRecord>(bytes);
+      in_edges.insert(in_edges.end(), records.begin(), records.end());
+    }
+    // in_edges from different blocks are each dst-sorted; merge by dst.
+    std::sort(in_edges.begin(), in_edges.end(),
+              [](const EdgeRecord& a, const EdgeRecord& b) {
+                return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+              });
+
+    std::vector<std::vector<EdgeRecord>> out_row(intervals_);
+    for (std::uint32_t q = 0; q < intervals_; ++q) {
+      const auto bytes = read_file(block_path(q, p), raw);
+      io_.charge_read(bytes.size());
+      out_row[q] = from_bytes<EdgeRecord>(bytes);
+    }
+    // Out-edges of a vertex are scattered across the row; build a
+    // src-sorted view of indices for slicing per vertex.
+    std::vector<EdgeRecord*> out_ptrs;
+    for (auto& block : out_row) {
+      for (auto& record : block) out_ptrs.push_back(&record);
+    }
+    std::sort(out_ptrs.begin(), out_ptrs.end(),
+              [](const EdgeRecord* a, const EdgeRecord* b) {
+                return a->src != b->src ? a->src < b->src : a->dst < b->dst;
+              });
+
+    // Per-vertex update sweep over interval p.
+    const VertexId begin = interval_begin(p);
+    const VertexId end = interval_begin(p + 1);
+    std::size_t in_cursor = 0;
+    std::size_t out_cursor = 0;
+    std::vector<EdgeRecord> out_scratch;
+    for (VertexId v = begin; v < end; ++v) {
+      const std::size_t in_lo = in_cursor;
+      while (in_cursor < in_edges.size() && in_edges[in_cursor].dst == v) {
+        ++in_cursor;
+      }
+      const std::size_t out_lo = out_cursor;
+      while (out_cursor < out_ptrs.size() &&
+             out_ptrs[out_cursor]->src == v) {
+        ++out_cursor;
+      }
+      // Materialise the vertex's out-edges contiguously, run the update,
+      // then copy mutations back through the pointers.
+      out_scratch.clear();
+      for (std::size_t i = out_lo; i < out_cursor; ++i) {
+        out_scratch.push_back(*out_ptrs[i]);
+      }
+      VertexContext context;
+      context.id = v;
+      context.in_edges = {in_edges.data() + in_lo, in_cursor - in_lo};
+      context.out_edges = {out_scratch.data(), out_scratch.size()};
+      update(context);
+      for (std::size_t i = out_lo; i < out_cursor; ++i) {
+        *out_ptrs[i] = out_scratch[i - out_lo];
+      }
+      ++updated;
+    }
+
+    // Write the mutated out-edge row back (GraphChi's write phase).
+    for (std::uint32_t q = 0; q < intervals_; ++q) {
+      const auto bytes = to_bytes(out_row[q]);
+      write_file(block_path(q, p), bytes, raw);
+      io_.charge_write(bytes.size());
+    }
+  }
+  return updated;
+}
+
+std::vector<EdgeRecord> ShardedGraph::read_all_edges() const {
+  std::vector<EdgeRecord> all;
+  all.reserve(edges_);
+  IoCounters raw;
+  for (std::uint32_t p = 0; p < intervals_; ++p) {
+    for (std::uint32_t q = 0; q < intervals_; ++q) {
+      const auto bytes = read_file(block_path(p, q), raw);
+      io_.charge_read(bytes.size());
+      const auto records = from_bytes<EdgeRecord>(bytes);
+      all.insert(all.end(), records.begin(), records.end());
+    }
+  }
+  return all;
+}
+
+}  // namespace knnpc::staticgraph

@@ -1,0 +1,103 @@
+// Mini-GraphChi: a static-graph out-of-core engine (the paper's foil).
+//
+// The paper's premise is that frameworks like GraphChi [Kyrola et al.,
+// OSDI'12] "rely on the graph structure to remain the same for the entire
+// period of computation", which KNN violates. To make that contrast
+// concrete — and to have the baseline the introduction argues against —
+// this module implements the relevant core of GraphChi:
+//
+//  * vertices are split into P equal intervals;
+//  * every edge (src, dst, data) is stored in block file (p, q) where
+//    p = interval(dst), q = interval(src), sorted by (dst, src);
+//  * an iteration runs the parallel-sliding-windows pattern: for each
+//    interval p it loads the in-edge column (blocks (p, *)) and the
+//    out-edge row (blocks (*, p)), runs a vertex update programme, and
+//    writes the mutated out-edge data back;
+//  * edge *data* is mutable, edge *structure* is immutable — exactly the
+//    limitation that rules out KNN.
+//
+// PageRank and connected components (vertex_programs.h) run on top.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "storage/io_model.h"
+#include "util/types.h"
+
+namespace knnpc::staticgraph {
+
+/// One stored edge with its mutable float payload.
+struct EdgeRecord {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  float data = 0.0f;
+
+  friend bool operator==(const EdgeRecord&, const EdgeRecord&) = default;
+};
+
+/// Per-vertex view handed to the update programme.
+struct VertexContext {
+  VertexId id = kInvalidVertex;
+  /// In-edges of id (immutable payloads, written by their sources last
+  /// iteration).
+  std::span<const EdgeRecord> in_edges;
+  /// Out-edges of id; mutate .data to message the destination.
+  std::span<EdgeRecord> out_edges;
+};
+
+/// Vertex update programme: runs once per vertex per iteration.
+using UpdateFn = std::function<void(VertexContext&)>;
+
+class ShardedGraph {
+ public:
+  /// Builds the shard files for `graph` under `dir` with `intervals`
+  /// vertex intervals. Initial edge data is `initial_data` everywhere.
+  ShardedGraph(std::filesystem::path dir, const EdgeList& graph,
+               std::uint32_t intervals, float initial_data = 0.0f,
+               IoModel model = IoModel::none());
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_; }
+  [[nodiscard]] std::uint32_t num_intervals() const noexcept {
+    return intervals_;
+  }
+  /// Vertex interval of v.
+  [[nodiscard]] std::uint32_t interval_of(VertexId v) const;
+  /// First vertex of interval p (end = first of p+1, or n).
+  [[nodiscard]] VertexId interval_begin(std::uint32_t p) const;
+
+  /// Runs one parallel-sliding-windows iteration of `update` over every
+  /// vertex. Returns the number of vertices updated.
+  std::size_t run_iteration(const UpdateFn& update);
+
+  /// Out-degree per vertex (computed once at build; PageRank needs it).
+  [[nodiscard]] const std::vector<std::uint32_t>& out_degrees() const {
+    return out_degrees_;
+  }
+
+  /// Reads the *current* payload of every edge (dst-major order). For
+  /// tests and result extraction.
+  [[nodiscard]] std::vector<EdgeRecord> read_all_edges() const;
+
+  [[nodiscard]] const IoAccountant& io() const noexcept { return io_; }
+  void reset_io() noexcept { io_.reset(); }
+
+ private:
+  [[nodiscard]] std::filesystem::path block_path(std::uint32_t p,
+                                                 std::uint32_t q) const;
+
+  std::filesystem::path dir_;
+  VertexId n_ = 0;
+  std::size_t edges_ = 0;
+  std::uint32_t intervals_ = 1;
+  VertexId chunk_ = 1;
+  std::vector<std::uint32_t> out_degrees_;
+  mutable IoAccountant io_;
+};
+
+}  // namespace knnpc::staticgraph

@@ -1,0 +1,84 @@
+#include "staticgraph/vertex_programs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace knnpc::staticgraph {
+
+PageRankResult pagerank(ShardedGraph& graph, std::uint32_t max_iterations,
+                        double damping, double tolerance) {
+  PageRankResult result;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return result;
+  const auto& out_degrees = graph.out_degrees();
+  result.rank.assign(n, 1.0 / n);
+
+  // Priming pass: seed the out-edge payloads with rank/out_degree so the
+  // first gather sees the uniform distribution.
+  graph.run_iteration([&](VertexContext& ctx) {
+    const float share = out_degrees[ctx.id] == 0
+                            ? 0.0f
+                            : static_cast<float>(result.rank[ctx.id] /
+                                                 out_degrees[ctx.id]);
+    for (EdgeRecord& e : ctx.out_edges) e.data = share;
+  });
+
+  for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
+    double delta = 0.0;
+    graph.run_iteration([&](VertexContext& ctx) {
+      double gathered = 0.0;
+      for (const EdgeRecord& e : ctx.in_edges) gathered += e.data;
+      const double next = (1.0 - damping) / n + damping * gathered;
+      delta += std::abs(next - result.rank[ctx.id]);
+      result.rank[ctx.id] = next;
+      const float share =
+          out_degrees[ctx.id] == 0
+              ? 0.0f
+              : static_cast<float>(next / out_degrees[ctx.id]);
+      for (EdgeRecord& e : ctx.out_edges) e.data = share;
+    });
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < tolerance) break;
+  }
+  return result;
+}
+
+ComponentsResult connected_components(ShardedGraph& graph,
+                                      std::uint32_t max_iterations) {
+  ComponentsResult result;
+  const VertexId n = graph.num_vertices();
+  result.component.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.component[v] = v;
+  if (n == 0) return result;
+
+  // Labels travel src -> dst through the payload, so weak components
+  // require a symmetric edge set (see header). Prime with own labels.
+  graph.run_iteration([&](VertexContext& ctx) {
+    for (EdgeRecord& e : ctx.out_edges) {
+      e.data = static_cast<float>(result.component[ctx.id]);
+    }
+  });
+
+  for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
+    std::size_t changed = 0;
+    graph.run_iteration([&](VertexContext& ctx) {
+      VertexId best = result.component[ctx.id];
+      for (const EdgeRecord& e : ctx.in_edges) {
+        best = std::min(best, static_cast<VertexId>(e.data));
+      }
+      if (best != result.component[ctx.id]) {
+        result.component[ctx.id] = best;
+        ++changed;
+      }
+      for (EdgeRecord& e : ctx.out_edges) {
+        e.data = static_cast<float>(result.component[ctx.id]);
+      }
+    });
+    result.iterations = iter + 1;
+    if (changed == 0) break;
+  }
+  return result;
+}
+
+}  // namespace knnpc::staticgraph

@@ -1,0 +1,37 @@
+// Vertex programmes for the mini-GraphChi engine: PageRank and connected
+// components — the algorithms the paper names as what GraphChi *can* do
+// (vs KNN, which it cannot).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "staticgraph/sharded_graph.h"
+
+namespace knnpc::staticgraph {
+
+struct PageRankResult {
+  std::vector<double> rank;       // per vertex
+  std::uint32_t iterations = 0;
+  double final_delta = 0.0;       // L1 change of the last iteration
+};
+
+/// Standard damped PageRank on the sharded engine. Ranks flow through the
+/// edge payloads: each vertex writes rank/out_degree onto its out-edges;
+/// the next iteration gathers in-edge payloads.
+PageRankResult pagerank(ShardedGraph& graph, std::uint32_t max_iterations,
+                        double damping = 0.85, double tolerance = 1e-6);
+
+struct ComponentsResult {
+  std::vector<VertexId> component;  // min-vertex label per vertex
+  std::uint32_t iterations = 0;
+};
+
+/// Connected components by min-label propagation over the edge payloads.
+/// Labels travel src -> dst only, so pass a *symmetrized* graph for weak
+/// components. Labels ride the float payload: exact for graphs under 2^24
+/// vertices (well beyond this engine's single-PC scale).
+ComponentsResult connected_components(ShardedGraph& graph,
+                                      std::uint32_t max_iterations = 100);
+
+}  // namespace knnpc::staticgraph

@@ -1,0 +1,155 @@
+// External-memory sort of packed record files.
+//
+// Phase 1 must deliver edge files *sorted by bridge vertex*; at the scale
+// the paper targets, a partition's edge list may not fit the memory
+// budget, so we sort the classic way: bounded in-memory runs spilled to
+// disk, then a k-way merge. PartitionStore uses this in low-memory mode;
+// it is also a reusable substrate utility.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "storage/block_file.h"
+#include "util/serde.h"
+
+namespace knnpc {
+
+/// Statistics from one external sort.
+struct ExternalSortStats {
+  std::size_t records = 0;
+  std::size_t runs = 0;           // spilled sorted runs (1 = fit in memory)
+  std::uint64_t bytes_spilled = 0;
+};
+
+namespace detail {
+
+template <TrivialRecord T>
+std::vector<T> read_records_file(const std::filesystem::path& path) {
+  IoCounters counters;
+  return from_bytes<T>(read_file(path, counters));
+}
+
+}  // namespace detail
+
+/// Sorts the packed records of `input` by `less` into `output` using at
+/// most ~`memory_budget_bytes` of record memory at a time (minimum one
+/// record per run; the merge holds one record per run). `input` and
+/// `output` may be the same path. Stable within runs, not overall.
+template <TrivialRecord T, typename Less>
+ExternalSortStats external_sort_file(const std::filesystem::path& input,
+                                     const std::filesystem::path& output,
+                                     std::size_t memory_budget_bytes,
+                                     Less less) {
+  ExternalSortStats stats;
+  const std::size_t run_records =
+      std::max<std::size_t>(memory_budget_bytes / sizeof(T), 1);
+
+  std::ifstream in(input, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("external_sort_file: cannot open " +
+                             input.string());
+  }
+
+  // Pass 1: cut into sorted runs.
+  const std::filesystem::path run_prefix = output.string() + ".run";
+  std::vector<std::filesystem::path> run_paths;
+  std::vector<T> buffer;
+  buffer.reserve(run_records);
+  IoCounters counters;
+  for (;;) {
+    buffer.resize(run_records);
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(run_records * sizeof(T)));
+    const auto got = static_cast<std::size_t>(in.gcount()) / sizeof(T);
+    buffer.resize(got);
+    if (buffer.empty()) break;
+    stats.records += buffer.size();
+    std::sort(buffer.begin(), buffer.end(), less);
+    if (run_paths.empty() && !in) {
+      // Single run that fits in memory: write the output directly.
+      write_file(output, to_bytes(buffer), counters);
+      stats.runs = 1;
+      return stats;
+    }
+    const auto run_path =
+        run_prefix.string() + std::to_string(run_paths.size());
+    write_file(run_path, to_bytes(buffer), counters);
+    stats.bytes_spilled += buffer.size() * sizeof(T);
+    run_paths.emplace_back(run_path);
+    if (!in) break;
+  }
+  stats.runs = std::max<std::size_t>(run_paths.size(), 1);
+  if (run_paths.empty()) {  // empty input
+    write_file(output, {}, counters);
+    return stats;
+  }
+
+  // Pass 2: k-way merge of the runs.
+  struct Cursor {
+    std::ifstream stream;
+    T current;
+    bool valid = false;
+
+    explicit Cursor(const std::filesystem::path& path)
+        : stream(path, std::ios::binary) {
+      advance();
+    }
+    void advance() {
+      stream.read(reinterpret_cast<char*>(&current), sizeof(T));
+      valid = static_cast<std::size_t>(stream.gcount()) == sizeof(T);
+    }
+  };
+  std::vector<std::unique_ptr<Cursor>> cursors;
+  cursors.reserve(run_paths.size());
+  for (const auto& path : run_paths) {
+    cursors.push_back(std::make_unique<Cursor>(path));
+  }
+  auto heap_greater = [&less, &cursors](std::size_t a, std::size_t b) {
+    // min-heap over cursor heads
+    return less(cursors[b]->current, cursors[a]->current);
+  };
+  std::vector<std::size_t> heap;
+  for (std::size_t i = 0; i < cursors.size(); ++i) {
+    if (cursors[i]->valid) heap.push_back(i);
+  }
+  std::make_heap(heap.begin(), heap.end(), heap_greater);
+
+  const std::filesystem::path tmp = output.string() + ".merged";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("external_sort_file: cannot open " +
+                               tmp.string());
+    }
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_greater);
+      const std::size_t idx = heap.back();
+      out.write(reinterpret_cast<const char*>(&cursors[idx]->current),
+                sizeof(T));
+      cursors[idx]->advance();
+      if (cursors[idx]->valid) {
+        std::push_heap(heap.begin(), heap.end(), heap_greater);
+      } else {
+        heap.pop_back();
+      }
+    }
+    if (!out) {
+      throw std::runtime_error("external_sort_file: merge write failed");
+    }
+  }
+  std::filesystem::rename(tmp, output);
+  for (const auto& path : run_paths) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  return stats;
+}
+
+}  // namespace knnpc

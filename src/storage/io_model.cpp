@@ -1,0 +1,33 @@
+#include "storage/io_model.h"
+
+#include <stdexcept>
+
+namespace knnpc {
+
+IoModel IoModel::none() { return IoModel{"none", 0.0, 1e18}; }
+
+IoModel IoModel::hdd() {
+  // 7200 rpm disk: ~8 ms average seek+rotational latency, ~120 MB/s
+  // sequential throughput.
+  return IoModel{"hdd", 8000.0, 120.0};
+}
+
+IoModel IoModel::ssd() {
+  // SATA SSD: ~80 us access, ~450 MB/s.
+  return IoModel{"ssd", 80.0, 450.0};
+}
+
+IoModel IoModel::nvme() {
+  // NVMe: ~15 us access, ~2.5 GB/s.
+  return IoModel{"nvme", 15.0, 2500.0};
+}
+
+IoModel IoModel::parse(std::string_view name) {
+  if (name == "none") return none();
+  if (name == "hdd") return hdd();
+  if (name == "ssd") return ssd();
+  if (name == "nvme") return nvme();
+  throw std::invalid_argument("unknown IO model: " + std::string(name));
+}
+
+}  // namespace knnpc

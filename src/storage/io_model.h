@@ -1,0 +1,77 @@
+// Storage-device cost model (DESIGN.md §4, experiment Ext-C).
+//
+// The paper's future work compares HDD vs SSD. Real files are still read
+// and written; the model additionally *accounts* what each operation would
+// cost on a given device (seek latency + transfer time), so device
+// comparisons are deterministic and hardware-independent. Nothing sleeps —
+// the model only produces numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "storage/block_file.h"
+
+namespace knnpc {
+
+struct IoModel {
+  std::string name = "none";
+  /// Cost added per operation (the seek / command overhead), microseconds.
+  double seek_us = 0.0;
+  /// Sequential transfer rate, bytes per microsecond (== MB/s).
+  double bytes_per_us = 1e18;  // "free" by default
+
+  /// Modelled cost of transferring `bytes` in one sequential operation.
+  [[nodiscard]] double op_cost_us(std::uint64_t bytes) const {
+    return seek_us + static_cast<double>(bytes) / bytes_per_us;
+  }
+
+  // Calibrated presets (typical 2014-era commodity devices, matching the
+  // paper's setting):
+  static IoModel none();   // pure counting, zero cost
+  static IoModel hdd();    // 7200rpm: ~8ms seek, ~120 MB/s
+  static IoModel ssd();    // SATA SSD: ~80us, ~450 MB/s
+  static IoModel nvme();   // modern NVMe: ~15us, ~2.5 GB/s
+
+  /// Parses "none" / "hdd" / "ssd" / "nvme"; throws std::invalid_argument.
+  static IoModel parse(std::string_view name);
+};
+
+/// Accumulates modelled device time next to the raw byte counters.
+class IoAccountant {
+ public:
+  explicit IoAccountant(IoModel model = IoModel::none())
+      : model_(std::move(model)) {}
+
+  /// Charges one sequential read/write of `bytes`.
+  void charge_read(std::uint64_t bytes) noexcept {
+    counters_.bytes_read += bytes;
+    ++counters_.read_ops;
+    modeled_us_ += model_.op_cost_us(bytes);
+  }
+  void charge_write(std::uint64_t bytes) noexcept {
+    counters_.bytes_written += bytes;
+    ++counters_.write_ops;
+    modeled_us_ += model_.op_cost_us(bytes);
+  }
+
+  [[nodiscard]] const IoCounters& counters() const noexcept {
+    return counters_;
+  }
+  /// Total modelled device time, microseconds.
+  [[nodiscard]] double modeled_us() const noexcept { return modeled_us_; }
+  [[nodiscard]] const IoModel& model() const noexcept { return model_; }
+
+  void reset() noexcept {
+    counters_ = IoCounters{};
+    modeled_us_ = 0.0;
+  }
+
+ private:
+  IoModel model_;
+  IoCounters counters_;
+  double modeled_us_ = 0.0;
+};
+
+}  // namespace knnpc

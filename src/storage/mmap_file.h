@@ -1,0 +1,46 @@
+// Read-only memory-mapped files.
+//
+// The GraphChi lineage the paper builds on relies on the page cache doing
+// the heavy lifting for sequential scans; mapping partition files instead
+// of copying them through read() halves the memory traffic for the
+// edge-file scans of phase 2. PartitionStore can run in either mode
+// (see PartitionStore::Mode).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <span>
+
+namespace knnpc {
+
+/// RAII mmap(PROT_READ) of an entire file. Move-only.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  /// Maps the whole file; throws std::runtime_error when the file cannot
+  /// be opened or mapped. Empty files map to an empty span.
+  explicit MmapFile(const std::filesystem::path& path);
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool valid() const noexcept { return data_ != nullptr || size_ == 0; }
+
+  /// Advises the kernel that the mapping will be read sequentially.
+  void advise_sequential() const noexcept;
+
+ private:
+  void reset() noexcept;
+
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace knnpc

@@ -1,0 +1,141 @@
+// On-disk partition layout (phase 1 output, phase 4 input).
+//
+// Partition R_i owns a vertex subset V_i and is stored as three files:
+//   part_<i>.in    in-edges  (s, v), v ∈ V_i, sorted by the bridge v
+//   part_<i>.out   out-edges (v, d), v ∈ V_i, sorted by the bridge v
+//   part_<i>.prof  profiles of V_i, packed in ascending vertex order
+//
+// Sorting both edge files by the *bridge* vertex v is the paper's phase-1
+// trick: a sequential merge-join of the two files emits all
+// neighbours-of-neighbours tuples (s, d) without random access.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "partition/assignment.h"
+#include "profiles/profile.h"
+#include "profiles/profile_store.h"
+#include "storage/io_model.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+/// One partition fully materialised in memory.
+struct PartitionData {
+  PartitionId id = kInvalidPartition;
+  std::vector<VertexId> vertices;   // ascending
+  std::vector<Edge> in_edges;       // (s, v), sorted by v then s
+  std::vector<Edge> out_edges;      // (v, d), sorted by v then d
+  std::vector<SparseProfile> profiles;  // profiles[i] belongs to vertices[i]
+
+  /// Profile of `v`; nullptr when v is not in this partition. O(log n).
+  [[nodiscard]] const SparseProfile* profile_of(VertexId v) const;
+
+  /// Approximate in-memory footprint, bytes (for memory-budget benches).
+  [[nodiscard]] std::uint64_t approx_bytes() const;
+};
+
+/// Writes and reads partitions under a work directory.
+class PartitionStore {
+ public:
+  /// How partition files are brought into memory.
+  enum class Mode {
+    Read,  // read() the whole file into a buffer
+    Mmap,  // mmap + MADV_SEQUENTIAL, copy out of the mapping
+  };
+
+  PartitionStore(std::filesystem::path dir, IoModel model = IoModel::none(),
+                 Mode mode = Mode::Read);
+
+  /// Splits graph + profiles by `assignment` and writes all partition
+  /// files. Profiles indexed by vertex id; edges of G(t) are routed to the
+  /// partition owning their *bridge* role: (s,v) to owner(v) as in-edge,
+  /// (v,d) to owner(v) as out-edge — i.e. every partition holds both edge
+  /// directions of its own vertices, as the paper specifies.
+  void write_all(const EdgeList& graph, const PartitionAssignment& assignment,
+                 const ProfileStore& profiles);
+
+  /// Low-memory variant of write_all: edges stream to per-partition files
+  /// through a bounded buffer (storage/shard_writer.h) and each edge file
+  /// is then external-sorted by its bridge vertex with at most
+  /// `sort_buffer_bytes` of sort memory (storage/external_sort.h). The
+  /// resulting files are byte-identical in content to write_all's.
+  void write_all_streaming(const EdgeList& graph,
+                           const PartitionAssignment& assignment,
+                           const ProfileStore& profiles,
+                           std::size_t sort_buffer_bytes = 4u << 20);
+
+  /// Loads one partition from disk (three file reads, charged to the
+  /// accountant). Throws when the partition was never written.
+  [[nodiscard]] PartitionData load(PartitionId id) const;
+
+  /// Loads only the vertex list and sorted edge files (phase 2 streams
+  /// these to merge-join tuples; profiles are not needed there).
+  [[nodiscard]] PartitionData load_edges(PartitionId id) const;
+
+  /// Rewrites one partition's profile file (phase 5 flushes updates).
+  void write_profiles(PartitionId id,
+                      const std::vector<VertexId>& vertices,
+                      const std::vector<SparseProfile>& profiles);
+
+  [[nodiscard]] PartitionId num_partitions() const noexcept { return m_; }
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+  [[nodiscard]] const IoAccountant& io() const noexcept { return io_; }
+  void reset_io() noexcept { io_.reset(); }
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path file(PartitionId id,
+                                           const char* suffix) const;
+  /// Reads a partition file honouring mode_, charging the accountant.
+  [[nodiscard]] std::vector<std::byte> fetch(
+      const std::filesystem::path& path) const;
+
+  std::filesystem::path dir_;
+  mutable IoAccountant io_;
+  PartitionId m_ = 0;
+  Mode mode_ = Mode::Read;
+};
+
+/// Bounded partition cache for phase 4: at most `slots` partitions resident
+/// (the paper uses 2). Counts loads and unloads — Table 1's metric.
+class PartitionCache {
+ public:
+  PartitionCache(const PartitionStore& store, std::size_t slots);
+
+  /// Returns the resident partition, loading (and possibly evicting LRU)
+  /// as needed. References are invalidated by subsequent get() calls that
+  /// evict; phase 4 pins at most `slots` partitions at a time by
+  /// construction.
+  const PartitionData& get(PartitionId id);
+
+  [[nodiscard]] bool resident(PartitionId id) const;
+  [[nodiscard]] std::uint64_t loads() const noexcept { return loads_; }
+  [[nodiscard]] std::uint64_t unloads() const noexcept { return unloads_; }
+  /// loads + unloads: the Table-1 "operations" metric.
+  [[nodiscard]] std::uint64_t operations() const noexcept {
+    return loads_ + unloads_;
+  }
+
+  /// Drops everything, counting the unloads.
+  void flush();
+
+ private:
+  const PartitionStore& store_;
+  std::size_t slots_;
+  std::list<PartitionId> lru_;  // front = most recent
+  std::unordered_map<PartitionId, PartitionData> resident_;
+  std::uint64_t loads_ = 0;
+  std::uint64_t unloads_ = 0;
+};
+
+}  // namespace knnpc

@@ -1,0 +1,49 @@
+// Hash mixers used by the tuple table H (phase 2) and the hash partitioner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace knnpc {
+
+/// Finalizer from MurmurHash3; a strong 64->64 bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// 32->32 bit mixer (Wang hash variant) for per-vertex hashing.
+constexpr std::uint32_t mix32(std::uint32_t x) noexcept {
+  x = (x ^ 61u) ^ (x >> 16);
+  x *= 9u;
+  x ^= x >> 4;
+  x *= 0x27d4eb2du;
+  x ^= x >> 15;
+  return x;
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  return seed ^ (mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// Rounds up to the next power of two (>= 1).
+constexpr std::size_t next_pow2(std::size_t x) noexcept {
+  if (x <= 1) return 1;
+  --x;
+  x |= x >> 1;
+  x |= x >> 2;
+  x |= x >> 4;
+  x |= x >> 8;
+  x |= x >> 16;
+  if constexpr (sizeof(std::size_t) == 8) x |= x >> 32;
+  return x + 1;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,83 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace knnpc {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO ";
+    case LogLevel::Warn:  return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off:   return "OFF  ";
+  }
+  return "?????";
+}
+
+/// Reads KNNPC_LOG_LEVEL once at startup.
+LogLevel initial_level() {
+  if (const char* env = std::getenv("KNNPC_LOG_LEVEL")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::Warn;
+}
+
+struct EnvInit {
+  EnvInit() { g_level.store(initial_level(), std::memory_order_relaxed); }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(level >= log_level() && level != LogLevel::Off) {
+  if (!enabled_) return;
+  // Strip the directory part of __FILE__ for readable output.
+  std::string_view path(file);
+  if (auto pos = path.find_last_of('/'); pos != std::string_view::npos) {
+    path.remove_prefix(pos + 1);
+  }
+  stream_ << "[" << level_name(level) << "] " << path << ":" << line << " ";
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  stream_ << '\n';
+  const std::string text = stream_.str();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fputs(text.c_str(), stderr);
+}
+
+}  // namespace detail
+}  // namespace knnpc

@@ -1,0 +1,55 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Usage:
+//   KNNPC_LOG(Info) << "loaded partition " << pid << " in " << ms << " ms";
+//
+// The global level defaults to Warn so tests and benches stay quiet; set
+// KNNPC_LOG_LEVEL=debug|info|warn|error in the environment or call
+// set_log_level() to change it.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace knnpc {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global log threshold.
+void set_log_level(LogLevel level) noexcept;
+
+/// Returns the current global log threshold.
+LogLevel log_level() noexcept;
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Unrecognised strings yield Warn.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+namespace detail {
+
+/// Accumulates one log line and emits it (with a lock) on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace knnpc
+
+#define KNNPC_LOG(severity)                                      \
+  ::knnpc::detail::LogLine(::knnpc::LogLevel::severity, __FILE__, \
+                           __LINE__)

@@ -1,0 +1,65 @@
+// Plain little-endian binary (de)serialisation helpers for POD-like records.
+//
+// Partition files (storage/) are written as packed arrays of fixed-size
+// records; these helpers keep the byte-level code in one place.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace knnpc {
+
+/// Trait gate: only trivially-copyable record types may be serialised raw.
+template <typename T>
+concept TrivialRecord = std::is_trivially_copyable_v<T>;
+
+/// Appends the raw bytes of `value` to `out`.
+template <TrivialRecord T>
+void append_record(std::vector<std::byte>& out, const T& value) {
+  const auto* p = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+/// Reads one record at byte offset `offset`; advances `offset`.
+/// Returns false when fewer than sizeof(T) bytes remain.
+template <TrivialRecord T>
+bool read_record(std::span<const std::byte> bytes, std::size_t& offset,
+                 T& out) {
+  if (offset + sizeof(T) > bytes.size()) return false;
+  std::memcpy(&out, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+/// Reinterprets a byte buffer as a span of records; the trailing partial
+/// record (if the file is corrupt/truncated) is excluded.
+template <TrivialRecord T>
+std::span<const T> record_span(std::span<const std::byte> bytes) {
+  return {reinterpret_cast<const T*>(bytes.data()), bytes.size() / sizeof(T)};
+}
+
+/// Serialises a whole vector of records as packed bytes.
+template <TrivialRecord T>
+std::vector<std::byte> to_bytes(const std::vector<T>& records) {
+  std::vector<std::byte> out(records.size() * sizeof(T));
+  if (!records.empty()) {
+    std::memcpy(out.data(), records.data(), out.size());
+  }
+  return out;
+}
+
+/// Deserialises packed bytes into a vector of records.
+template <TrivialRecord T>
+std::vector<T> from_bytes(std::span<const std::byte> bytes) {
+  std::vector<T> out(bytes.size() / sizeof(T));
+  if (!out.empty()) {
+    std::memcpy(out.data(), bytes.data(), out.size() * sizeof(T));
+  }
+  return out;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,66 @@
+// Small statistics helpers: running moments, percentiles, histograms.
+// Used by benches to report distributions (degree, similarity cost, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace knnpc {
+
+/// Online mean / variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile over a copied sample vector (nearest-rank definition).
+/// q in [0, 100]. Returns 0 for an empty sample.
+double percentile(std::vector<double> samples, double q);
+
+/// Fixed-width histogram over [lo, hi) with `buckets` buckets; samples
+/// outside the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Renders "lo..hi: count" lines, one per non-empty bucket.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace knnpc

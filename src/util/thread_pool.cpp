@@ -1,0 +1,74 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace knnpc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = std::max<std::size_t>(threads, 1);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_chunk) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  min_chunk = std::max<std::size_t>(min_chunk, 1);
+  const std::size_t max_chunks = (total + min_chunk - 1) / min_chunk;
+  const std::size_t chunks = std::min(workers_.size(), max_chunks);
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(lo + chunk_size, end);
+    if (lo >= hi) break;
+    futures.push_back(submit([&body, lo, hi] { body(lo, hi); }));
+  }
+  for (auto& f : futures) f.get();  // get() rethrows body exceptions
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+}  // namespace knnpc

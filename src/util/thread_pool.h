@@ -1,0 +1,49 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Phase 4 parallelises similarity computation over the tuple bundle of the
+// currently loaded PI edge (the paper's future-work "multiple threads").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace knnpc {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>=1; 0 is clamped to 1).
+  explicit ThreadPool(std::size_t threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Splits [begin, end) into contiguous chunks (one per worker, at least
+  /// `min_chunk` items each) and runs `body(chunk_begin, chunk_end)` on the
+  /// pool. Blocks until all chunks are done. Exceptions from the body are
+  /// rethrown (the first one).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t min_chunk = 1024);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace knnpc

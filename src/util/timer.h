@@ -1,0 +1,49 @@
+// Wall-clock timers used for per-phase measurement (Figure 1 breakdown).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace knnpc {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last reset.
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+  [[nodiscard]] std::uint64_t elapsed_us() const {
+    return static_cast<std::uint64_t>(elapsed_seconds() * 1e6);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed seconds into `*sink` on destruction.
+/// Used by the engine to attribute time to pipeline phases.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double* sink) : sink_(sink) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() {
+    if (sink_ != nullptr) *sink_ += timer_.elapsed_seconds();
+  }
+
+ private:
+  double* sink_;
+  Timer timer_;
+};
+
+}  // namespace knnpc

@@ -1,0 +1,57 @@
+// Common scalar types used across the knnpc library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace knnpc {
+
+/// Identifier of a (user) vertex in the KNN graph. 32 bits suffices for the
+/// single-PC scale the paper targets (tens of millions of users).
+using VertexId = std::uint32_t;
+
+/// Identifier of a graph partition R_i (phase 1 of the pipeline).
+using PartitionId = std::uint32_t;
+
+/// Identifier of a profile item (e.g. a rated movie, a document shingle).
+using ItemId = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no partition".
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+
+/// A directed edge (src -> dst) of the KNN graph G(t).
+struct Edge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A candidate pair (s, d) produced by phase 1/2: d is a neighbour or a
+/// neighbour's neighbour of s, and sim(s, d) must be evaluated in phase 4.
+struct Tuple {
+  VertexId s = kInvalidVertex;
+  VertexId d = kInvalidVertex;
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+  friend auto operator<=>(const Tuple&, const Tuple&) = default;
+};
+
+/// Packs a tuple into one 64-bit key (used by the hash table H).
+constexpr std::uint64_t tuple_key(Tuple t) noexcept {
+  return (static_cast<std::uint64_t>(t.s) << 32) | t.d;
+}
+
+/// Inverse of tuple_key().
+constexpr Tuple tuple_from_key(std::uint64_t key) noexcept {
+  return Tuple{static_cast<VertexId>(key >> 32),
+               static_cast<VertexId>(key & 0xffffffffu)};
+}
+
+}  // namespace knnpc

@@ -1,0 +1,131 @@
+// Tests for core/churn: the scripted dynamic-profile workload driver.
+#include <gtest/gtest.h>
+
+#include "core/churn.h"
+#include "core/metrics.h"
+#include "profiles/generators.h"
+#include "util/rng.h"
+
+namespace knnpc {
+namespace {
+
+ChurnConfig small_churn(VertexId n) {
+  ChurnConfig config;
+  config.rating_updates_per_iteration = 10;
+  config.drifting_users_per_iteration = 2;
+  config.reset_users_per_iteration = 1;
+  config.generator.base.num_users = n;
+  config.generator.base.num_items = 400;
+  config.generator.num_clusters = 8;
+  return config;
+}
+
+KnnEngine make_engine(VertexId /*n*/, const ChurnConfig& churn,
+                      std::uint64_t seed = 71) {
+  Rng rng(seed);
+  EngineConfig config;
+  config.k = 5;
+  config.num_partitions = 4;
+  return KnnEngine(config, clustered_profiles(churn.generator, rng));
+}
+
+TEST(ChurnDriverTest, PushesConfiguredUpdateCounts) {
+  const auto churn = small_churn(100);
+  auto engine = make_engine(100, churn);
+  ChurnDriver driver(churn);
+  const std::size_t pushed = driver.tick(engine);
+  EXPECT_EQ(pushed, 10u + 2u + 1u);
+  EXPECT_EQ(engine.update_queue().size(), pushed);
+}
+
+TEST(ChurnDriverTest, UpdatesApplyThroughPhase5) {
+  const auto churn = small_churn(100);
+  auto engine = make_engine(100, churn);
+  ChurnDriver driver(churn);
+  const std::size_t pushed = driver.tick(engine);
+  const IterationStats stats = engine.run_iteration();
+  EXPECT_EQ(stats.profile_updates_applied, pushed);
+  EXPECT_TRUE(engine.update_queue().empty());
+}
+
+TEST(ChurnDriverTest, DriftLogGrowsAndTargetsDifferentClusters) {
+  const auto churn = small_churn(100);
+  auto engine = make_engine(100, churn);
+  ChurnDriver driver(churn);
+  driver.tick(engine);
+  driver.tick(engine);
+  ASSERT_EQ(driver.drift_log().size(), 4u);
+  for (const auto& drift : driver.drift_log()) {
+    EXPECT_LT(drift.user, 100u);
+    EXPECT_LT(drift.to_cluster, 8u);
+    // Drift must actually change the community.
+    EXPECT_NE(drift.to_cluster, drift.user % 8);
+  }
+}
+
+TEST(ChurnDriverTest, DriftedProfileLandsInTargetBlock) {
+  const auto churn = small_churn(60);
+  auto engine = make_engine(60, churn);
+  ChurnDriver driver(churn);
+  driver.tick(engine);
+  engine.run_iteration();  // phase 5 applies the replacements
+  const ItemId block = 400 / 8;
+  for (const auto& drift : driver.drift_log()) {
+    const SparseProfile& p = engine.profiles().get(drift.user);
+    ASSERT_FALSE(p.empty());
+    // With in_cluster_prob defaulting to 0.8, most items sit in the
+    // target cluster's block.
+    std::size_t in_block = 0;
+    for (const ProfileEntry& e : p.entries()) {
+      const ItemId lo = drift.to_cluster * block;
+      in_block += e.item >= lo && e.item < lo + block;
+    }
+    EXPECT_GT(in_block * 2, p.size());  // majority in the target block
+  }
+}
+
+TEST(ChurnDriverTest, DeterministicPerSeed) {
+  const auto churn = small_churn(80);
+  auto engine_a = make_engine(80, churn);
+  auto engine_b = make_engine(80, churn);
+  ChurnDriver a(churn);
+  ChurnDriver b(churn);
+  a.tick(engine_a);
+  b.tick(engine_b);
+  ASSERT_EQ(a.drift_log().size(), b.drift_log().size());
+  for (std::size_t i = 0; i < a.drift_log().size(); ++i) {
+    EXPECT_EQ(a.drift_log()[i].user, b.drift_log()[i].user);
+    EXPECT_EQ(a.drift_log()[i].to_cluster, b.drift_log()[i].to_cluster);
+  }
+}
+
+TEST(ChurnDriverTest, SustainedChurnKeepsQualityHigh) {
+  auto churn = small_churn(150);
+  churn.rating_updates_per_iteration = 5;
+  churn.drifting_users_per_iteration = 1;
+  auto engine = make_engine(150, churn);
+  engine.run(8, 0.01);  // warm up
+  ChurnDriver driver(churn);
+  auto labels = planted_clusters(150, 8);
+  std::size_t seen = 0;
+  for (int iter = 0; iter < 6; ++iter) {
+    driver.tick(engine);
+    for (; seen < driver.drift_log().size(); ++seen) {
+      labels[driver.drift_log()[seen].user] =
+          driver.drift_log()[seen].to_cluster;
+    }
+    engine.run_iteration();
+  }
+  // Give the engine a couple of quiet iterations to absorb the backlog.
+  engine.run(4, 0.0);
+  EXPECT_GT(cluster_purity(engine.graph(), labels), 0.85);
+}
+
+TEST(ChurnDriverTest, RejectsZeroClusters) {
+  ChurnConfig bad;
+  bad.generator.num_clusters = 0;
+  EXPECT_THROW(ChurnDriver{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knnpc

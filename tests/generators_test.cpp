@@ -1,0 +1,218 @@
+// Tests for graph/generators: exact counts, structural invariants,
+// determinism, degree skew. Parameterized sweeps act as property tests.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/datasets.h"
+#include "graph/degree_stats.h"
+#include "graph/digraph.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace knnpc {
+namespace {
+
+bool has_self_loop(const EdgeList& list) {
+  for (const Edge& e : list.edges) {
+    if (e.src == e.dst) return true;
+  }
+  return false;
+}
+
+bool is_symmetric(const EdgeList& list) {
+  std::unordered_set<std::uint64_t> set;
+  for (const Edge& e : list.edges) set.insert(tuple_key({e.src, e.dst}));
+  for (const Edge& e : list.edges) {
+    if (!set.contains(tuple_key({e.dst, e.src}))) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------- erdos-renyi --
+
+TEST(ErdosRenyiTest, ExactEdgeCountNoLoopsNoDuplicates) {
+  Rng rng(1);
+  const EdgeList g = erdos_renyi(200, 1500, rng);
+  EXPECT_EQ(g.num_vertices, 200u);
+  EXPECT_EQ(g.edges.size(), 1500u);
+  EXPECT_FALSE(has_self_loop(g));
+  EXPECT_TRUE(is_sorted_unique(g));
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(erdos_renyi(50, 100, a).edges, erdos_renyi(50, 100, b).edges);
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleEdgeCount) {
+  Rng rng(1);
+  EXPECT_THROW(erdos_renyi(3, 7, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyiTest, FullDensityWorks) {
+  Rng rng(1);
+  const EdgeList g = erdos_renyi(5, 20, rng);  // 5*4 = all ordered pairs
+  EXPECT_EQ(g.edges.size(), 20u);
+}
+
+// ------------------------------------------------------- barabasi-albert --
+
+TEST(BarabasiAlbertTest, SymmetricNoLoops) {
+  Rng rng(2);
+  const EdgeList g = barabasi_albert(300, 3, rng);
+  EXPECT_EQ(g.num_vertices, 300u);
+  EXPECT_FALSE(has_self_loop(g));
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST(BarabasiAlbertTest, ProducesDegreeSkew) {
+  Rng rng(3);
+  const Digraph g(barabasi_albert(2000, 3, rng));
+  const DegreeSummary s = summarize_degrees(g);
+  // Preferential attachment must produce hubs well above the mean.
+  EXPECT_GT(static_cast<double>(s.max_total_degree),
+            5 * 2.0 * s.mean_out_degree);
+  EXPECT_GT(s.degree_gini, 0.2);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParameters) {
+  Rng rng(4);
+  EXPECT_THROW(barabasi_albert(3, 3, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- chung-lu --
+
+TEST(ChungLuTest, UndirectedExactPairCount) {
+  Rng rng(5);
+  const EdgeList g = chung_lu(500, 2000, 2.3, rng);
+  EXPECT_EQ(g.edges.size(), 4000u);  // symmetric: 2 directed per pair
+  EXPECT_FALSE(has_self_loop(g));
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST(ChungLuTest, HeavyTailPresent) {
+  Rng rng(6);
+  const Digraph g(chung_lu(3000, 15000, 2.3, rng));
+  const DegreeSummary s = summarize_degrees(g);
+  EXPECT_GT(s.degree_gini, 0.3);
+  EXPECT_GT(s.p99_total_degree, 3 * s.p50_total_degree);
+}
+
+TEST(ChungLuDirectedTest, ExactDirectedEdgeCount) {
+  Rng rng(7);
+  const EdgeList g = chung_lu_directed(1000, 8000, 2.3, rng);
+  EXPECT_EQ(g.edges.size(), 8000u);
+  EXPECT_FALSE(has_self_loop(g));
+  EXPECT_TRUE(is_sorted_unique(g));
+}
+
+TEST(ChungLuDirectedTest, DeterministicPerSeed) {
+  Rng a(8);
+  Rng b(8);
+  EXPECT_EQ(chung_lu_directed(200, 900, 2.3, a).edges,
+            chung_lu_directed(200, 900, 2.3, b).edges);
+}
+
+// -------------------------------------------------------- watts-strogatz --
+
+TEST(WattsStrogatzTest, SymmetricNoLoops) {
+  Rng rng(9);
+  const EdgeList g = watts_strogatz(200, 4, 0.1, rng);
+  EXPECT_FALSE(has_self_loop(g));
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRing) {
+  Rng rng(10);
+  const EdgeList g = watts_strogatz(50, 2, 0.0, rng);
+  // Pure ring: every vertex has exactly 2 links on each side -> degree 4.
+  const Digraph d(g);
+  for (VertexId v = 0; v < 50; ++v) {
+    EXPECT_EQ(d.out_degree(v), 4u);
+  }
+}
+
+// -------------------------------------------- deterministic small shapes --
+
+TEST(RingLatticeTest, DegreesAndWraparound) {
+  const EdgeList g = ring_lattice(10, 3);
+  const Digraph d(g);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(d.out_degree(v), 3u);
+  EXPECT_TRUE(d.out_neighbors(9)[0] == 0u || d.out_neighbors(9)[1] == 0u ||
+              d.out_neighbors(9)[2] == 0u);
+}
+
+TEST(RingLatticeTest, RejectsKGreaterEqualN) {
+  EXPECT_THROW(ring_lattice(5, 5), std::invalid_argument);
+}
+
+TEST(StarTest, HubStructure) {
+  const Digraph d(star(6));
+  EXPECT_EQ(d.out_degree(0), 5u);
+  EXPECT_EQ(d.in_degree(0), 5u);
+  for (VertexId v = 1; v < 6; ++v) {
+    EXPECT_EQ(d.out_degree(v), 1u);
+    EXPECT_EQ(d.in_degree(v), 1u);
+  }
+}
+
+TEST(CompleteTest, AllOrderedPairs) {
+  const EdgeList g = complete(6);
+  EXPECT_EQ(g.edges.size(), 30u);
+  EXPECT_FALSE(has_self_loop(g));
+}
+
+// ----------------------------------------------------- table-1 stand-ins --
+
+TEST(Table1DatasetsTest, RegistryHasSixRowsInPaperOrder) {
+  const auto& rows = table1_datasets();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].name, "wiki-vote");
+  EXPECT_EQ(rows[5].name, "gnutella");
+}
+
+TEST(Table1DatasetsTest, LookupByNameAndUnknownThrows) {
+  EXPECT_EQ(table1_dataset("email").nodes, 36692u);
+  EXPECT_THROW(table1_dataset("facebook"), std::invalid_argument);
+}
+
+// Every stand-in must match the paper's node/edge counts exactly and be
+// reproducible. Parameterized over all six rows.
+class Table1GraphTest : public ::testing::TestWithParam<Table1Dataset> {};
+
+TEST_P(Table1GraphTest, ExactCountsAndDeterminism) {
+  const Table1Dataset& row = GetParam();
+  const EdgeList g = generate_table1_graph(row);
+  EXPECT_EQ(g.num_vertices, row.nodes);
+  EXPECT_EQ(g.edges.size(), row.edges);
+  const EdgeList again = generate_table1_graph(row);
+  EXPECT_EQ(g.edges, again.edges);
+}
+
+TEST_P(Table1GraphTest, StandInHasHeavyTail) {
+  const Table1Dataset& row = GetParam();
+  const Digraph d(generate_table1_graph(row));
+  const DegreeSummary s = summarize_degrees(d);
+  // The heuristic comparison rests on degree skew; require a clear tail.
+  EXPECT_GT(s.degree_gini, 0.25) << row.name;
+  EXPECT_GT(static_cast<double>(s.max_total_degree),
+            4.0 * s.p50_total_degree)
+      << row.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, Table1GraphTest, ::testing::ValuesIn(table1_datasets()),
+    [](const ::testing::TestParamInfo<Table1Dataset>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace knnpc

@@ -1,0 +1,293 @@
+// Tests for graph/: edge lists, CSR digraph, KNN graph, SNAP I/O, degree
+// stats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/degree_stats.h"
+#include "graph/digraph.h"
+#include "graph/edge_list.h"
+#include "graph/generators.h"
+#include "graph/knn_graph.h"
+#include "graph/snap_io.h"
+#include "util/rng.h"
+
+namespace knnpc {
+namespace {
+
+EdgeList small_list() {
+  EdgeList list;
+  list.num_vertices = 4;
+  list.edges = {{0, 1}, {1, 2}, {2, 0}, {0, 2}, {3, 0}};
+  return list;
+}
+
+// ------------------------------------------------------------ edge list --
+
+TEST(EdgeListTest, SortAndDedupRemovesDuplicates) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{1, 2}, {0, 1}, {1, 2}, {0, 1}, {2, 0}};
+  sort_and_dedup(list);
+  EXPECT_EQ(list.edges.size(), 3u);
+  EXPECT_TRUE(is_sorted_unique(list));
+}
+
+TEST(EdgeListTest, RemoveSelfLoops) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 0}, {0, 1}, {1, 1}, {2, 1}};
+  remove_self_loops(list);
+  EXPECT_EQ(list.edges.size(), 2u);
+}
+
+TEST(EdgeListTest, FitNumVertices) {
+  EdgeList list;
+  list.edges = {{0, 9}, {4, 2}};
+  fit_num_vertices(list);
+  EXPECT_EQ(list.num_vertices, 10u);
+  EdgeList empty;
+  fit_num_vertices(empty);
+  EXPECT_EQ(empty.num_vertices, 0u);
+}
+
+TEST(EdgeListTest, EndpointsInRange) {
+  EdgeList list = small_list();
+  EXPECT_TRUE(endpoints_in_range(list));
+  list.num_vertices = 2;
+  EXPECT_FALSE(endpoints_in_range(list));
+}
+
+TEST(EdgeListTest, ReversedFlipsEveryEdge) {
+  const EdgeList rev = reversed(small_list());
+  EXPECT_EQ(rev.edges[0], (Edge{1, 0}));
+  EXPECT_EQ(rev.edges.size(), small_list().edges.size());
+}
+
+TEST(EdgeListTest, SymmetrizedContainsBothDirections) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1}, {1, 2}};
+  const EdgeList sym = symmetrized(list);
+  EXPECT_EQ(sym.edges.size(), 4u);
+  EXPECT_TRUE(is_sorted_unique(sym));
+}
+
+TEST(EdgeListTest, SymmetrizedIsIdempotentOnSymmetricInput) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1}, {1, 0}};
+  EXPECT_EQ(symmetrized(list).edges.size(), 2u);
+}
+
+// -------------------------------------------------------------- digraph --
+
+TEST(DigraphTest, BuildsCorrectAdjacency) {
+  const Digraph g(small_list());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  const auto out0 = g.out_neighbors(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0], 1u);
+  EXPECT_EQ(out0[1], 2u);
+  const auto in0 = g.in_neighbors(0);
+  ASSERT_EQ(in0.size(), 2u);
+  EXPECT_EQ(in0[0], 2u);
+  EXPECT_EQ(in0[1], 3u);
+}
+
+TEST(DigraphTest, DegreesMatchAdjacency) {
+  const Digraph g(small_list());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.out_degree(v), g.out_neighbors(v).size());
+    EXPECT_EQ(g.in_degree(v), g.in_neighbors(v).size());
+    EXPECT_EQ(g.degree(v), g.out_degree(v) + g.in_degree(v));
+  }
+}
+
+TEST(DigraphTest, RejectsOutOfRangeEndpoints) {
+  EdgeList bad;
+  bad.num_vertices = 2;
+  bad.edges = {{0, 5}};
+  EXPECT_THROW(Digraph{bad}, std::invalid_argument);
+}
+
+TEST(DigraphTest, ToEdgeListRoundTrips) {
+  EdgeList original = small_list();
+  sort_and_dedup(original);
+  const Digraph g(original);
+  EdgeList back = g.to_edge_list();
+  sort_and_dedup(back);
+  EXPECT_EQ(back.edges, original.edges);
+}
+
+TEST(DigraphTest, EmptyGraph) {
+  const Digraph g{EdgeList{}};
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DigraphTest, VertexWithNoEdges) {
+  EdgeList list;
+  list.num_vertices = 5;
+  list.edges = {{0, 1}};
+  const Digraph g(list);
+  EXPECT_TRUE(g.out_neighbors(4).empty());
+  EXPECT_TRUE(g.in_neighbors(4).empty());
+}
+
+// ------------------------------------------------------------ knn graph --
+
+TEST(KnnGraphTest, SetNeighborsSortsAndTruncates) {
+  KnnGraph g(3, 2);
+  g.set_neighbors(0, {{1, 0.5f}, {2, 0.9f}, {1, 0.1f}});
+  const auto list = g.neighbors(0);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].id, 2u);
+  EXPECT_FLOAT_EQ(list[0].score, 0.9f);
+  EXPECT_EQ(list[1].id, 1u);
+}
+
+TEST(KnnGraphTest, HasEdge) {
+  KnnGraph g(3, 2);
+  g.set_neighbors(0, {{1, 0.5f}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(KnnGraphTest, NumEdgesCountsAll) {
+  KnnGraph g(3, 2);
+  g.set_neighbors(0, {{1, 0.1f}, {2, 0.2f}});
+  g.set_neighbors(1, {{0, 0.3f}});
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(KnnGraphTest, ChangeRateZeroForIdenticalGraphs) {
+  KnnGraph g(4, 2);
+  g.set_neighbors(0, {{1, 0.5f}, {2, 0.25f}});
+  EXPECT_DOUBLE_EQ(KnnGraph::change_rate(g, g), 0.0);
+}
+
+TEST(KnnGraphTest, ChangeRateCountsSymmetricDifference) {
+  KnnGraph a(2, 2);
+  KnnGraph b(2, 2);
+  a.set_neighbors(0, {{1, 0.5f}});
+  b.set_neighbors(0, {{1, 0.9f}});  // same edge, different score: no change
+  EXPECT_DOUBLE_EQ(KnnGraph::change_rate(a, b), 0.0);
+  KnnGraph c(2, 2);
+  c.set_neighbors(1, {{0, 0.5f}});  // 1 removed + 1 added over n*k = 4
+  EXPECT_DOUBLE_EQ(KnnGraph::change_rate(a, c), 0.5);
+}
+
+TEST(KnnGraphTest, ChangeRateRejectsMismatchedSizes) {
+  KnnGraph a(2, 1);
+  KnnGraph b(3, 1);
+  EXPECT_THROW(KnnGraph::change_rate(a, b), std::invalid_argument);
+}
+
+TEST(KnnGraphTest, RandomGraphHasKDistinctNonSelfNeighbors) {
+  Rng rng(23);
+  const KnnGraph g = random_knn_graph(50, 5, rng);
+  for (VertexId v = 0; v < 50; ++v) {
+    const auto list = g.neighbors(v);
+    ASSERT_EQ(list.size(), 5u);
+    std::set<VertexId> ids;
+    for (const Neighbor& n : list) {
+      EXPECT_NE(n.id, v);
+      ids.insert(n.id);
+    }
+    EXPECT_EQ(ids.size(), 5u);
+  }
+}
+
+TEST(KnnGraphTest, RandomGraphClampsKForTinyGraphs) {
+  Rng rng(29);
+  const KnnGraph g = random_knn_graph(3, 10, rng);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.neighbors(v).size(), 2u);  // n-1
+  }
+}
+
+TEST(KnnGraphTest, ToEdgeListMatchesNeighbors) {
+  KnnGraph g(3, 2);
+  g.set_neighbors(0, {{1, 0.5f}, {2, 0.4f}});
+  g.set_neighbors(2, {{0, 0.3f}});
+  const EdgeList list = g.to_edge_list();
+  EXPECT_EQ(list.num_vertices, 3u);
+  EXPECT_EQ(list.edges.size(), 3u);
+}
+
+// -------------------------------------------------------------- snap io --
+
+TEST(SnapIoTest, RoundTripThroughStream) {
+  EdgeList original = small_list();
+  sort_and_dedup(original);
+  std::stringstream buffer;
+  save_snap(buffer, original);
+  const EdgeList loaded = load_snap(buffer);
+  EXPECT_EQ(loaded.edges.size(), original.edges.size());
+  EXPECT_EQ(loaded.num_vertices, original.num_vertices);
+}
+
+TEST(SnapIoTest, SkipsCommentsAndBlankLines) {
+  std::stringstream in("# header\n\n0\t1\n% other comment\n1\t2\n");
+  const EdgeList list = load_snap(in);
+  EXPECT_EQ(list.edges.size(), 2u);
+  EXPECT_EQ(list.num_vertices, 3u);
+}
+
+TEST(SnapIoTest, CompactsSparseVertexIds) {
+  std::stringstream in("1000000\t5000000\n5000000\t1000000\n");
+  const EdgeList list = load_snap(in);
+  EXPECT_EQ(list.num_vertices, 2u);
+  EXPECT_EQ(list.edges[0], (Edge{0, 1}));
+  EXPECT_EQ(list.edges[1], (Edge{1, 0}));
+}
+
+TEST(SnapIoTest, MalformedLineThrows) {
+  std::stringstream in("0\t1\nnot numbers\n");
+  EXPECT_THROW(load_snap(in), std::runtime_error);
+}
+
+TEST(SnapIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_snap_file("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------- degree stats --
+
+TEST(DegreeStatsTest, SummaryOnStar) {
+  const Digraph g(star(11));
+  const DegreeSummary s = summarize_degrees(g);
+  EXPECT_EQ(s.num_vertices, 11u);
+  EXPECT_EQ(s.num_edges, 20u);
+  EXPECT_EQ(s.max_total_degree, 20u);  // hub: 10 out + 10 in
+  EXPECT_GT(s.degree_gini, 0.4);       // extremely skewed
+}
+
+TEST(DegreeStatsTest, RegularGraphHasZeroGini) {
+  const Digraph g(ring_lattice(20, 3));
+  const DegreeSummary s = summarize_degrees(g);
+  EXPECT_NEAR(s.degree_gini, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean_out_degree, 3.0);
+}
+
+TEST(DegreeStatsTest, HistogramSumsToVertexCount) {
+  Rng rng(31);
+  const Digraph g(erdos_renyi(100, 400, rng));
+  const auto hist = degree_histogram(g);
+  std::size_t total = 0;
+  for (std::size_t c : hist) total += c;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(DegreeStatsTest, EmptyGraphSummary) {
+  const Digraph g{EdgeList{}};
+  const DegreeSummary s = summarize_degrees(g);
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+}
+
+}  // namespace
+}  // namespace knnpc

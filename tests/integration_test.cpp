@@ -1,0 +1,203 @@
+// Cross-module integration tests: the full out-of-core pipeline compared
+// against the in-memory baselines, partitioner/heuristic combinations, and
+// an end-to-end dynamic-profile scenario.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "core/nn_descent.h"
+#include "profiles/generators.h"
+#include "storage/block_file.h"
+#include "util/rng.h"
+
+namespace knnpc {
+namespace {
+
+struct World {
+  std::vector<SparseProfile> profiles;
+  std::vector<std::uint32_t> labels;
+  InMemoryProfileStore store;
+
+  World(VertexId n, std::uint32_t clusters, std::uint64_t seed) {
+    Rng rng(seed);
+    ClusteredGenConfig config;
+    config.base.num_users = n;
+    config.base.num_items = 500;
+    config.base.min_items = 15;
+    config.base.max_items = 25;
+    config.num_clusters = clusters;
+    config.in_cluster_prob = 0.9;
+    profiles = clustered_profiles(config, rng);
+    labels = planted_clusters(n, clusters);
+    store = InMemoryProfileStore(profiles);
+  }
+};
+
+TEST(IntegrationTest, EngineMatchesNnDescentQuality) {
+  World world(180, 9, 201);
+  const std::uint32_t k = 8;
+
+  const KnnGraph exact =
+      brute_force_knn(world.store, k, SimilarityMeasure::Cosine, 8);
+
+  NnDescentConfig nnd;
+  nnd.k = k;
+  const KnnGraph descent = nn_descent(world.store, nnd);
+
+  EngineConfig config;
+  config.k = k;
+  config.num_partitions = 6;
+  KnnEngine engine(config, world.profiles);
+  engine.run(15, 0.005);
+
+  const double engine_recall = recall_at_k(engine.graph(), exact);
+  const double descent_recall = recall_at_k(descent, exact);
+  EXPECT_GT(engine_recall, 0.85);
+  // Out-of-core execution must not lose quality vs in-memory NN-Descent
+  // (both approximate; allow a modest band).
+  EXPECT_GT(engine_recall, descent_recall - 0.1);
+}
+
+TEST(IntegrationTest, ConvergedGraphIsClusterPure) {
+  World world(150, 5, 202);
+  EngineConfig config;
+  config.k = 6;
+  config.num_partitions = 5;
+  KnnEngine engine(config, world.profiles);
+  engine.run(15, 0.005);
+  EXPECT_GT(cluster_purity(engine.graph(), world.labels), 0.9);
+}
+
+// All partitioner x heuristic combinations must produce identical KNN
+// graphs: placement and order are pure I/O concerns.
+struct Combo {
+  std::string partitioner;
+  std::string heuristic;
+};
+
+class ComboTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ComboTest, KnnOutputInvariantAcrossCombos) {
+  World world(90, 3, 203);
+  EngineConfig reference_config;
+  reference_config.k = 5;
+  reference_config.num_partitions = 4;
+  KnnEngine reference(reference_config, world.profiles);
+  reference.run_iteration();
+
+  EngineConfig config = reference_config;
+  config.partitioner = GetParam().partitioner;
+  config.heuristic = GetParam().heuristic;
+  KnnEngine engine(config, world.profiles);
+  engine.run_iteration();
+
+  for (VertexId v = 0; v < 90; ++v) {
+    const auto na = reference.graph().neighbors(v);
+    const auto nb = engine.graph().neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].id, nb[i].id)
+          << GetParam().partitioner << "/" << GetParam().heuristic;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartitionerByHeuristic, ComboTest,
+    ::testing::Values(Combo{"range", "sequential"}, Combo{"range", "low-high"},
+                      Combo{"hash", "high-low"}, Combo{"hash", "low-high"},
+                      Combo{"greedy", "sequential"},
+                      Combo{"greedy", "greedy-resident"}),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      std::string name =
+          info.param.partitioner + "_" + info.param.heuristic;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(IntegrationTest, DynamicProfilesTrackDrift) {
+  // Users 0..9 migrate to cluster 1's item block via queued updates; the
+  // converged KNN graph must follow them.
+  World world(100, 5, 204);
+  EngineConfig config;
+  config.k = 5;
+  config.num_partitions = 4;
+  KnnEngine engine(config, world.profiles);
+  engine.run(10, 0.005);
+
+  // Move user 0 into an exact copy of user 1 (cluster 1).
+  ProfileUpdate update;
+  update.kind = ProfileUpdate::Kind::Replace;
+  update.user = 0;
+  update.profile = world.profiles[1];
+  engine.update_queue().push(std::move(update));
+  engine.run_iteration();  // applies the update in phase 5
+  engine.run(12, 0.0);     // random restarts re-discover the new cluster
+
+  const auto list = engine.graph().neighbors(0);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list[0].id, 1u);
+}
+
+TEST(IntegrationTest, WorkDirIsReusableAcrossEngines) {
+  ScratchDir dir("itest-workdir");
+  World world(60, 3, 205);
+  EngineConfig config;
+  config.k = 4;
+  config.num_partitions = 3;
+  config.work_dir = (dir.path() / "engine").string();
+  {
+    KnnEngine first(config, world.profiles);
+    first.run_iteration();
+  }
+  // Second engine reuses the same directory (files are overwritten).
+  KnnEngine second(config, world.profiles);
+  second.run_iteration();
+  EXPECT_EQ(second.graph().num_vertices(), 60u);
+  EXPECT_TRUE(std::filesystem::exists(config.work_dir));
+}
+
+TEST(IntegrationTest, UniformProfilesStillProduceFullGraphs) {
+  // No planted structure: the pipeline must still produce k neighbours for
+  // every user once candidates propagate.
+  Rng rng(206);
+  ProfileGenConfig pconfig;
+  pconfig.num_users = 80;
+  pconfig.num_items = 60;  // dense overlap so similarities are nonzero
+  pconfig.min_items = 10;
+  pconfig.max_items = 20;
+  EngineConfig config;
+  config.k = 4;
+  config.num_partitions = 4;
+  KnnEngine engine(config, uniform_profiles(pconfig, rng));
+  engine.run(5, 0.001);
+  std::size_t full = 0;
+  for (VertexId v = 0; v < 80; ++v) {
+    if (engine.graph().neighbors(v).size() == 4u) ++full;
+  }
+  EXPECT_GT(full, 70u);
+}
+
+TEST(IntegrationTest, LargerRunSmokeTest) {
+  // A bigger end-to-end run exercising multi-partition, multi-thread and
+  // the greedy partitioner together.
+  World world(400, 10, 207);
+  EngineConfig config;
+  config.k = 10;
+  config.num_partitions = 8;
+  config.partitioner = "greedy";
+  config.heuristic = "low-high";
+  config.threads = 4;
+  KnnEngine engine(config, world.profiles);
+  const RunStats run = engine.run(10, 0.01);
+  EXPECT_GE(run.iterations.size(), 2u);
+  EXPECT_GT(cluster_purity(engine.graph(), world.labels), 0.8);
+}
+
+}  // namespace
+}  // namespace knnpc

@@ -1,0 +1,224 @@
+// Tests for partition/: assignment, the paper's objective, all
+// partitioners, and the refinement pass.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/assignment.h"
+#include "partition/cost.h"
+#include "partition/greedy_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "partition/partitioner.h"
+#include "partition/range_partitioner.h"
+#include "partition/refinement.h"
+#include "util/rng.h"
+
+namespace knnpc {
+namespace {
+
+// ------------------------------------------------------------ assignment --
+
+TEST(AssignmentTest, StartsUnassigned) {
+  PartitionAssignment a(5, 2);
+  EXPECT_FALSE(a.fully_assigned());
+  EXPECT_EQ(a.owner(0), kInvalidPartition);
+  a.assign(0, 1);
+  EXPECT_EQ(a.owner(0), 1u);
+}
+
+TEST(AssignmentTest, RejectsOutOfRange) {
+  PartitionAssignment a(5, 2);
+  EXPECT_THROW(a.assign(0, 2), std::invalid_argument);
+  EXPECT_THROW(a.assign(99, 0), std::out_of_range);
+  EXPECT_THROW(PartitionAssignment(5, 0), std::invalid_argument);
+  EXPECT_THROW(PartitionAssignment({0, 1, 5}, 2), std::invalid_argument);
+}
+
+TEST(AssignmentTest, MembersAndSizes) {
+  PartitionAssignment a({0, 1, 0, 1, 0}, 2);
+  EXPECT_EQ(a.members(0), (std::vector<VertexId>{0, 2, 4}));
+  EXPECT_EQ(a.members(1), (std::vector<VertexId>{1, 3}));
+  EXPECT_EQ(a.sizes(), (std::vector<std::size_t>{3, 2}));
+}
+
+TEST(AssignmentTest, ImbalanceOfPerfectSplit) {
+  PartitionAssignment a({0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(a.imbalance(), 1.0);
+  PartitionAssignment skewed({0, 0, 0, 1}, 2);
+  EXPECT_DOUBLE_EQ(skewed.imbalance(), 1.5);
+}
+
+// ------------------------------------------------------------- objective --
+
+TEST(CostTest, HandComputedExample) {
+  // 0 -> 1, 1 -> 2, 2 -> 0 on partitions {0,1}|{2}.
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1}, {1, 2}, {2, 0}};
+  const Digraph g(list);
+  PartitionAssignment a({0, 0, 1}, 2);
+  const PartitionCost cost = partition_cost(g, a);
+  // P0 in-sources: in(0)={2}, in(1)={0} -> {2, 0} = 2 unique.
+  // P0 out-dests: out(0)={1}, out(1)={2} -> {1, 2} = 2 unique.
+  // P1 in-sources: in(2)={1} -> 1. P1 out-dests: out(2)={0} -> 1.
+  EXPECT_EQ(cost.unique_in_sources[0], 2u);
+  EXPECT_EQ(cost.unique_out_destinations[0], 2u);
+  EXPECT_EQ(cost.unique_in_sources[1], 1u);
+  EXPECT_EQ(cost.unique_out_destinations[1], 1u);
+  EXPECT_EQ(cost.total, 6u);
+}
+
+TEST(CostTest, ExternalVariantExcludesInternalEndpoints) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1}, {1, 2}, {2, 0}};
+  const Digraph g(list);
+  PartitionAssignment a({0, 0, 1}, 2);
+  const PartitionCost ext = external_partition_cost(g, a);
+  // P0: in-source 2 (external), out-dest 2 (external); the 0<->1 edge is
+  // internal and excluded. P1: in-source 1, out-dest 0, both external.
+  EXPECT_EQ(ext.total, 4u);
+  EXPECT_LE(ext.total, partition_cost(g, a).total);
+}
+
+TEST(CostTest, SinglePartitionExternalCostIsZero) {
+  Rng rng(61);
+  const Digraph g(erdos_renyi(30, 100, rng));
+  PartitionAssignment a(std::vector<PartitionId>(30, 0), 1);
+  EXPECT_EQ(external_partition_cost(g, a).total, 0u);
+  EXPECT_EQ(edge_cut(g, a), 0u);
+}
+
+TEST(CostTest, EdgeCutCountsCrossingEdges) {
+  EdgeList list;
+  list.num_vertices = 4;
+  list.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const Digraph g(list);
+  PartitionAssignment a({0, 0, 1, 1}, 2);
+  EXPECT_EQ(edge_cut(g, a), 2u);  // 1->2 and 3->0 cross
+}
+
+// ----------------------------------------------------------- partitioners --
+
+class PartitionerContractTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PartitionerContractTest, FullyAssignedAndBalanced) {
+  Rng rng(67);
+  const Digraph g(chung_lu(400, 1600, 2.3, rng));
+  const auto partitioner = make_partitioner(GetParam());
+  for (PartitionId m : {2u, 5u, 8u}) {
+    const PartitionAssignment a = partitioner->assign(g, m);
+    EXPECT_TRUE(a.fully_assigned()) << GetParam() << " m=" << m;
+    EXPECT_EQ(a.num_partitions(), m);
+    EXPECT_LE(a.imbalance(), 1.0 + 1e-9) << GetParam() << " m=" << m;
+  }
+}
+
+TEST_P(PartitionerContractTest, DeterministicAcrossCalls) {
+  Rng rng(71);
+  const Digraph g(erdos_renyi(100, 500, rng));
+  const auto partitioner = make_partitioner(GetParam());
+  const auto a = partitioner->assign(g, 4);
+  const auto b = partitioner->assign(g, 4);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(a.owner(v), b.owner(v));
+}
+
+TEST_P(PartitionerContractTest, SinglePartitionTrivial) {
+  Rng rng(73);
+  const Digraph g(erdos_renyi(20, 50, rng));
+  const auto a = make_partitioner(GetParam())->assign(g, 1);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(a.owner(v), 0u);
+}
+
+TEST_P(PartitionerContractTest, MorePartitionsThanVerticesIsFine) {
+  Rng rng(79);
+  const Digraph g(erdos_renyi(5, 10, rng));
+  const auto a = make_partitioner(GetParam())->assign(g, 8);
+  EXPECT_TRUE(a.fully_assigned());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitioners, PartitionerContractTest,
+                         ::testing::Values("range", "hash", "greedy"));
+
+TEST(PartitionerFactoryTest, UnknownNameThrows) {
+  EXPECT_THROW(make_partitioner("metis"), std::invalid_argument);
+}
+
+TEST(RangePartitionerTest, ContiguousChunks) {
+  Rng rng(83);
+  const Digraph g(erdos_renyi(10, 20, rng));
+  const auto a = RangePartitioner{}.assign(g, 2);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(a.owner(v), 0u);
+  for (VertexId v = 5; v < 10; ++v) EXPECT_EQ(a.owner(v), 1u);
+}
+
+TEST(GreedyPartitionerTest, BeatsHashOnClusteredGraph) {
+  // A graph of 8 dense cliques: a locality-aware partitioner should place
+  // cliques together, beating the locality-destroying hash baseline.
+  EdgeList list;
+  list.num_vertices = 160;
+  for (VertexId c = 0; c < 8; ++c) {
+    const VertexId base = c * 20;
+    for (VertexId i = 0; i < 20; ++i) {
+      for (VertexId j = 0; j < 20; ++j) {
+        if (i != j) list.edges.push_back({base + i, base + j});
+      }
+    }
+  }
+  const Digraph g(list);
+  const auto greedy = GreedyPartitioner{}.assign(g, 8);
+  const auto hashed = HashPartitioner{}.assign(g, 8);
+  EXPECT_LT(partition_cost(g, greedy).total,
+            partition_cost(g, hashed).total);
+}
+
+// ------------------------------------------------------------- refinement --
+
+TEST(RefinementTest, NeverWorsensObjective) {
+  Rng rng(89);
+  const Digraph g(chung_lu(300, 1200, 2.3, rng));
+  auto assignment = HashPartitioner{}.assign(g, 4);
+  const std::size_t before = partition_cost(g, assignment).total;
+  const RefinementResult result = refine_swaps(g, assignment, 4, 512);
+  EXPECT_EQ(result.cost_before, before);
+  EXPECT_LE(result.cost_after, result.cost_before);
+  EXPECT_EQ(partition_cost(g, assignment).total, result.cost_after);
+}
+
+TEST(RefinementTest, PreservesPartitionSizes) {
+  Rng rng(97);
+  const Digraph g(erdos_renyi(200, 800, rng));
+  auto assignment = RangePartitioner{}.assign(g, 4);
+  const auto sizes_before = assignment.sizes();
+  refine_swaps(g, assignment, 4, 512);
+  EXPECT_EQ(assignment.sizes(), sizes_before);
+}
+
+TEST(RefinementTest, ImprovesHashPartitionOnCliqueGraph) {
+  EdgeList list;
+  list.num_vertices = 60;
+  for (VertexId c = 0; c < 3; ++c) {
+    const VertexId base = c * 20;
+    for (VertexId i = 0; i < 20; ++i) {
+      for (VertexId j = 0; j < 20; ++j) {
+        if (i != j) list.edges.push_back({base + i, base + j});
+      }
+    }
+  }
+  const Digraph g(list);
+  auto assignment = HashPartitioner{}.assign(g, 3);
+  const RefinementResult result = refine_swaps(g, assignment, 16, 4096);
+  EXPECT_LT(result.cost_after, result.cost_before);
+}
+
+TEST(RefinementTest, TrivialCasesNoop) {
+  Rng rng(101);
+  const Digraph g(erdos_renyi(10, 20, rng));
+  auto single = RangePartitioner{}.assign(g, 1);
+  const auto result = refine_swaps(g, single);
+  EXPECT_EQ(result.swaps_applied, 0u);
+  EXPECT_EQ(result.cost_before, result.cost_after);
+}
+
+}  // namespace
+}  // namespace knnpc

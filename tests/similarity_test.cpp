@@ -1,0 +1,245 @@
+// Tests for profiles/similarity: correctness of each measure, edge cases,
+// and shared properties (symmetry, range, self-similarity maximality)
+// via parameterized sweeps over all measures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "profiles/generators.h"
+#include "profiles/similarity.h"
+#include "util/rng.h"
+
+namespace knnpc {
+namespace {
+
+SparseProfile prof(std::vector<ProfileEntry> entries) {
+  return SparseProfile(std::move(entries));
+}
+
+// ----------------------------------------------------- individual measures
+
+TEST(CosineTest, KnownValues) {
+  const auto a = prof({{1, 1.0f}, {2, 1.0f}});
+  const auto b = prof({{1, 1.0f}, {2, 1.0f}});
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0f, 1e-6);
+  const auto c = prof({{3, 1.0f}});
+  EXPECT_FLOAT_EQ(cosine_similarity(a, c), 0.0f);
+  const auto d = prof({{1, 1.0f}});
+  EXPECT_NEAR(cosine_similarity(a, d), 1.0f / std::sqrt(2.0f), 1e-6);
+}
+
+TEST(CosineTest, EmptyProfileGivesZero) {
+  EXPECT_FLOAT_EQ(cosine_similarity(prof({}), prof({{1, 1.0f}})), 0.0f);
+  EXPECT_FLOAT_EQ(cosine_similarity(prof({}), prof({})), 0.0f);
+}
+
+TEST(CosineTest, ScaleInvariant) {
+  const auto a = prof({{1, 1.0f}, {2, 3.0f}});
+  const auto b = prof({{1, 2.0f}, {2, 6.0f}});  // 2x scaled
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0f, 1e-6);
+}
+
+TEST(JaccardTest, KnownValues) {
+  const auto a = prof({{1, 1.0f}, {2, 1.0f}, {3, 1.0f}});
+  const auto b = prof({{2, 5.0f}, {3, 5.0f}, {4, 5.0f}});
+  // intersection 2, union 4.
+  EXPECT_FLOAT_EQ(jaccard_similarity(a, b), 0.5f);
+  EXPECT_FLOAT_EQ(jaccard_similarity(a, a), 1.0f);
+  EXPECT_FLOAT_EQ(jaccard_similarity(a, prof({})), 0.0f);
+}
+
+TEST(JaccardTest, IgnoresWeights) {
+  const auto a = prof({{1, 0.1f}});
+  const auto b = prof({{1, 100.0f}});
+  EXPECT_FLOAT_EQ(jaccard_similarity(a, b), 1.0f);
+}
+
+TEST(DiceTest, KnownValues) {
+  const auto a = prof({{1, 1.0f}, {2, 1.0f}});
+  const auto b = prof({{2, 1.0f}, {3, 1.0f}, {4, 1.0f}});
+  // 2*1 / (2+3) = 0.4.
+  EXPECT_FLOAT_EQ(dice_similarity(a, b), 0.4f);
+}
+
+TEST(OverlapTest, KnownValues) {
+  const auto a = prof({{1, 1.0f}, {2, 1.0f}});
+  const auto b = prof({{1, 1.0f}, {2, 1.0f}, {3, 1.0f}, {4, 1.0f}});
+  // intersection 2 / min(2, 4) = 1.
+  EXPECT_FLOAT_EQ(overlap_similarity(a, b), 1.0f);
+  EXPECT_FLOAT_EQ(overlap_similarity(a, prof({})), 0.0f);
+}
+
+TEST(CommonItemsTest, CountsIntersection) {
+  const auto a = prof({{1, 1.0f}, {2, 1.0f}, {3, 1.0f}});
+  const auto b = prof({{3, 1.0f}, {4, 1.0f}});
+  EXPECT_FLOAT_EQ(common_items(a, b), 1.0f);
+  EXPECT_FLOAT_EQ(common_items(a, a), 3.0f);
+}
+
+TEST(InverseEuclideanTest, KnownValues) {
+  const auto a = prof({{1, 3.0f}});
+  const auto b = prof({{2, 4.0f}});
+  // distance 5 -> 1/6.
+  EXPECT_NEAR(inverse_euclidean(a, b), 1.0f / 6.0f, 1e-6);
+  EXPECT_FLOAT_EQ(inverse_euclidean(a, a), 1.0f);
+  // Two empty profiles: identical -> similarity 1 (documented).
+  EXPECT_FLOAT_EQ(inverse_euclidean(prof({}), prof({})), 1.0f);
+}
+
+TEST(PearsonTest, PerfectCorrelationMapsToOne) {
+  // b = 2a over common items: correlation 1 -> similarity 1.
+  const auto a = prof({{1, 1.0f}, {2, 2.0f}, {3, 3.0f}});
+  const auto b = prof({{1, 2.0f}, {2, 4.0f}, {3, 6.0f}});
+  EXPECT_NEAR(pearson_similarity(a, b), 1.0f, 1e-5);
+}
+
+TEST(PearsonTest, PerfectAnticorrelationMapsToZero) {
+  const auto a = prof({{1, 1.0f}, {2, 2.0f}, {3, 3.0f}});
+  const auto b = prof({{1, 3.0f}, {2, 2.0f}, {3, 1.0f}});
+  EXPECT_NEAR(pearson_similarity(a, b), 0.0f, 1e-5);
+}
+
+TEST(PearsonTest, InsufficientOverlapIsNeutral) {
+  const auto a = prof({{1, 1.0f}, {2, 2.0f}});
+  const auto b = prof({{2, 5.0f}, {9, 1.0f}});  // one common item
+  EXPECT_FLOAT_EQ(pearson_similarity(a, b), 0.5f);
+  EXPECT_FLOAT_EQ(pearson_similarity(a, prof({})), 0.5f);
+}
+
+TEST(PearsonTest, ConstantRatingsAreNeutral) {
+  // Zero variance over common items: correlation undefined -> 0.5.
+  const auto a = prof({{1, 3.0f}, {2, 3.0f}});
+  const auto b = prof({{1, 1.0f}, {2, 5.0f}});
+  EXPECT_FLOAT_EQ(pearson_similarity(a, b), 0.5f);
+}
+
+TEST(AdjustedCosineTest, AgreesWithPearsonOnFullOverlap) {
+  // When both profiles cover exactly the same items, the user means equal
+  // the common-item means, so the two measures coincide.
+  const auto a = prof({{1, 1.0f}, {2, 4.0f}, {3, 2.0f}});
+  const auto b = prof({{1, 2.0f}, {2, 5.0f}, {3, 1.0f}});
+  EXPECT_NEAR(adjusted_cosine(a, b), pearson_similarity(a, b), 1e-5);
+}
+
+TEST(AdjustedCosineTest, MeanCenteringRemovesRatingBias) {
+  // b rates everything 2 stars above a with the same *shape*: adjusted
+  // cosine sees them as identical tastes.
+  const auto a = prof({{1, 1.0f}, {2, 3.0f}, {3, 2.0f}});
+  const auto b = prof({{1, 3.0f}, {2, 5.0f}, {3, 4.0f}});
+  EXPECT_NEAR(adjusted_cosine(a, b), 1.0f, 1e-5);
+  // Plain cosine does not fully align them.
+  EXPECT_LT(cosine_similarity(a, b), 1.0f);
+}
+
+// ------------------------------------------------------- name round-trip --
+
+TEST(SimilarityNamesTest, ParseAndNameRoundTrip) {
+  for (auto m : {SimilarityMeasure::Cosine, SimilarityMeasure::Jaccard,
+                 SimilarityMeasure::Dice, SimilarityMeasure::Overlap,
+                 SimilarityMeasure::CommonItems,
+                 SimilarityMeasure::InverseEuclid,
+                 SimilarityMeasure::Pearson,
+                 SimilarityMeasure::AdjustedCosine}) {
+    EXPECT_EQ(parse_similarity(similarity_name(m)), m);
+  }
+  EXPECT_THROW(parse_similarity("manhattan"), std::invalid_argument);
+}
+
+// -------------------------------------------- shared measure properties --
+
+class MeasurePropertyTest
+    : public ::testing::TestWithParam<SimilarityMeasure> {};
+
+TEST_P(MeasurePropertyTest, Symmetric) {
+  Rng rng(101);
+  ProfileGenConfig config;
+  config.num_users = 40;
+  config.num_items = 100;
+  const auto profiles = uniform_profiles(config, rng);
+  for (std::size_t i = 0; i + 1 < profiles.size(); i += 2) {
+    EXPECT_FLOAT_EQ(similarity(GetParam(), profiles[i], profiles[i + 1]),
+                    similarity(GetParam(), profiles[i + 1], profiles[i]));
+  }
+}
+
+TEST_P(MeasurePropertyTest, NonNegative) {
+  Rng rng(103);
+  ProfileGenConfig config;
+  config.num_users = 40;
+  config.num_items = 50;  // dense enough for overlaps
+  const auto profiles = uniform_profiles(config, rng);
+  for (std::size_t i = 0; i + 1 < profiles.size(); i += 2) {
+    EXPECT_GE(similarity(GetParam(), profiles[i], profiles[i + 1]), 0.0f);
+  }
+}
+
+TEST_P(MeasurePropertyTest, SelfSimilarityIsMaximal) {
+  Rng rng(107);
+  ProfileGenConfig config;
+  config.num_users = 20;
+  config.num_items = 100;
+  const auto profiles = uniform_profiles(config, rng);
+  for (const auto& p : profiles) {
+    const float self = similarity(GetParam(), p, p);
+    for (const auto& q : profiles) {
+      EXPECT_LE(similarity(GetParam(), p, q), self + 1e-5f);
+    }
+  }
+}
+
+TEST_P(MeasurePropertyTest, DisjointProfilesScoreNoHigherThanIdentical) {
+  // Weights vary so the correlation measures have signal.
+  const auto a = prof({{1, 1.0f}, {2, 2.0f}, {3, 0.5f}});
+  const auto b = prof({{10, 1.0f}, {20, 2.0f}});
+  EXPECT_LT(similarity(GetParam(), a, b), similarity(GetParam(), a, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeasures, MeasurePropertyTest,
+    ::testing::Values(SimilarityMeasure::Cosine, SimilarityMeasure::Jaccard,
+                      SimilarityMeasure::Dice, SimilarityMeasure::Overlap,
+                      SimilarityMeasure::CommonItems,
+                      SimilarityMeasure::InverseEuclid,
+                      SimilarityMeasure::Pearson,
+                      SimilarityMeasure::AdjustedCosine),
+    [](const ::testing::TestParamInfo<SimilarityMeasure>& info) {
+      std::string name = similarity_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// Clustered profiles must score higher inside a cluster than across —
+// the planted ground truth the engine's quality metrics rely on.
+TEST(SimilarityStructureTest, InClusterBeatsCrossClusterOnAverage) {
+  Rng rng(109);
+  ClusteredGenConfig config;
+  config.base.num_users = 100;
+  config.base.num_items = 500;
+  config.base.min_items = 15;
+  config.base.max_items = 25;
+  config.num_clusters = 5;
+  config.in_cluster_prob = 0.9;
+  const auto profiles = clustered_profiles(config, rng);
+  double intra = 0.0;
+  double cross = 0.0;
+  std::size_t intra_n = 0;
+  std::size_t cross_n = 0;
+  for (VertexId a = 0; a < 100; ++a) {
+    for (VertexId b = a + 1; b < 100; ++b) {
+      const float s = cosine_similarity(profiles[a], profiles[b]);
+      if (a % 5 == b % 5) {
+        intra += s;
+        ++intra_n;
+      } else {
+        cross += s;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(intra / intra_n, 3.0 * (cross / cross_n));
+}
+
+}  // namespace
+}  // namespace knnpc

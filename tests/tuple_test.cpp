@@ -1,0 +1,158 @@
+// Tests for core/tuple_table and core/tuple_generation: dedup semantics
+// (phase 2) and the sorted merge-join (phase 1's payoff).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/tuple_generation.h"
+#include "core/tuple_table.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace knnpc {
+namespace {
+
+// ------------------------------------------------------------ tuple table --
+
+TEST(TupleTableTest, InsertReportsNovelty) {
+  TupleTable table;
+  EXPECT_TRUE(table.insert({1, 2}));
+  EXPECT_FALSE(table.insert({1, 2}));
+  EXPECT_TRUE(table.insert({2, 1}));  // ordered pair: distinct
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.attempts(), 3u);
+}
+
+TEST(TupleTableTest, ContainsAfterInsert) {
+  TupleTable table;
+  table.insert({5, 9});
+  EXPECT_TRUE(table.contains({5, 9}));
+  EXPECT_FALSE(table.contains({9, 5}));
+}
+
+TEST(TupleTableTest, GrowsPastInitialCapacity) {
+  TupleTable table(4);
+  for (VertexId i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(table.insert({i, i + 1}));
+  }
+  EXPECT_EQ(table.size(), 10000u);
+  for (VertexId i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(table.contains({i, i + 1}));
+  }
+}
+
+TEST(TupleTableTest, ForEachVisitsExactlyStoredTuples) {
+  TupleTable table;
+  std::set<std::uint64_t> expected;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const Tuple t{static_cast<VertexId>(rng.next_below(100)),
+                  static_cast<VertexId>(rng.next_below(100))};
+    table.insert(t);
+    expected.insert(tuple_key(t));
+  }
+  std::set<std::uint64_t> visited;
+  table.for_each([&](Tuple t) { visited.insert(tuple_key(t)); });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(TupleTableTest, ClearResets) {
+  TupleTable table;
+  table.insert({1, 2});
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.attempts(), 0u);
+  EXPECT_FALSE(table.contains({1, 2}));
+  EXPECT_TRUE(table.insert({1, 2}));
+}
+
+TEST(TupleTableTest, DedupRatioExample) {
+  // The paper's motivating duplicates: cycles and multi-bridge paths.
+  TupleTable table;
+  // a->b->d and a->c->d both emit (a, d).
+  table.insert({0, 3});
+  table.insert({0, 3});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.attempts(), 2u);
+}
+
+// ------------------------------------------------------------- merge join --
+
+std::vector<Edge> sorted_by_dst(std::vector<Edge> edges) {
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+  });
+  return edges;
+}
+
+TEST(MergeJoinTest, EmitsCrossProductPerBridge) {
+  // Bridge 5: in {1,2} -> 5, out 5 -> {7,8}. Expect 4 tuples.
+  const auto in_edges = sorted_by_dst({{1, 5}, {2, 5}});
+  const std::vector<Edge> out_edges{{5, 7}, {5, 8}};
+  std::set<std::uint64_t> got;
+  const auto count = merge_join_tuples(
+      in_edges, out_edges, [&](Tuple t) { got.insert(tuple_key(t)); });
+  EXPECT_EQ(count, 4u);
+  EXPECT_TRUE(got.contains(tuple_key({1, 7})));
+  EXPECT_TRUE(got.contains(tuple_key({1, 8})));
+  EXPECT_TRUE(got.contains(tuple_key({2, 7})));
+  EXPECT_TRUE(got.contains(tuple_key({2, 8})));
+}
+
+TEST(MergeJoinTest, SkipsSelfTuples) {
+  // 1 -> 5 -> 1 would produce (1, 1): must be skipped.
+  const std::vector<Edge> in_edges{{1, 5}};
+  const std::vector<Edge> out_edges{{5, 1}};
+  std::size_t emitted = 0;
+  merge_join_tuples(in_edges, out_edges, [&](Tuple) { ++emitted; });
+  EXPECT_EQ(emitted, 0u);
+}
+
+TEST(MergeJoinTest, DisjointBridgesEmitNothing) {
+  const std::vector<Edge> in_edges{{1, 2}};
+  const std::vector<Edge> out_edges{{3, 4}};
+  std::size_t emitted = 0;
+  merge_join_tuples(in_edges, out_edges, [&](Tuple) { ++emitted; });
+  EXPECT_EQ(emitted, 0u);
+}
+
+TEST(MergeJoinTest, EmptyInputs) {
+  std::size_t emitted = 0;
+  merge_join_tuples({}, {}, [&](Tuple) { ++emitted; });
+  merge_join_tuples(std::vector<Edge>{{1, 2}}, {}, [&](Tuple) { ++emitted; });
+  EXPECT_EQ(emitted, 0u);
+}
+
+TEST(MergeJoinTest, MatchesReferenceGeneratorOnRandomGraph) {
+  Rng rng(19);
+  const EdgeList list = erdos_renyi(60, 300, rng);
+  const Digraph graph(list);
+
+  // Reference: adjacency walk over the whole graph.
+  std::multiset<std::uint64_t> expected;
+  all_bridge_tuples(graph,
+                    [&](Tuple t) { expected.insert(tuple_key(t)); });
+
+  // Merge join over the whole graph treated as one partition: in-edges
+  // sorted by dst, out-edges sorted by src.
+  const auto in_edges = sorted_by_dst(list.edges);
+  std::vector<Edge> out_edges = list.edges;
+  std::sort(out_edges.begin(), out_edges.end());
+  std::multiset<std::uint64_t> got;
+  merge_join_tuples(in_edges, out_edges,
+                    [&](Tuple t) { got.insert(tuple_key(t)); });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(MergeJoinTest, ReferenceGeneratorCountsRingCorrectly) {
+  // Directed ring 0->1->2->...->0 with k=1: every vertex has exactly one
+  // 2-hop successor, so n tuples.
+  const Digraph g(ring_lattice(10, 1));
+  std::size_t emitted = 0;
+  all_bridge_tuples(g, [&](Tuple) { ++emitted; });
+  EXPECT_EQ(emitted, 10u);
+}
+
+}  // namespace
+}  // namespace knnpc

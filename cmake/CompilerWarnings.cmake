@@ -1,0 +1,18 @@
+# knnpc_set_warnings(<target>)
+#
+# Applies the project warning set to a target. The library must stay
+# warning-clean under -Wall -Wextra; KNNPC_WERROR=ON (used by CI) promotes
+# any regression to a build failure.
+function(knnpc_set_warnings target)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(${target} PRIVATE -Wall -Wextra)
+    if(KNNPC_WERROR)
+      target_compile_options(${target} PRIVATE -Werror)
+    endif()
+  elseif(MSVC)
+    target_compile_options(${target} PRIVATE /W4)
+    if(KNNPC_WERROR)
+      target_compile_options(${target} PRIVATE /WX)
+    endif()
+  endif()
+endfunction()

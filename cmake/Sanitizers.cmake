@@ -1,0 +1,12 @@
+# KNNPC_SANITIZE=ON builds the whole tree with AddressSanitizer and
+# UndefinedBehaviorSanitizer. This is the correctness harness for perf and
+# scaling work: run the tier-1 suite under it before trusting a hot-path
+# change.
+if(KNNPC_SANITIZE)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
+    add_link_options(-fsanitize=address,undefined)
+  else()
+    message(WARNING "KNNPC_SANITIZE is only supported with GCC/Clang; ignoring")
+  endif()
+endif()

@@ -63,7 +63,9 @@ bool Options::parse(int argc, const char* const* argv) {
       throw std::invalid_argument("unknown option --" + arg);
     }
     if (it->second.kind == Kind::Flag) {
-      it->second.value = "1";
+      // Move-assign a temporary: GCC 12's -Wrestrict misfires on the
+      // inlined char* assignment path at -O3.
+      it->second.value = std::string("1");
       continue;
     }
     if (!has_value) {

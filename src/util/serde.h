@@ -20,8 +20,11 @@ concept TrivialRecord = std::is_trivially_copyable_v<T>;
 /// Appends the raw bytes of `value` to `out`.
 template <TrivialRecord T>
 void append_record(std::vector<std::byte>& out, const T& value) {
-  const auto* p = reinterpret_cast<const std::byte*>(&value);
-  out.insert(out.end(), p, p + sizeof(T));
+  // resize + memcpy instead of insert(range): GCC 12's -Wstringop-overflow
+  // misfires on the inlined vector-growth memmove at -O3.
+  const std::size_t offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
 }
 
 /// Reads one record at byte offset `offset`; advances `offset`.

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs the exact tier-1 verify command from ROADMAP.md, from a clean tree or
+# an existing build directory. Any argument trouble or failure exits nonzero.
+#
+# Usage: tools/run_tier1.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+
+cd "${repo_root}"
+cmake -B "${build_dir}" -S .
+cmake --build "${build_dir}" -j
+cd "${build_dir}"
+ctest --output-on-failure -j

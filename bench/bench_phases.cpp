@@ -19,9 +19,11 @@ int main(int argc, char** argv) {
   opts.add_uint("k", "neighbours per user", 10);
   opts.add_uint("partitions", "partition count m", 32);
   opts.add_uint("iters", "max iterations", 10);
-  opts.add_uint("threads", "phase-4 worker threads", 1);
+  opts.add_uint("threads", "phase-4 worker threads (0 = auto)", 1);
   opts.add_string("heuristic", "PI traversal heuristic", "low-high");
+  opts.add_flag("json", "emit results as JSON instead of a table");
   if (!opts.parse(argc, argv)) return 0;
+  const bool json = opts.get_flag("json");
 
   const auto n = static_cast<VertexId>(opts.get_uint("users"));
   Rng rng(1234);
@@ -40,15 +42,25 @@ int main(int argc, char** argv) {
   config.threads = static_cast<std::uint32_t>(opts.get_uint("threads"));
   config.heuristic = opts.get_string("heuristic");
 
-  std::printf("Figure 1: per-phase breakdown (n=%u, k=%u, m=%u, "
-              "heuristic=%s)\n",
-              n, config.k, config.num_partitions, config.heuristic.c_str());
-  std::printf("%4s | %9s %9s %9s %9s %9s | %9s | %8s %8s %10s %9s | %9s\n",
-              "iter", "P1 part", "P2 hash", "P3 PI", "P4 knn", "P5 upd",
-              "total s", "tuples", "PIpairs", "loads+unl", "MB moved",
-              "chg rate");
-  std::printf("---------------------------------------------------------"
-              "---------------------------------------------------------\n");
+  if (json) {
+    std::printf("{\"bench\":\"phases\",\"users\":%u,\"k\":%u,"
+                "\"partitions\":%u,\"heuristic\":\"%s\",\"iterations\":[",
+                n, config.k, config.num_partitions,
+                config.heuristic.c_str());
+  } else {
+    std::printf("Figure 1: per-phase breakdown (n=%u, k=%u, m=%u, "
+                "heuristic=%s)\n",
+                n, config.k, config.num_partitions,
+                config.heuristic.c_str());
+    std::printf("%4s | %9s %9s %9s %9s %9s | %9s | %8s %8s %10s %9s | "
+                "%9s\n",
+                "iter", "P1 part", "P2 hash", "P3 PI", "P4 knn", "P5 upd",
+                "total s", "tuples", "PIpairs", "loads+unl", "MB moved",
+                "chg rate");
+    std::printf("---------------------------------------------------------"
+                "---------------------------------------------------------"
+                "\n");
+  }
 
   KnnEngine engine(config, clustered_profiles(pconfig, rng));
   PhaseTimings cumulative;
@@ -60,28 +72,59 @@ int main(int argc, char** argv) {
     cumulative.pi_graph_s += s.timings.pi_graph_s;
     cumulative.knn_s += s.timings.knn_s;
     cumulative.update_s += s.timings.update_s;
-    std::printf(
-        "%4u | %9.3f %9.3f %9.3f %9.3f %9.3f | %9.3f | %8llu %8llu %10llu "
-        "%9.1f | %9.4f\n",
-        s.iteration, s.timings.partition_s, s.timings.hash_s,
-        s.timings.pi_graph_s, s.timings.knn_s, s.timings.update_s,
-        s.timings.total(), static_cast<unsigned long long>(s.unique_tuples),
-        static_cast<unsigned long long>(s.pi_pairs),
-        static_cast<unsigned long long>(s.partition_loads +
-                                        s.partition_unloads),
-        static_cast<double>(s.io.bytes_read + s.io.bytes_written) / 1e6,
-        s.change_rate);
+    if (json) {
+      std::printf(
+          "%s{\"iter\":%u,\"partition_s\":%.6f,\"hash_s\":%.6f,"
+          "\"pi_graph_s\":%.6f,\"knn_s\":%.6f,\"knn_score_s\":%.6f,"
+          "\"knn_merge_s\":%.6f,\"update_s\":%.6f,\"total_s\":%.6f,"
+          "\"tuples\":%llu,\"pi_pairs\":%llu,\"loads_unloads\":%llu,"
+          "\"mb_moved\":%.3f,\"threads_used\":%u,\"change_rate\":%.6f}",
+          i == 0 ? "" : ",", s.iteration, s.timings.partition_s,
+          s.timings.hash_s, s.timings.pi_graph_s, s.timings.knn_s,
+          s.knn_score_s, s.knn_merge_s, s.timings.update_s,
+          s.timings.total(),
+          static_cast<unsigned long long>(s.unique_tuples),
+          static_cast<unsigned long long>(s.pi_pairs),
+          static_cast<unsigned long long>(s.partition_loads +
+                                          s.partition_unloads),
+          static_cast<double>(s.io.bytes_read + s.io.bytes_written) / 1e6,
+          s.threads_used, s.change_rate);
+    } else {
+      std::printf(
+          "%4u | %9.3f %9.3f %9.3f %9.3f %9.3f | %9.3f | %8llu %8llu "
+          "%10llu "
+          "%9.1f | %9.4f\n",
+          s.iteration, s.timings.partition_s, s.timings.hash_s,
+          s.timings.pi_graph_s, s.timings.knn_s, s.timings.update_s,
+          s.timings.total(),
+          static_cast<unsigned long long>(s.unique_tuples),
+          static_cast<unsigned long long>(s.pi_pairs),
+          static_cast<unsigned long long>(s.partition_loads +
+                                          s.partition_unloads),
+          static_cast<double>(s.io.bytes_read + s.io.bytes_written) / 1e6,
+          s.change_rate);
+    }
     if (s.change_rate < 0.01) break;
   }
-  std::printf("---------------------------------------------------------"
-              "---------------------------------------------------------\n");
   const double total = cumulative.total();
-  std::printf("cumulative: partition %.1f%%  hash %.1f%%  pi %.1f%%  "
-              "knn %.1f%%  update %.1f%%  (total %.3f s)\n",
-              100 * cumulative.partition_s / total,
-              100 * cumulative.hash_s / total,
-              100 * cumulative.pi_graph_s / total,
-              100 * cumulative.knn_s / total,
-              100 * cumulative.update_s / total, total);
+  if (json) {
+    std::printf("],\"cumulative\":{\"partition_s\":%.6f,\"hash_s\":%.6f,"
+                "\"pi_graph_s\":%.6f,\"knn_s\":%.6f,\"update_s\":%.6f,"
+                "\"total_s\":%.6f}}\n",
+                cumulative.partition_s, cumulative.hash_s,
+                cumulative.pi_graph_s, cumulative.knn_s,
+                cumulative.update_s, total);
+  } else {
+    std::printf("---------------------------------------------------------"
+                "---------------------------------------------------------"
+                "\n");
+    std::printf("cumulative: partition %.1f%%  hash %.1f%%  pi %.1f%%  "
+                "knn %.1f%%  update %.1f%%  (total %.3f s)\n",
+                100 * cumulative.partition_s / total,
+                100 * cumulative.hash_s / total,
+                100 * cumulative.pi_graph_s / total,
+                100 * cumulative.knn_s / total,
+                100 * cumulative.update_s / total, total);
+  }
   return 0;
 }

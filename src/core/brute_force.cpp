@@ -1,7 +1,5 @@
 #include "core/brute_force.h"
 
-#include <mutex>
-
 #include "core/topk.h"
 #include "util/thread_pool.h"
 
@@ -11,35 +9,30 @@ KnnGraph brute_force_knn(const ProfileStore& profiles, std::uint32_t k,
                          SimilarityMeasure measure, std::uint32_t threads) {
   const VertexId n = profiles.num_users();
   KnnGraph graph(n, k);
-  auto compute_user = [&](VertexId s) {
-    std::vector<Neighbor> best;
+  // Each chunk owns a disjoint user range and writes disjoint graph slots,
+  // so no lock is needed and the output is identical across thread counts.
+  auto compute_range = [&](std::size_t lo, std::size_t hi) {
     TopKAccumulator acc(1, k);
-    const SparseProfile& ps = profiles.get(s);
-    for (VertexId d = 0; d < n; ++d) {
-      if (d == s) continue;
-      acc.offer(0, d, similarity(measure, ps, profiles.get(d)));
+    for (std::size_t s = lo; s < hi; ++s) {
+      const SparseProfile& ps = profiles.get(static_cast<VertexId>(s));
+      for (VertexId d = 0; d < n; ++d) {
+        if (d == s) continue;
+        acc.offer(0, d, similarity(measure, ps, profiles.get(d)));
+      }
+      graph.set_neighbors(static_cast<VertexId>(s), acc.take(0));
     }
-    return acc.build_graph();
   };
-  if (threads <= 1) {
-    for (VertexId s = 0; s < n; ++s) {
-      auto single = compute_user(s);
-      graph.set_neighbors(
-          s, {single.neighbors(0).begin(), single.neighbors(0).end()});
-    }
+  // Each user costs O(n) similarities, so a handful of users already
+  // justifies a worker in auto mode (threads == 0).
+  const std::uint32_t resolved =
+      resolve_thread_count(threads, n, /*work_per_thread=*/64);
+  if (resolved <= 1) {
+    compute_range(0, n);
     return graph;
   }
-  ThreadPool pool(threads);
-  std::mutex graph_mutex;
-  pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t s = lo; s < hi; ++s) {
-      auto single = compute_user(static_cast<VertexId>(s));
-      std::vector<Neighbor> list(single.neighbors(0).begin(),
-                                 single.neighbors(0).end());
-      std::lock_guard<std::mutex> lock(graph_mutex);
-      graph.set_neighbors(static_cast<VertexId>(s), std::move(list));
-    }
-  }, /*min_chunk=*/16);
+  // The calling thread joins the loop, so spawn one fewer worker.
+  ThreadPool pool(resolved - 1);
+  pool.parallel_for(0, n, compute_range, /*min_chunk=*/8);
   return graph;
 }
 

@@ -12,7 +12,9 @@
 namespace knnpc {
 
 /// Computes each user's exact top-K most similar other users.
-/// `threads` > 1 parallelises the outer loop.
+/// `threads` > 1 parallelises the outer loop; 0 = auto (hardware
+/// concurrency clamped by user count). Output is identical across thread
+/// counts.
 KnnGraph brute_force_knn(const ProfileStore& profiles, std::uint32_t k,
                          SimilarityMeasure measure, std::uint32_t threads = 1);
 

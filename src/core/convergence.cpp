@@ -16,6 +16,23 @@ SampledRecall sampled_recall(const KnnGraph& graph,
                              const ProfileStore& profiles,
                              SimilarityMeasure measure, std::size_t samples,
                              std::uint64_t seed, std::uint32_t threads) {
+  // 0 = auto, sized on the loop's actual work items (the sampled users,
+  // each costing O(n) similarities).
+  threads = resolve_thread_count(threads, samples, /*work_per_thread=*/2);
+  if (threads > 1) {
+    // The calling thread participates in the pool's loops; spawn one
+    // fewer worker so `threads` is the total compute-thread count.
+    ThreadPool pool(threads - 1);
+    return sampled_recall(graph, profiles, measure, samples, seed, &pool);
+  }
+  return sampled_recall(graph, profiles, measure, samples, seed,
+                        static_cast<ThreadPool*>(nullptr));
+}
+
+SampledRecall sampled_recall(const KnnGraph& graph,
+                             const ProfileStore& profiles,
+                             SimilarityMeasure measure, std::size_t samples,
+                             std::uint64_t seed, ThreadPool* pool) {
   SampledRecall result;
   const VertexId n = profiles.num_users();
   if (n < 2 || samples == 0 || graph.k() == 0) return result;
@@ -56,9 +73,8 @@ SampledRecall sampled_recall(const KnnGraph& graph,
           static_cast<double>(hits) / static_cast<double>(truth.size());
     }
   };
-  if (threads > 1) {
-    ThreadPool pool(threads);
-    pool.parallel_for(0, users.size(), evaluate, /*min_chunk=*/4);
+  if (pool != nullptr) {
+    pool->parallel_for(0, users.size(), evaluate, /*min_chunk=*/2);
   } else {
     evaluate(0, users.size());
   }

@@ -14,6 +14,8 @@
 
 namespace knnpc {
 
+class ThreadPool;
+
 struct SampledRecall {
   double recall = 0.0;
   /// Half-width of the normal-approximation 95% confidence interval.
@@ -23,12 +25,21 @@ struct SampledRecall {
 
 /// Exact-per-sampled-user recall@K of `graph` against brute force over the
 /// full profile set. Cost: O(samples * n) similarities instead of O(n^2).
-/// Deterministic per seed; samples are drawn without replacement.
+/// Deterministic per seed (and per thread count); samples are drawn
+/// without replacement. `threads` 0 = auto, clamped by the sample count.
 SampledRecall sampled_recall(const KnnGraph& graph,
                              const ProfileStore& profiles,
                              SimilarityMeasure measure, std::size_t samples,
                              std::uint64_t seed = 23,
                              std::uint32_t threads = 1);
+
+/// Same estimator, but runs on an existing pool (nullptr = serial) so the
+/// engine can reuse its phase-4 workers instead of spawning a pool per
+/// iteration. The `threads` overload above delegates here.
+SampledRecall sampled_recall(const KnnGraph& graph,
+                             const ProfileStore& profiles,
+                             SimilarityMeasure measure, std::size_t samples,
+                             std::uint64_t seed, ThreadPool* pool);
 
 /// Mean similarity of each user's *worst* kept neighbour — a cheap
 /// convergence signal that rises monotonically-ish as the graph improves

@@ -36,17 +36,28 @@ std::size_t pair_slot(PartitionId a, PartitionId b, PartitionId m) {
          static_cast<std::size_t>(a) * (a > 0 ? a - 1 : 0) / 2 + (b - a);
 }
 
+/// Auto thread mode (config.threads == 0): one worker per this many
+/// candidate edges (n * k). At k=10 a run crosses into multi-threading
+/// around 5k users and saturates hardware concurrency near 200k edges.
+constexpr std::uint64_t kPhase4WorkPerThread = 25000;
+
+/// Below this many candidates in a bundle the parallel merge's shard
+/// scans cost more than they save; offer serially.
+constexpr std::size_t kParallelMergeMinTuples = 1024;
+
 }  // namespace
 
 struct KnnEngine::Impl {
   std::unique_ptr<ScratchDir> scratch;
   fs::path work_dir;
+  /// config.threads resolved against the workload (0 = auto).
+  std::uint32_t threads = 1;
   std::unique_ptr<ThreadPool> pool;
   IoAccountant shard_io;
   /// Previous phase-1 assignment (reused when repartition_every > 1).
   std::optional<PartitionAssignment> last_assignment;
 
-  explicit Impl(const EngineConfig& config)
+  Impl(const EngineConfig& config, VertexId num_users)
       : shard_io(config.io_model) {
     if (config.work_dir.empty()) {
       scratch = std::make_unique<ScratchDir>("engine");
@@ -55,8 +66,14 @@ struct KnnEngine::Impl {
       work_dir = config.work_dir;
       fs::create_directories(work_dir);
     }
-    if (config.threads > 1) {
-      pool = std::make_unique<ThreadPool>(config.threads);
+    threads = resolve_thread_count(
+        config.threads,
+        static_cast<std::uint64_t>(num_users) * std::max(config.k, 1u),
+        kPhase4WorkPerThread);
+    if (threads > 1) {
+      // The thread issuing a parallel loop participates in it, so spawn
+      // one fewer worker than the target total to avoid oversubscribing.
+      pool = std::make_unique<ThreadPool>(threads - 1);
     }
   }
 };
@@ -64,7 +81,7 @@ struct KnnEngine::Impl {
 KnnEngine::KnnEngine(EngineConfig config, std::vector<SparseProfile> profiles)
     : config_(std::move(config)),
       profiles_(std::move(profiles)),
-      impl_(std::make_unique<Impl>(config_)) {
+      impl_(std::make_unique<Impl>(config_, profiles_.num_users())) {
   if (config_.num_partitions == 0) {
     throw std::invalid_argument("KnnEngine: num_partitions must be > 0");
   }
@@ -201,6 +218,7 @@ IterationStats KnnEngine::run_iteration() {
   }
 
   // ---- Phase 4: stream partition pairs, compute sims, keep top-K. -----
+  stats.threads_used = impl_->threads;
   {
     ScopedAccumulator timing(&stats.timings.knn_s);
     TopKAccumulator acc(n, config_.k);
@@ -211,6 +229,55 @@ IterationStats KnnEngine::run_iteration() {
       score_writer.emplace(impl_->work_dir, "scores", m,
                            config_.shard_buffer_bytes, &impl_->shard_io);
     }
+    // Parallel top-K merge: users are sharded across workers by id, so no
+    // two workers ever touch the same heap and no locks are needed. A
+    // parallel_reduce buckets candidate indices by shard first (one O(n)
+    // pass; the chunk-ordered combine keeps every bucket ascending), then
+    // each shard offers its bucket. Per-user offers therefore keep their
+    // sequential order and G(t+1) is bit-identical to a serial merge
+    // regardless of thread count.
+    auto parallel_offers = [&](std::size_t count, auto&& user_of,
+                               auto&& offer_one) {
+      if (!impl_->pool || count < kParallelMergeMinTuples) {
+        for (std::size_t i = 0; i < count; ++i) offer_one(i);
+        return;
+      }
+      const std::size_t shards = impl_->pool->size() + 1;
+      using Buckets = std::vector<std::vector<std::size_t>>;
+      Buckets buckets = impl_->pool->parallel_reduce(
+          0, count, Buckets(shards),
+          [&](std::size_t lo, std::size_t hi) {
+            Buckets part(shards);
+            for (std::size_t i = lo; i < hi; ++i) {
+              part[user_of(i) % shards].push_back(i);
+            }
+            return part;
+          },
+          [&](Buckets acc, Buckets part) {
+            for (std::size_t s = 0; s < shards; ++s) {
+              acc[s].insert(acc[s].end(), part[s].begin(), part[s].end());
+            }
+            return acc;
+          },
+          /*min_chunk=*/2048);
+      impl_->pool->parallel_for(
+          0, shards,
+          [&](std::size_t shard_lo, std::size_t shard_hi) {
+            for (std::size_t s = shard_lo; s < shard_hi; ++s) {
+              for (std::size_t i : buckets[s]) offer_one(i);
+            }
+          },
+          /*min_chunk=*/1);
+    };
+    auto offer_scored = [&](TopKAccumulator& into,
+                            const std::vector<Tuple>& tuples,
+                            const std::vector<float>& scores) {
+      parallel_offers(
+          tuples.size(), [&](std::size_t i) { return tuples[i].s; },
+          [&](std::size_t i) {
+            into.offer(tuples[i].s, tuples[i].d, scores[i]);
+          });
+    };
     PartitionCache cache(store, config_.memory_slots);
     std::vector<float> scores;
     for (PairIndex idx : schedule) {
@@ -228,17 +295,20 @@ IterationStats KnnEngine::run_iteration() {
         throw std::logic_error("engine: tuple endpoint outside loaded pair");
       };
       scores.assign(tuples.size(), 0.0f);
-      auto score_range = [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          scores[i] = similarity(config_.measure, profile_of(tuples[i].s),
-                                 profile_of(tuples[i].d));
+      {
+        ScopedAccumulator score_timing(&stats.knn_score_s);
+        auto score_range = [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            scores[i] = similarity(config_.measure, profile_of(tuples[i].s),
+                                   profile_of(tuples[i].d));
+          }
+        };
+        if (impl_->pool) {
+          impl_->pool->parallel_for(0, tuples.size(), score_range,
+                                    /*min_chunk=*/256);
+        } else {
+          score_range(0, tuples.size());
         }
-      };
-      if (impl_->pool) {
-        impl_->pool->parallel_for(0, tuples.size(), score_range,
-                                  /*min_chunk=*/256);
-      } else {
-        score_range(0, tuples.size());
       }
       if (score_writer) {
         for (std::size_t i = 0; i < tuples.size(); ++i) {
@@ -246,9 +316,8 @@ IterationStats KnnEngine::run_iteration() {
                             {tuples[i].s, tuples[i].d, scores[i]});
         }
       } else {
-        for (std::size_t i = 0; i < tuples.size(); ++i) {
-          acc.offer(tuples[i].s, tuples[i].d, scores[i]);
-        }
+        ScopedAccumulator merge_timing(&stats.knn_merge_s);
+        offer_scored(acc, tuples, scores);
       }
     }
     cache.flush();  // count the final unloads, as in the simulator
@@ -256,23 +325,55 @@ IterationStats KnnEngine::run_iteration() {
     stats.partition_unloads = cache.unloads();
 
     KnnGraph next(n, config_.k);
-    if (score_writer) {
-      // Finalise one partition's users at a time from its score file.
-      score_writer->finish();
-      for (PartitionId p = 0; p < m; ++p) {
-        const auto spilled = read_record_shard<ScoredTuple>(
-            score_writer->shard_path(p), &impl_->shard_io);
-        for (const ScoredTuple& st : spilled) {
-          acc.offer(st.s, st.d, st.score);
+    {
+      ScopedAccumulator merge_timing(&stats.knn_merge_s);
+      if (score_writer) {
+        // Finalise one partition's users at a time from its score file.
+        score_writer->finish();
+        for (PartitionId p = 0; p < m; ++p) {
+          const auto spilled = read_record_shard<ScoredTuple>(
+              score_writer->shard_path(p), &impl_->shard_io);
+          parallel_offers(
+              spilled.size(), [&](std::size_t i) { return spilled[i].s; },
+              [&](std::size_t i) {
+                acc.offer(spilled[i].s, spilled[i].d, spilled[i].score);
+              });
+          const auto members = assignment.members(p);
+          auto finalise = [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              next.set_neighbors(members[i], acc.take(members[i]));
+            }
+          };
+          if (impl_->pool) {
+            impl_->pool->parallel_for(0, members.size(), finalise,
+                                      /*min_chunk=*/1024);
+          } else {
+            finalise(0, members.size());
+          }
         }
-        for (VertexId v : assignment.members(p)) {
-          next.set_neighbors(v, acc.take(v));
-        }
+      } else {
+        next = acc.build_graph(impl_->pool.get());
       }
-    } else {
-      next = acc.build_graph();
     }
-    stats.change_rate = KnnGraph::change_rate(graph_, next);
+    // change_count is an exact integer per vertex range, so reducing it
+    // over the pool reproduces the serial change rate bit-for-bit.
+    const std::size_t differing =
+        impl_->pool
+            ? impl_->pool->parallel_reduce(
+                  0, n, std::size_t{0},
+                  [&](std::size_t lo, std::size_t hi) {
+                    return KnnGraph::change_count(
+                        graph_, next, static_cast<VertexId>(lo),
+                        static_cast<VertexId>(hi));
+                  },
+                  [](std::size_t a, std::size_t b) { return a + b; },
+                  /*min_chunk=*/4096)
+            : KnnGraph::change_count(graph_, next, 0, n);
+    stats.change_rate =
+        n == 0 ? 0.0
+               : static_cast<double>(differing) /
+                     (static_cast<double>(n) *
+                      std::max<std::uint32_t>(config_.k, 1));
     graph_ = std::move(next);
   }
 
@@ -290,7 +391,7 @@ IterationStats KnnEngine::run_iteration() {
     stats.sampled_recall =
         sampled_recall(graph_, profiles_, config_.measure,
                        config_.recall_samples, config_.seed,
-                       std::max<std::uint32_t>(config_.threads, 1))
+                       impl_->pool.get())
             .recall;
   }
 

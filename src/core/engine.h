@@ -35,8 +35,12 @@ struct EngineConfig {
   SimilarityMeasure measure = SimilarityMeasure::Cosine;
   /// Resident partition slots in phase 4 (the paper uses 2).
   std::size_t memory_slots = 2;
-  /// Worker threads for phase-4 similarity computation.
-  std::uint32_t threads = 1;
+  /// Worker threads for phase-4 similarity computation and top-K merging
+  /// (also reused by the sampled_recall estimator). 0 = auto: hardware
+  /// concurrency clamped by workload size, so large runs multi-thread by
+  /// default while small runs stay serial. 1 = always serial. The KNN
+  /// output is bit-identical across thread counts.
+  std::uint32_t threads = 0;
   /// Where partition and tuple-shard files live; empty = fresh scratch dir.
   std::string work_dir;
   /// Device model for I/O time accounting (storage/io_model.h).
@@ -109,6 +113,13 @@ struct IterationStats {
   IoCounters io;
   /// Modelled device time for the iteration's I/O, microseconds.
   double modeled_io_us = 0.0;
+  /// Phase-4 sub-timings (both contained in timings.knn_s): similarity
+  /// scoring over tuple bundles vs the per-user top-K merge.
+  double knn_score_s = 0.0;
+  double knn_merge_s = 0.0;
+  /// Worker threads phase 4 actually ran with (config.threads resolved;
+  /// != config.threads only in auto mode).
+  std::uint32_t threads_used = 1;
   /// KnnGraph::change_rate(G(t), G(t+1)); converged when small.
   double change_rate = 1.0;
   std::size_t profile_updates_applied = 0;

@@ -1,10 +1,18 @@
 #include "core/nn_descent.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
+
+#include "util/thread_pool.h"
 
 namespace knnpc {
 namespace {
+
+/// Local-join pairs accumulate here and are scored in parallel batches;
+/// bounded so a dense join round doesn't buffer every pair at once.
+constexpr std::size_t kScoreBatch = 1u << 16;
 
 /// Heap entry with the "new" flag from the NN-Descent paper.
 struct Entry {
@@ -46,14 +54,61 @@ KnnGraph nn_descent(const ProfileStore& profiles,
   Rng rng(config.seed);
   std::uint64_t sim_evals = 0;
 
-  auto sim = [&](VertexId a, VertexId b) {
-    ++sim_evals;
-    return similarity(config.measure, profiles.get(a), profiles.get(b));
+  // Scoring pool for the bootstrap and the local joins. Which pairs get
+  // scored is decided before any of their similarities are consumed, so
+  // batches can be scored out of order while heap updates replay in the
+  // exact serial order — the graph is bit-identical to a single-threaded
+  // run.
+  const std::uint32_t threads = resolve_thread_count(
+      config.threads, static_cast<std::uint64_t>(n) * std::max(k, 1u),
+      /*work_per_thread=*/16384);
+  // The calling thread joins each scoring loop; spawn one fewer worker.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+
+  auto score_pairs = [&](const std::vector<std::pair<VertexId, VertexId>>&
+                             pairs,
+                         std::vector<float>& out) {
+    out.resize(pairs.size());
+    sim_evals += pairs.size();
+    auto score_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        out[i] = similarity(config.measure, profiles.get(pairs[i].first),
+                            profiles.get(pairs[i].second));
+      }
+    };
+    if (pool) {
+      pool->parallel_for(0, pairs.size(), score_range, /*min_chunk=*/256);
+    } else {
+      score_range(0, pairs.size());
+    }
+  };
+
+  std::vector<std::pair<VertexId, VertexId>> batch;
+  std::vector<float> batch_scores;
+  batch.reserve(kScoreBatch);
+  std::uint64_t updates = 0;
+  auto flush_batch = [&](std::vector<std::vector<Entry>>& heaps) {
+    if (batch.empty()) return;
+    score_pairs(batch, batch_scores);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto [u1, u2] = batch[i];
+      const float s = batch_scores[i];
+      if (heap_insert(heaps[u1], k, u2, s)) ++updates;
+      if (heap_insert(heaps[u2], k, u1, s)) ++updates;
+    }
+    batch.clear();
   };
 
   // B[v] <- k random entries with *measured* similarity (flagged new).
+  // Candidate selection touches only the RNG and the already-chosen ids,
+  // so ids are drawn first (serial, RNG order unchanged) and the n*k seed
+  // similarities are scored through the pool afterwards.
   std::vector<std::vector<Entry>> b(n);
   if (n > 1) {
+    std::vector<std::pair<VertexId, VertexId>> seeds;
+    seeds.reserve(static_cast<std::size_t>(n) *
+                  std::min<std::size_t>(k, n - 1));
     for (VertexId v = 0; v < n; ++v) {
       while (b[v].size() < std::min<std::size_t>(k, n - 1)) {
         const auto cand = static_cast<VertexId>(rng.next_below(n));
@@ -61,8 +116,16 @@ KnnGraph nn_descent(const ProfileStore& profiles,
         bool dup = false;
         for (const Entry& e : b[v]) dup = dup || e.id == cand;
         if (dup) continue;
-        b[v].push_back({cand, sim(v, cand), true});
+        b[v].push_back({cand, 0.0f, true});
+        seeds.emplace_back(v, cand);
       }
+    }
+    std::vector<float> seed_scores;
+    score_pairs(seeds, seed_scores);
+    std::vector<std::size_t> cursor(n, 0);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      const VertexId v = seeds[i].first;
+      b[v][cursor[v]++].score = seed_scores[i];
     }
   }
 
@@ -90,7 +153,7 @@ KnnGraph nn_descent(const ProfileStore& profiles,
       for (VertexId u : old_fwd[v]) old_rev[u].push_back(v);
     }
 
-    std::uint64_t updates = 0;
+    updates = 0;
     std::vector<VertexId> new_set;
     std::vector<VertexId> old_set;
     for (VertexId v = 0; v < n; ++v) {
@@ -110,24 +173,23 @@ KnnGraph nn_descent(const ProfileStore& profiles,
       old_set.erase(std::unique(old_set.begin(), old_set.end()),
                     old_set.end());
 
-      // Local join: new x new, new x old.
+      // Local join: new x new, new x old. Pairs queue into the scoring
+      // batch; overflowing batches flush mid-join, which is safe because
+      // the join sets were frozen above and heap updates replay in order.
       for (std::size_t i = 0; i < new_set.size(); ++i) {
         for (std::size_t j = i + 1; j < new_set.size(); ++j) {
-          const VertexId u1 = new_set[i];
-          const VertexId u2 = new_set[j];
-          const float s = sim(u1, u2);
-          if (heap_insert(b[u1], k, u2, s)) ++updates;
-          if (heap_insert(b[u2], k, u1, s)) ++updates;
+          batch.emplace_back(new_set[i], new_set[j]);
+          if (batch.size() >= kScoreBatch) flush_batch(b);
         }
         for (VertexId u2 : old_set) {
           const VertexId u1 = new_set[i];
           if (u1 == u2) continue;
-          const float s = sim(u1, u2);
-          if (heap_insert(b[u1], k, u2, s)) ++updates;
-          if (heap_insert(b[u2], k, u1, s)) ++updates;
+          batch.emplace_back(u1, u2);
+          if (batch.size() >= kScoreBatch) flush_batch(b);
         }
       }
     }
+    flush_batch(b);
 
     update_rate = n == 0 ? 0.0
                          : static_cast<double>(updates) /

@@ -24,6 +24,11 @@ struct NnDescentConfig {
   double delta = 0.001;
   std::uint32_t max_iterations = 30;
   std::uint64_t seed = 42;
+  /// Worker threads for similarity scoring inside the local joins.
+  /// 0 = auto (hardware concurrency clamped by n*k); 1 = serial. Candidate
+  /// generation and heap updates stay sequential, so the result is
+  /// bit-identical across thread counts.
+  std::uint32_t threads = 1;
 };
 
 struct NnDescentStats {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace knnpc {
 namespace {
 
@@ -46,11 +48,19 @@ std::vector<Neighbor> TopKAccumulator::take(VertexId s) {
   return out;
 }
 
-KnnGraph TopKAccumulator::build_graph() {
+KnnGraph TopKAccumulator::build_graph(ThreadPool* pool) {
   KnnGraph graph(num_users(), k_);
-  for (VertexId v = 0; v < num_users(); ++v) {
-    graph.set_neighbors(v, std::move(heaps_[v]));
-    heaps_[v].clear();
+  auto emit = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      graph.set_neighbors(static_cast<VertexId>(v), std::move(heaps_[v]));
+      heaps_[v].clear();
+    }
+  };
+  if (pool != nullptr) {
+    // Distinct users write distinct graph slots, so chunks are independent.
+    pool->parallel_for(0, num_users(), emit, /*min_chunk=*/2048);
+  } else {
+    emit(0, num_users());
   }
   return graph;
 }

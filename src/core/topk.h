@@ -14,6 +14,8 @@
 
 namespace knnpc {
 
+class ThreadPool;
+
 class TopKAccumulator {
  public:
   TopKAccumulator(VertexId num_users, std::uint32_t k);
@@ -34,8 +36,10 @@ class TopKAccumulator {
   }
 
   /// Freezes all accumulators into the next KNN graph G(t+1) and resets
-  /// this accumulator.
-  [[nodiscard]] KnnGraph build_graph();
+  /// this accumulator. A non-null `pool` parallelises the per-user
+  /// neighbour-list sorts (each user's list is independent); the result is
+  /// identical either way.
+  [[nodiscard]] KnnGraph build_graph(ThreadPool* pool = nullptr);
 
   /// Removes and returns one user's candidates (unsorted heap order).
   /// Used by the score-spilling path, which finalises users one partition

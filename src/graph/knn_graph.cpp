@@ -45,14 +45,15 @@ EdgeList KnnGraph::to_edge_list() const {
   return out;
 }
 
-double KnnGraph::change_rate(const KnnGraph& a, const KnnGraph& b) {
+std::size_t KnnGraph::change_count(const KnnGraph& a, const KnnGraph& b,
+                                   VertexId lo, VertexId hi) {
   if (a.num_vertices() != b.num_vertices()) {
-    throw std::invalid_argument("change_rate: vertex counts differ");
+    throw std::invalid_argument("change_count: vertex counts differ");
   }
-  if (a.num_vertices() == 0) return 0.0;
+  hi = std::min(hi, a.num_vertices());
   std::size_t differing = 0;
   std::unordered_set<VertexId> set;
-  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+  for (VertexId v = lo; v < hi; ++v) {
     set.clear();
     for (const Neighbor& n : a.adjacency_[v]) set.insert(n.id);
     std::size_t common = 0;
@@ -62,6 +63,13 @@ double KnnGraph::change_rate(const KnnGraph& a, const KnnGraph& b) {
     differing += (a.adjacency_[v].size() - common) +
                  (b.adjacency_[v].size() - common);
   }
+  return differing;
+}
+
+double KnnGraph::change_rate(const KnnGraph& a, const KnnGraph& b) {
+  if (a.num_vertices() == 0 && b.num_vertices() == 0) return 0.0;
+  const std::size_t differing =
+      change_count(a, b, 0, a.num_vertices());
   const double denom = static_cast<double>(a.num_vertices()) *
                        std::max<std::uint32_t>(a.k_, 1);
   return static_cast<double>(differing) / denom;

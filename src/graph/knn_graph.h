@@ -54,6 +54,13 @@ class KnnGraph {
   /// `a`, divided by (n*k): NN-Descent's "scan rate" convergence signal.
   static double change_rate(const KnnGraph& a, const KnnGraph& b);
 
+  /// The numerator of change_rate restricted to vertices [lo, hi) — an
+  /// exact integer count, so partial counts summed over a partition of
+  /// [0, n) reproduce change_rate bit-for-bit (the engine reduces this
+  /// over the phase-4 thread pool).
+  static std::size_t change_count(const KnnGraph& a, const KnnGraph& b,
+                                  VertexId lo, VertexId hi);
+
  private:
   std::uint32_t k_ = 0;
   std::vector<std::vector<Neighbor>> adjacency_;

@@ -60,6 +60,28 @@ TEST(BruteForceTest, ParallelMatchesSerial) {
   }
 }
 
+TEST(BruteForceTest, AutoThreadsMatchesSerial) {
+  // 200 users crosses brute force's auto threshold (work_per_thread=64),
+  // so on a multicore machine this compares a genuinely parallel auto run
+  // against serial; on a single core auto degenerates to 1 thread and the
+  // test still asserts the (then trivial) equality.
+  constexpr VertexId kUsers = 200;
+  const auto store = clustered_store(kUsers, 4);
+  const KnnGraph serial =
+      brute_force_knn(store, 5, SimilarityMeasure::Cosine, 1);
+  const KnnGraph auto_mode =
+      brute_force_knn(store, 5, SimilarityMeasure::Cosine, 0);
+  for (VertexId v = 0; v < kUsers; ++v) {
+    const auto a = serial.neighbors(v);
+    const auto b = auto_mode.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "v=" << v << " i=" << i;
+      EXPECT_EQ(a[i].score, b[i].score) << "v=" << v << " i=" << i;
+    }
+  }
+}
+
 TEST(BruteForceTest, RecallAgainstItselfIsOne) {
   const auto store = clustered_store(40, 4);
   const KnnGraph g = brute_force_knn(store, 5, SimilarityMeasure::Cosine);
@@ -97,6 +119,32 @@ TEST(NnDescentTest, DeterministicPerSeed) {
     ASSERT_EQ(na.size(), nb.size());
     for (std::size_t i = 0; i < na.size(); ++i) {
       EXPECT_EQ(na[i].id, nb[i].id);
+    }
+  }
+}
+
+// Batched parallel scoring must replay heap updates in serial order: the
+// graph and the stats have to match a single-threaded run exactly.
+TEST(NnDescentTest, ThreadedMatchesSerialBitForBit) {
+  const auto store = clustered_store(100, 5);
+  NnDescentConfig config;
+  config.k = 5;
+  config.max_iterations = 4;
+  NnDescentStats serial_stats;
+  const KnnGraph serial = nn_descent(store, config, &serial_stats);
+  config.threads = 8;
+  NnDescentStats threaded_stats;
+  const KnnGraph threaded = nn_descent(store, config, &threaded_stats);
+  EXPECT_EQ(serial_stats.iterations, threaded_stats.iterations);
+  EXPECT_EQ(serial_stats.similarity_evaluations,
+            threaded_stats.similarity_evaluations);
+  for (VertexId v = 0; v < 100; ++v) {
+    const auto na = serial.neighbors(v);
+    const auto nb = threaded.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].id, nb[i].id) << "v=" << v;
+      EXPECT_EQ(na[i].score, nb[i].score) << "v=" << v;
     }
   }
 }

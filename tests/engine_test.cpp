@@ -170,6 +170,55 @@ TEST(EngineTest, MultiThreadedMatchesSingleThreaded) {
   }
 }
 
+// threads=0 (auto) and any explicit thread count must produce the same
+// graph, neighbour for neighbour and score for score, as threads=1.
+TEST(EngineTest, AutoAndExplicitThreadsMatchSingleThreadedBitForBit) {
+  // num_partitions=2 keeps the tuple bundles big enough to cross the
+  // engine's parallel-merge threshold, so threads=8 really exercises the
+  // sharded merge path.
+  constexpr VertexId kUsers = 300;
+  auto run_with = [](std::uint32_t threads) {
+    EngineConfig config;
+    config.k = 5;
+    config.num_partitions = 2;
+    config.seed = 7;
+    config.threads = threads;
+    KnnEngine engine(config, clustered(kUsers, 6, 88));
+    engine.run_iteration();
+    engine.run_iteration();
+    std::vector<std::vector<Neighbor>> lists;
+    for (VertexId v = 0; v < kUsers; ++v) {
+      const auto span = engine.graph().neighbors(v);
+      lists.emplace_back(span.begin(), span.end());
+    }
+    return lists;
+  };
+  const auto serial = run_with(1);
+  const auto auto_mode = run_with(0);
+  const auto eight = run_with(8);
+  for (VertexId v = 0; v < kUsers; ++v) {
+    ASSERT_EQ(serial[v].size(), auto_mode[v].size()) << "v=" << v;
+    ASSERT_EQ(serial[v].size(), eight[v].size()) << "v=" << v;
+    for (std::size_t i = 0; i < serial[v].size(); ++i) {
+      EXPECT_EQ(serial[v][i].id, auto_mode[v][i].id) << "v=" << v;
+      EXPECT_EQ(serial[v][i].score, auto_mode[v][i].score) << "v=" << v;
+      EXPECT_EQ(serial[v][i].id, eight[v][i].id) << "v=" << v;
+      EXPECT_EQ(serial[v][i].score, eight[v][i].score) << "v=" << v;
+    }
+  }
+}
+
+TEST(EngineTest, ThreadsUsedStatReflectsResolution) {
+  EngineConfig config = small_config();
+  config.threads = 8;
+  KnnEngine explicit_engine(config, clustered(60, 3));
+  EXPECT_EQ(explicit_engine.run_iteration().threads_used, 8u);
+  // Auto mode on a tiny workload stays serial.
+  config.threads = 0;
+  KnnEngine auto_engine(config, clustered(60, 3));
+  EXPECT_EQ(auto_engine.run_iteration().threads_used, 1u);
+}
+
 TEST(EngineTest, ProfileUpdatesAreLazyUntilPhase5) {
   EngineConfig config = small_config();
   KnnEngine engine(config, clustered(60, 3));

@@ -1,0 +1,332 @@
+// Tests for the scalable thread pool: parallel_for chunking edge cases,
+// the deterministic exception contract, nested submit/parallel_for, the
+// chunk-ordered parallel_reduce, and auto thread-count resolution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace knnpc {
+namespace {
+
+// ----------------------------------------------- parallel_for chunking --
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(7, 7, [&](std::size_t, std::size_t) { ++calls; });
+  pool.parallel_for(9, 3, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, RangeSmallerThanMinChunkRunsAsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::atomic<std::size_t> seen_lo{99}, seen_hi{0};
+  pool.parallel_for(
+      3, 10,
+      [&](std::size_t lo, std::size_t hi) {
+        ++calls;
+        seen_lo = lo;
+        seen_hi = hi;
+      },
+      /*min_chunk=*/1024);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_lo.load(), 3u);
+  EXPECT_EQ(seen_hi.load(), 10u);
+}
+
+TEST(ParallelForTest, ChunksCoverRangeExactlyOnceAndHonorMinChunk) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(50000);
+  std::mutex sizes_mutex;
+  std::vector<std::size_t> chunk_sizes;
+  pool.parallel_for(
+      0, hits.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        {
+          std::lock_guard<std::mutex> lock(sizes_mutex);
+          chunk_sizes.push_back(hi - lo);
+        }
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      },
+      /*min_chunk=*/512);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  ASSERT_FALSE(chunk_sizes.empty());
+  // Every chunk except possibly the trailing one holds >= min_chunk items.
+  std::size_t below = 0;
+  for (std::size_t s : chunk_sizes) below += s < 512 ? 1 : 0;
+  EXPECT_LE(below, 1u);
+}
+
+TEST(ParallelForTest, MinChunkZeroIsClampedToOne) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(
+      0, hits.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      },
+      /*min_chunk=*/0);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ------------------------------------------------- exception contract --
+
+TEST(ParallelForTest, RethrowsExceptionFromLowestChunkDeterministically) {
+  ThreadPool pool(8);
+  // Every chunk throws its own chunk_begin; the contract picks the lowest
+  // chunk index, so the observed message must always be "0" no matter how
+  // the chunks were scheduled.
+  for (int round = 0; round < 25; ++round) {
+    std::string caught;
+    try {
+      pool.parallel_for(
+          0, 8192,
+          [](std::size_t lo, std::size_t) {
+            throw std::runtime_error(std::to_string(lo));
+          },
+          /*min_chunk=*/64);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_EQ(caught, "0");
+  }
+}
+
+TEST(ParallelForTest, LowestThrowingChunkWinsWhenOnlySomeThrow) {
+  ThreadPool pool(4);
+  // Only chunks starting at or beyond 4096 throw. The winner must be the
+  // FIRST such chunk — i.e. the smallest throwing chunk begin actually
+  // scheduled — and identical on every run regardless of scheduling.
+  std::mutex lows_mutex;
+  std::string first_caught;
+  for (int round = 0; round < 25; ++round) {
+    std::size_t min_throwing_lo = std::numeric_limits<std::size_t>::max();
+    std::string caught;
+    try {
+      pool.parallel_for(
+          0, 8192,
+          [&](std::size_t lo, std::size_t) {
+            if (lo >= 4096) {
+              {
+                std::lock_guard<std::mutex> lock(lows_mutex);
+                min_throwing_lo = std::min(min_throwing_lo, lo);
+              }
+              throw std::runtime_error(std::to_string(lo));
+            }
+          },
+          /*min_chunk=*/256);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_EQ(caught, std::to_string(min_throwing_lo));
+    if (round == 0) first_caught = caught;
+    EXPECT_EQ(caught, first_caught);  // deterministic across rounds
+  }
+}
+
+TEST(ParallelForTest, AllChunksRunEvenWhenOneThrows) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4096);
+  EXPECT_THROW(
+      pool.parallel_for(
+          0, hits.size(),
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+            if (lo == 0) throw std::runtime_error("boom");
+          },
+          /*min_chunk=*/64),
+      std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ------------------------------------------------------- nested calls --
+
+TEST(ThreadPoolNestingTest, SubmitFromInsideWorkerBodyDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> nested_runs{0};
+  std::mutex futures_mutex;
+  std::vector<std::future<void>> futures;
+  pool.parallel_for(
+      0, 64,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          auto f = pool.submit([&nested_runs] { ++nested_runs; });
+          std::lock_guard<std::mutex> lock(futures_mutex);
+          futures.push_back(std::move(f));
+        }
+      },
+      /*min_chunk=*/1);
+  for (auto& f : futures) f.get();  // resolve after the loop returned
+  EXPECT_EQ(nested_runs.load(), 64);
+}
+
+TEST(ThreadPoolNestingTest, ParallelForFromWorkerRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  // A task running on a pool worker issues a nested parallel_for on the
+  // same pool; it must complete (inline) instead of deadlocking.
+  pool.submit([&] {
+      pool.parallel_for(
+          0, 1000,
+          [&](std::size_t lo, std::size_t hi) {
+            inner_total += static_cast<int>(hi - lo);
+          },
+          /*min_chunk=*/16);
+    }).get();
+  EXPECT_EQ(inner_total.load(), 1000);
+}
+
+TEST(ThreadPoolNestingTest, ParallelForNestedInCallerChunkRunsInline) {
+  ThreadPool pool(2);
+  // The outer loop's calling thread participates in chunk execution, so
+  // some chunk bodies run on it (not on a pool worker). A nested
+  // parallel_for from such a chunk must degrade to inline execution, not
+  // re-enter the pool's single job slot and deadlock.
+  std::atomic<int> total{0};
+  pool.parallel_for(
+      0, 8,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          pool.parallel_for(
+              0, 100,
+              [&](std::size_t inner_lo, std::size_t inner_hi) {
+                total += static_cast<int>(inner_hi - inner_lo);
+              },
+              /*min_chunk=*/16);
+        }
+      },
+      /*min_chunk=*/1);
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPoolNestingTest, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([&] {
+    pool.parallel_for(0, 100, [](std::size_t, std::size_t) {
+      throw std::runtime_error("inner");
+    });
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+// --------------------------------------------------- parallel_reduce --
+
+TEST(ParallelReduceTest, SumsLargeRange) {
+  ThreadPool pool(8);
+  const std::size_t n = 100000;
+  const auto total = pool.parallel_reduce(
+      0, n, std::uint64_t{0},
+      [](std::size_t lo, std::size_t hi) {
+        std::uint64_t s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += i;
+        return s;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      /*min_chunk=*/128);
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  ThreadPool pool(4);
+  const int result = pool.parallel_reduce(
+      5, 5, 42, [](std::size_t, std::size_t) { return 7; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(ParallelReduceTest, CombinesPartialsInChunkOrder) {
+  ThreadPool pool(8);
+  // Concatenation is not commutative: the result is only the sorted
+  // sequence 0..n-1 if partials were folded strictly in chunk order.
+  for (int round = 0; round < 10; ++round) {
+    const auto seq = pool.parallel_reduce(
+        0, 4096, std::vector<std::size_t>{},
+        [](std::size_t lo, std::size_t hi) {
+          std::vector<std::size_t> part(hi - lo);
+          std::iota(part.begin(), part.end(), lo);
+          return part;
+        },
+        [](std::vector<std::size_t> acc, std::vector<std::size_t> part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+          return acc;
+        },
+        /*min_chunk=*/32);
+    ASSERT_EQ(seq.size(), 4096u);
+    for (std::size_t i = 0; i < seq.size(); ++i) EXPECT_EQ(seq[i], i);
+  }
+}
+
+TEST(ParallelReduceTest, ExceptionFollowsLowestChunkContract) {
+  ThreadPool pool(4);
+  std::string caught;
+  try {
+    (void)pool.parallel_reduce(
+        0, 2048, 0,
+        [](std::size_t lo, std::size_t) -> int {
+          throw std::runtime_error(std::to_string(lo));
+        },
+        [](int a, int b) { return a + b; }, /*min_chunk=*/64);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    caught = e.what();
+  }
+  EXPECT_EQ(caught, "0");
+}
+
+// ------------------------------------------- submit + loop interleave --
+
+TEST(ThreadPoolMixedTest, SubmittedTasksCompleteAroundParallelLoops) {
+  ThreadPool pool(4);
+  std::atomic<int> task_runs{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&task_runs] { ++task_runs; }));
+  }
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(0, 10000, [&](std::size_t lo, std::size_t hi) {
+    covered += hi - lo;
+  });
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(task_runs.load(), 32);
+  EXPECT_EQ(covered.load(), 10000u);
+}
+
+// ------------------------------------------------ auto thread counts --
+
+TEST(ResolveThreadCountTest, ExplicitRequestWinsVerbatim) {
+  EXPECT_EQ(resolve_thread_count(1, 1u << 30), 1u);
+  EXPECT_EQ(resolve_thread_count(7, 0), 7u);
+  EXPECT_EQ(resolve_thread_count(64, 10), 64u);
+}
+
+TEST(ResolveThreadCountTest, AutoStaysSerialOnSmallWork) {
+  EXPECT_EQ(resolve_thread_count(0, 0), 1u);
+  EXPECT_EQ(resolve_thread_count(0, 100, /*work_per_thread=*/1000), 1u);
+  EXPECT_EQ(resolve_thread_count(0, 1999, /*work_per_thread=*/1000), 1u);
+}
+
+TEST(ResolveThreadCountTest, AutoScalesWithWorkUpToHardware) {
+  const std::uint32_t hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(resolve_thread_count(0, 1u << 30, /*work_per_thread=*/1), hw);
+  // Work for exactly three threads never resolves above three.
+  EXPECT_LE(resolve_thread_count(0, 3000, /*work_per_thread=*/1000), 3u);
+  EXPECT_GE(resolve_thread_count(0, 3000, /*work_per_thread=*/1000), 1u);
+}
+
+}  // namespace
+}  // namespace knnpc

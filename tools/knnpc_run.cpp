@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
                   "cosine | jaccard | dice | overlap | common | inv-euclid | pearson | adj-cosine",
                   "cosine");
   opts.add_uint("slots", "resident partition slots", 2);
-  opts.add_uint("threads", "phase-4 threads", 1);
+  opts.add_uint("threads", "phase-4 threads (0 = auto for large runs)", 0);
   opts.add_uint("iters", "max iterations", 15);
   opts.add_double("delta", "convergence threshold on change rate", 0.01);
   opts.add_string("device", "none | hdd | ssd | nvme (I/O cost model)",
@@ -167,9 +167,9 @@ int main(int argc, char** argv) {
   const auto samples =
       static_cast<std::size_t>(opts.get_uint("recall-samples"));
   if (samples > 0) {
-    const auto recall = sampled_recall(
-        engine.graph(), snapshot, config.measure, samples, config.seed,
-        std::max<std::uint32_t>(config.threads, 1));
+    const auto recall = sampled_recall(engine.graph(), snapshot,
+                                       config.measure, samples, config.seed,
+                                       config.threads);
     std::fprintf(stderr, "sampled recall@%u: %.3f +/- %.3f (%zu users)\n",
                  config.k, recall.recall, recall.margin95,
                  recall.sampled_users);

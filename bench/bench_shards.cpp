@@ -1,0 +1,141 @@
+// Sharded-driver sweep: runs the same pinned workload at several shard
+// counts, reports total and per-shard wall time plus the merged phase-4
+// time, and verifies the bit-identical-output contract by checksumming
+// every run against S=1.
+//
+// Usage: bench_shards [--users=N] [--k=N] [--iters=N] [--json]
+// With --json the table is replaced by one JSON object on stdout (the CI
+// perf-tracking job parses it; see tools/bench_to_json.py).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/shard_driver.h"
+#include "graph/knn_graph_io.h"
+#include "profiles/generators.h"
+#include "util/options.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace knnpc;
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.add_uint("users", "number of users", 20000);
+  opts.add_uint("k", "neighbours per user", 10);
+  opts.add_uint("iters", "iterations per shard count", 1);
+  opts.add_flag("json", "emit results as JSON instead of a table");
+  if (!opts.parse(argc, argv)) return 0;
+  const auto n = static_cast<VertexId>(opts.get_uint("users"));
+  const auto k = static_cast<std::uint32_t>(opts.get_uint("k"));
+  const auto iters = static_cast<std::uint32_t>(opts.get_uint("iters"));
+  const bool json = opts.get_flag("json");
+
+  if (!json) {
+    std::printf("Sharded driver sweep (n=%u, k=%u, m=16, %u iteration%s)\n",
+                n, k, iters, iters == 1 ? "" : "s");
+    std::printf("%8s | %10s %10s %12s %10s %9s | %s\n", "shards", "wall s",
+                "cpu s", "max shard s", "speedup", "identical",
+                "per-shard wall s");
+    std::printf("----------------------------------------------------------"
+                "--------------------\n");
+  }
+
+  struct Row {
+    std::uint32_t shards = 0;
+    std::uint32_t threads_per_shard = 0;
+    /// Measured wall time of the whole run (the number sharding must
+    /// improve); cpu_s is the sum of per-worker phase timings.
+    double wall_s = 0.0;
+    double cpu_s = 0.0;
+    double phase4_s = 0.0;
+    std::vector<double> shard_wall_s;
+    std::uint64_t checksum = 0;
+    bool identical = false;
+  };
+  std::vector<Row> rows;
+  double baseline = 0.0;
+  std::uint64_t reference_checksum = 0;
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    Rng rng(11);
+    ClusteredGenConfig pconfig;
+    pconfig.base.num_users = n;
+    pconfig.base.num_items = 2000;
+    pconfig.base.min_items = 25;
+    pconfig.base.max_items = 50;
+    pconfig.num_clusters = 40;
+    EngineConfig config;
+    config.k = k;
+    config.num_partitions = 16;
+    ShardConfig shard_config;
+    shard_config.shards = shards;
+    ShardedKnnEngine driver(config, shard_config,
+                            clustered_profiles(pconfig, rng));
+    Row row;
+    row.shards = shards;
+    row.threads_per_shard = driver.threads_per_shard();
+    row.shard_wall_s.assign(shards, 0.0);
+    Timer wall;
+    for (std::uint32_t i = 0; i < iters; ++i) {
+      const ShardedIterationStats s = driver.run_iteration();
+      row.cpu_s += s.merged.timings.total();
+      row.phase4_s += s.merged.timings.knn_s;
+      for (const ShardWorkerStats& w : s.workers) {
+        row.shard_wall_s[w.shard] += w.wall_s();
+      }
+    }
+    row.wall_s = wall.elapsed_seconds();
+    row.checksum = knn_graph_checksum(driver.graph());
+    if (shards == 1) {
+      baseline = row.wall_s;
+      reference_checksum = row.checksum;
+    }
+    row.identical = row.checksum == reference_checksum;
+    rows.push_back(row);
+    if (!json) {
+      double max_wall = 0.0;
+      for (double w : row.shard_wall_s) max_wall = std::max(max_wall, w);
+      std::printf("%8u | %10.3f %10.3f %12.3f %9.2fx %9s | ", shards,
+                  row.wall_s, row.cpu_s, max_wall,
+                  baseline / row.wall_s, row.identical ? "yes" : "NO");
+      for (double w : row.shard_wall_s) std::printf("%.3f ", w);
+      std::printf("\n");
+    }
+  }
+
+  if (json) {
+    std::printf("{\"bench\":\"shards\",\"users\":%u,\"k\":%u,\"iters\":%u,"
+                "\"results\":[",
+                n, k, iters);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::printf("%s{\"shards\":%u,\"threads_per_shard\":%u,"
+                  "\"wall_s\":%.6f,\"cpu_s\":%.6f,\"phase4_s\":%.6f,"
+                  "\"speedup\":%.4f,\"checksum\":\"%016llx\","
+                  "\"identical\":%s,\"per_shard_wall_s\":[",
+                  i == 0 ? "" : ",", row.shards, row.threads_per_shard,
+                  row.wall_s, row.cpu_s, row.phase4_s,
+                  baseline / row.wall_s,
+                  static_cast<unsigned long long>(row.checksum),
+                  row.identical ? "true" : "false");
+      for (std::size_t s = 0; s < row.shard_wall_s.size(); ++s) {
+        std::printf("%s%.6f", s == 0 ? "" : ",", row.shard_wall_s[s]);
+      }
+      std::printf("]}");
+    }
+    std::printf("]}\n");
+  } else {
+    std::printf(
+        "\nExpected shape: every row says identical=yes (the determinism "
+        "contract).\nWall time falls with shards once scoring dominates "
+        "partition I/O; cpu s grows\nwith S because each shard pays fixed "
+        "costs (its own PI pass, spool read-back,\npartition loads for its "
+        "schedule) — the gap between the two columns is the\nsharding "
+        "overhead.\n");
+  }
+  const bool all_identical =
+      std::all_of(rows.begin(), rows.end(),
+                  [](const Row& r) { return r.identical; });
+  return all_identical ? 0 : 1;
+}

@@ -28,18 +28,10 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// Triangular index of the unordered pair (a, b), a <= b < m.
-std::size_t pair_slot(PartitionId a, PartitionId b, PartitionId m) {
-  if (a > b) std::swap(a, b);
-  // Row a starts after a*m - a*(a-1)/2 slots.
-  return static_cast<std::size_t>(a) * m -
-         static_cast<std::size_t>(a) * (a > 0 ? a - 1 : 0) / 2 + (b - a);
+/// Shared slot layout (core/tuple_generation.h) under the old local name.
+inline std::size_t pair_slot(PartitionId a, PartitionId b, PartitionId m) {
+  return pi_pair_slot(a, b, m);
 }
-
-/// Auto thread mode (config.threads == 0): one worker per this many
-/// candidate edges (n * k). At k=10 a run crosses into multi-threading
-/// around 5k users and saturates hardware concurrency near 200k edges.
-constexpr std::uint64_t kPhase4WorkPerThread = 25000;
 
 /// Below this many candidates in a bundle the parallel merge's shard
 /// scans cost more than they save; offer serially.
@@ -161,13 +153,14 @@ IterationStats KnnEngine::run_iteration() {
         }
       }
     };
-    Rng sample_rng(mix64(config_.seed + 1) ^
-                   (0xda942042e4dd58b5ULL * (iteration_ + 1)));
     const bool sampling = config_.sample_rate < 1.0;
     for (PartitionId p = 0; p < m; ++p) {
       const PartitionData part = store.load_edges(p);
       // Neighbours' neighbours via the sorted merge-join (optionally
-      // subsampled at rate rho, NN-Descent style)...
+      // subsampled at rate rho, NN-Descent style). The sampling stream is
+      // derived per partition so the decisions don't depend on which
+      // executor processes p (the shard-count determinism contract).
+      Rng sample_rng = candidate_sample_rng(config_.seed, iteration_, p);
       stats.candidate_tuples += merge_join_tuples(
           part.in_edges, part.out_edges, [&](Tuple t) {
             if (sampling && !sample_rng.next_bool(config_.sample_rate)) {
@@ -185,10 +178,11 @@ IterationStats KnnEngine::run_iteration() {
     }
     // NN-Descent-style random restarts (see EngineConfig docs): a trickle
     // of uniform candidates so users remain reachable after profile drift.
+    // One derived stream per user, so the values are independent of which
+    // worker generates them.
     if (config_.random_candidates > 0 && n > 1) {
-      Rng restart_rng(mix64(config_.seed) ^
-                      (0x9e3779b97f4a7c15ULL * (iteration_ + 1)));
       for (VertexId s = 0; s < n; ++s) {
+        Rng restart_rng = random_restart_rng(config_.seed, iteration_, s);
         for (std::uint32_t r = 0; r < config_.random_candidates; ++r) {
           const auto d = static_cast<VertexId>(restart_rng.next_below(n));
           if (d == s) continue;
@@ -406,6 +400,32 @@ IterationStats KnnEngine::run_iteration() {
                   << "change rate " << stats.change_rate;
   ++iteration_;
   return stats;
+}
+
+IterationStats sum_iteration_stats(const std::vector<IterationStats>& parts) {
+  IterationStats total;
+  if (parts.empty()) return total;
+  total.iteration = parts.front().iteration;
+  total.threads_used = 0;  // default is 1; the sum must count parts only
+  for (const IterationStats& p : parts) {
+    total.timings.partition_s += p.timings.partition_s;
+    total.timings.hash_s += p.timings.hash_s;
+    total.timings.pi_graph_s += p.timings.pi_graph_s;
+    total.timings.knn_s += p.timings.knn_s;
+    total.timings.update_s += p.timings.update_s;
+    total.candidate_tuples += p.candidate_tuples;
+    total.unique_tuples += p.unique_tuples;
+    total.pi_pairs += p.pi_pairs;
+    total.partition_loads += p.partition_loads;
+    total.partition_unloads += p.partition_unloads;
+    total.io += p.io;
+    total.modeled_io_us += p.modeled_io_us;
+    total.knn_score_s += p.knn_score_s;
+    total.knn_merge_s += p.knn_merge_s;
+    total.threads_used += p.threads_used;
+    total.profile_updates_applied += p.profile_updates_applied;
+  }
+  return total;
 }
 
 PartitionId suggest_partition_count(std::uint64_t total_data_bytes,

@@ -25,6 +25,12 @@
 
 namespace knnpc {
 
+/// Auto thread mode (EngineConfig::threads == 0): one worker per this many
+/// candidate edges (n * k). At k=10 a run crosses into multi-threading
+/// around 5k users and saturates hardware concurrency near 200k edges.
+/// Shared with the shard driver so both resolve the same total budget.
+inline constexpr std::uint64_t kPhase4WorkPerThread = 25000;
+
 struct EngineConfig {
   std::uint32_t k = 10;
   PartitionId num_partitions = 8;
@@ -135,6 +141,15 @@ struct RunStats {
   double total_seconds = 0.0;
 };
 
+/// Element-wise sum of per-worker iteration stats (counters, timings, I/O
+/// and phase-4 sub-timings add; `threads_used` adds — it becomes "total
+/// workers applied"). `iteration` is taken from the first element;
+/// `change_rate`, `partition_cost_total` and `sampled_recall` are NOT
+/// summable and are left at their defaults for the caller to fill (the
+/// shard driver recomputes change_rate from summed change counts).
+/// Returns a default IterationStats for an empty input.
+IterationStats sum_iteration_stats(const std::vector<IterationStats>& parts);
+
 /// Suggests a partition count m such that two resident partitions (the
 /// paper's slot budget) plus working state fit in `memory_budget_bytes`:
 /// m = ceil(slots * total_data_bytes / budget), clamped to [1, n].
@@ -149,6 +164,24 @@ PartitionId suggest_partition_count(std::uint64_t total_data_bytes,
 std::uint64_t estimate_data_bytes(const std::vector<SparseProfile>& profiles,
                                   std::uint32_t k);
 
+/// The single-process five-phase pipeline (one iteration = phases 1-5 of
+/// Figure 1). This is the *serial reference implementation* whose output
+/// every parallel execution mode must reproduce bit-for-bit: phase 4 may
+/// run on an internal thread pool (EngineConfig::threads), and the sharded
+/// driver (core/shard_driver.h) runs S of these pipelines side by side —
+/// both contracts are tested against this class.
+///
+/// Thread-safety: a KnnEngine is single-owner. No member function may be
+/// called concurrently with another on the same instance; run_iteration()
+/// internally fans out to its own pool and joins before returning.
+/// Distinct instances are fully independent (separate scratch dirs, pools
+/// and RNG streams) and may run on different threads — that is exactly
+/// what the shard driver does.
+///
+/// Ownership: the constructor takes the profile set by value and owns it
+/// for the engine's lifetime; P(t) evolves in place via phase 5.
+/// update_queue() returns a reference into the engine — push updates at
+/// any time between iterations, never during run_iteration().
 class KnnEngine {
  public:
   /// Takes ownership of the profiles; the KNN graph starts random

@@ -1,0 +1,489 @@
+#include "core/shard_driver.h"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/convergence.h"
+#include "core/topk.h"
+#include "core/tuple_generation.h"
+#include "core/tuple_table.h"
+#include "graph/digraph.h"
+#include "graph/knn_graph_io.h"
+#include "partition/cost.h"
+#include "partition/partitioner.h"
+#include "pigraph/heuristics.h"
+#include "pigraph/pi_graph.h"
+#include "staticgraph/sharded_graph.h"
+#include "storage/partition_store.h"
+#include "storage/shard_writer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace knnpc {
+namespace fs = std::filesystem;
+
+std::uint32_t resolve_shard_count(std::uint32_t requested,
+                                  VertexId num_users, std::uint32_t k) {
+  const std::uint64_t users = std::max<std::uint64_t>(num_users, 1);
+  if (requested == 0) {
+    requested = resolve_thread_count(
+        0, users * std::max<std::uint32_t>(k, 1), kWorkPerShard);
+    requested = std::min(requested, kMaxAutoShards);
+  }
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(std::max(requested, 1u), users));
+}
+
+struct ShardedKnnEngine::Impl {
+  std::unique_ptr<ScratchDir> scratch;
+  fs::path work_dir;
+  /// Resolved worker count S.
+  std::uint32_t shards = 1;
+  /// Phase-4 threads per worker: the total auto/explicit budget
+  /// (resolve_thread_count, as in the serial engine) divided by S.
+  std::uint32_t threads_per_shard = 1;
+  /// One pool per worker (nullptr when threads_per_shard == 1: the worker
+  /// thread itself is the one thread).
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  /// Previous phase-1 assignment (reused when repartition_every > 1).
+  std::optional<PartitionAssignment> last_assignment;
+
+  Impl(const EngineConfig& config, const ShardConfig& shard_config,
+       VertexId num_users) {
+    if (config.work_dir.empty()) {
+      scratch = std::make_unique<ScratchDir>("shard_driver");
+      work_dir = scratch->path();
+    } else {
+      work_dir = config.work_dir;
+      fs::create_directories(work_dir);
+    }
+    shards = resolve_shard_count(shard_config.shards, num_users, config.k);
+    const std::uint32_t total = resolve_thread_count(
+        config.threads,
+        static_cast<std::uint64_t>(num_users) *
+            std::max<std::uint32_t>(config.k, 1),
+        kPhase4WorkPerThread);
+    threads_per_shard = std::max(total / shards, 1u);
+    pools.resize(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      if (threads_per_shard > 1) {
+        // The worker thread participates in its own parallel loops, so
+        // spawn one fewer pool worker (same rule as the serial engine).
+        pools[s] = std::make_unique<ThreadPool>(threads_per_shard - 1);
+      }
+    }
+  }
+};
+
+ShardedKnnEngine::ShardedKnnEngine(EngineConfig config,
+                                   ShardConfig shard_config,
+                                   std::vector<SparseProfile> profiles)
+    : config_(std::move(config)), shard_config_(std::move(shard_config)),
+      profiles_(std::move(profiles)),
+      impl_(std::make_unique<Impl>(config_, shard_config_,
+                                   profiles_.num_users())) {
+  if (config_.num_partitions == 0) {
+    throw std::invalid_argument(
+        "ShardedKnnEngine: num_partitions must be > 0");
+  }
+  if (config_.memory_slots < 2) {
+    throw std::invalid_argument(
+        "ShardedKnnEngine: memory_slots must be >= 2 (a PI pair needs "
+        "both partitions resident)");
+  }
+  // Identical bootstrap to KnnEngine: same seed, same initial G(0).
+  Rng rng(config_.seed);
+  graph_ = random_knn_graph(profiles_.num_users(), config_.k, rng);
+}
+
+ShardedKnnEngine::~ShardedKnnEngine() = default;
+
+std::uint32_t ShardedKnnEngine::num_shards() const noexcept {
+  return impl_->shards;
+}
+
+std::uint32_t ShardedKnnEngine::threads_per_shard() const noexcept {
+  return impl_->threads_per_shard;
+}
+
+void ShardedKnnEngine::set_initial_graph(KnnGraph graph) {
+  if (graph.num_vertices() != profiles_.num_users()) {
+    throw std::invalid_argument(
+        "ShardedKnnEngine::set_initial_graph: vertex count mismatch");
+  }
+  graph_ = std::move(graph);
+}
+
+ShardedIterationStats ShardedKnnEngine::run_iteration() {
+  ShardedIterationStats out;
+  const VertexId n = profiles_.num_users();
+  const PartitionId m = config_.num_partitions;
+  const std::uint32_t S = impl_->shards;
+  PartitionStore store(impl_->work_dir / "partitions", config_.io_model,
+                       config_.storage_mode);
+
+  // ---- Phase 1 (driver): partition G(t) once; split users into shards.
+  double partition_s = 0.0;
+  PartitionAssignment assignment;
+  PartitionAssignment shard_owner;
+  std::optional<std::size_t> partition_cost_total;
+  {
+    ScopedAccumulator timing(&partition_s);
+    const EdgeList edge_list = graph_.to_edge_list();
+    const Digraph digraph(edge_list);
+    const bool reuse =
+        config_.repartition_every > 1 &&
+        iteration_ % config_.repartition_every != 0 &&
+        impl_->last_assignment.has_value() &&
+        impl_->last_assignment->num_vertices() == n &&
+        impl_->last_assignment->num_partitions() == m;
+    if (reuse) {
+      assignment = *impl_->last_assignment;
+    } else {
+      assignment = make_partitioner(config_.partitioner)->assign(digraph, m);
+      impl_->last_assignment = assignment;
+    }
+    shard_owner =
+        make_partitioner(shard_config_.shard_partitioner)->assign(digraph, S);
+    store.write_all(edge_list, assignment, profiles_);
+    if (config_.record_partition_cost) {
+      partition_cost_total = partition_cost(digraph, assignment).total;
+    }
+  }
+  std::vector<std::vector<VertexId>> shard_members(S);
+  for (std::uint32_t s = 0; s < S; ++s) {
+    shard_members[s] = shard_owner.members(s);
+  }
+
+  out.workers.resize(S);
+  std::vector<std::unique_ptr<IoAccountant>> worker_io;
+  worker_io.reserve(S);
+  for (std::uint32_t s = 0; s < S; ++s) {
+    out.workers[s].shard = s;
+    out.workers[s].users = static_cast<VertexId>(shard_members[s].size());
+    out.workers[s].stats.iteration = iteration_;
+    out.workers[s].stats.threads_used = impl_->threads_per_shard;
+    worker_io.push_back(std::make_unique<IoAccountant>(config_.io_model));
+  }
+
+  // Cross-shard exchange: spool (producer, consumer) holds the tuples
+  // producer w generated whose source user consumer c owns. The write-side
+  // accountant is shared (its charges are atomic).
+  IoAccountant spool_io(config_.io_model);
+  RoutedShardWriter<Tuple> spool(impl_->work_dir / "spools", "tuples", S, S,
+                                 config_.shard_buffer_bytes, &spool_io);
+
+  // Runs fn(w) on one thread per shard; rethrows the lowest-shard
+  // exception after all joined (deterministic, like the pool contract).
+  auto run_wave = [&](auto&& fn) {
+    std::vector<std::exception_ptr> errors(S);
+    std::vector<std::thread> threads;
+    threads.reserve(S);
+    for (std::uint32_t w = 0; w < S; ++w) {
+      threads.emplace_back([&, w] {
+        try {
+          fn(w);
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  };
+
+  // ---- Phase 2, producer wave: generate candidates, route by owner of
+  // the source user. No dedup here — H lives consumer-side, where all
+  // tuples of a user meet.
+  run_wave([&](std::uint32_t w) {
+    ShardWorkerStats& worker = out.workers[w];
+    Timer wall;
+    ScopedAccumulator timing(&worker.stats.timings.hash_s);
+    RecordShardWriter<Tuple>& sink = spool.producer(w);
+    auto route = [&](Tuple t) {
+      sink.add(shard_owner.owner(t.s), t);
+      if (config_.include_reverse) {
+        sink.add(shard_owner.owner(t.d), Tuple{t.d, t.s});
+      }
+    };
+    const bool sampling = config_.sample_rate < 1.0;
+    for (PartitionId p = w; p < m; p += S) {
+      const PartitionData part = store.load_edges(p);
+      // Same per-partition sampling stream as the serial engine — the
+      // decisions don't depend on which worker processes p.
+      Rng sample_rng = candidate_sample_rng(config_.seed, iteration_, p);
+      worker.stats.candidate_tuples += merge_join_tuples(
+          part.in_edges, part.out_edges, [&](Tuple t) {
+            if (sampling && !sample_rng.next_bool(config_.sample_rate)) {
+              return;
+            }
+            route(t);
+          });
+      // Direct edges of G(t), never sampled (as in the serial engine).
+      for (const Edge& e : part.out_edges) {
+        ++worker.stats.candidate_tuples;
+        route(Tuple{e.src, e.dst});
+      }
+    }
+    // Random restarts for this shard's own users, one derived stream per
+    // user — identical values to the serial engine's.
+    if (config_.random_candidates > 0 && n > 1) {
+      for (VertexId s : shard_members[w]) {
+        Rng restart_rng = random_restart_rng(config_.seed, iteration_, s);
+        for (std::uint32_t r = 0; r < config_.random_candidates; ++r) {
+          const auto d = static_cast<VertexId>(restart_rng.next_below(n));
+          if (d == s) continue;
+          ++worker.stats.candidate_tuples;
+          route(Tuple{s, d});
+        }
+      }
+    }
+    worker.produce_s = wall.elapsed_seconds();
+  });
+  spool.finish();
+
+  // ---- Phases 2b-4, consumer wave: dedup, schedule, score, top-K.
+  ShardedKnnGraph output(shard_owner, config_.k);
+  std::vector<std::uint64_t> change_counts(S, 0);
+  run_wave([&](std::uint32_t c) {
+    ShardWorkerStats& worker = out.workers[c];
+    IterationStats& stats = worker.stats;
+    IoAccountant* io = worker_io[c].get();
+    Timer wall;
+
+    // Phase 2b: consumer-side H_c — global dedup per source user falls
+    // out of the routing (all (s, *) tuples land here together).
+    const std::size_t num_slots = pi_pair_slot(m - 1, m - 1, m) + 1;
+    TupleShardWriter pair_writer(impl_->work_dir / ("worker_" +
+                                                    std::to_string(c)),
+                                 "tuples", num_slots,
+                                 std::max<std::size_t>(
+                                     config_.shard_buffer_bytes / S,
+                                     sizeof(Tuple)),
+                                 io);
+    {
+      ScopedAccumulator timing(&stats.timings.hash_s);
+      // Stream one producer's spool at a time — peak extra memory is the
+      // largest single spool, not the whole pre-dedup stream.
+      TupleTable table(spool.consumer_records(c));
+      for (std::uint32_t p = 0; p < S; ++p) {
+        const std::vector<Tuple> chunk =
+            read_record_shard<Tuple>(spool.spool_path(p, c), io);
+        worker.spooled_tuples += chunk.size();
+        for (const Tuple& t : chunk) {
+          if (table.insert(t)) {
+            pair_writer.add(pi_pair_slot(assignment.owner(t.s),
+                                         assignment.owner(t.d), m),
+                            t);
+          }
+        }
+      }
+      stats.unique_tuples = table.size();
+      pair_writer.finish();
+    }
+
+    // Phase 3: this shard's own PI graph + traversal schedule.
+    PiGraph pi(m);
+    Schedule schedule;
+    {
+      ScopedAccumulator timing(&stats.timings.pi_graph_s);
+      for (PartitionId a = 0; a < m; ++a) {
+        for (PartitionId b = a; b < m; ++b) {
+          const auto count = pair_writer.shard_records(pi_pair_slot(a, b, m));
+          if (count > 0) pi.add_edge(a, b, count);
+        }
+      }
+      pi.finalize();
+      stats.pi_pairs = pi.num_pairs();
+      schedule = make_heuristic(config_.heuristic)->schedule(pi);
+    }
+
+    // Phase 4: stream the shared store through a private cache; top-K for
+    // this shard's users only. Offers are made serially — the kept set is
+    // offer-order-independent, so only scoring needs the pool.
+    ThreadPool* pool = impl_->pools[c].get();
+    KnnGraph next(n, config_.k);
+    {
+      ScopedAccumulator timing(&stats.timings.knn_s);
+      TopKAccumulator acc(n, config_.k);
+      std::optional<RecordShardWriter<ScoredTuple>> score_writer;
+      if (config_.spill_scores) {
+        score_writer.emplace(impl_->work_dir / ("worker_" +
+                                                std::to_string(c)),
+                             "scores", m,
+                             std::max<std::size_t>(
+                                 config_.shard_buffer_bytes / S,
+                                 sizeof(ScoredTuple)),
+                             io);
+      }
+      PartitionCache cache(store, config_.memory_slots);
+      std::vector<float> scores;
+      for (PairIndex idx : schedule) {
+        const PiPair& pair = pi.pair(idx);
+        const std::vector<Tuple> tuples = read_record_shard<Tuple>(
+            pair_writer.shard_path(pi_pair_slot(pair.a, pair.b, m)), io);
+        const PartitionData& pa = cache.get(pair.a);
+        const PartitionData& pb = pair.b == pair.a ? pa : cache.get(pair.b);
+        auto profile_of = [&](VertexId v) -> const SparseProfile& {
+          if (const SparseProfile* p = pa.profile_of(v)) return *p;
+          if (const SparseProfile* p = pb.profile_of(v)) return *p;
+          throw std::logic_error(
+              "shard_driver: tuple endpoint outside loaded pair");
+        };
+        scores.assign(tuples.size(), 0.0f);
+        {
+          ScopedAccumulator score_timing(&stats.knn_score_s);
+          auto score_range = [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              scores[i] =
+                  similarity(config_.measure, profile_of(tuples[i].s),
+                             profile_of(tuples[i].d));
+            }
+          };
+          if (pool != nullptr) {
+            pool->parallel_for(0, tuples.size(), score_range,
+                               /*min_chunk=*/256);
+          } else {
+            score_range(0, tuples.size());
+          }
+        }
+        if (score_writer) {
+          for (std::size_t i = 0; i < tuples.size(); ++i) {
+            score_writer->add(assignment.owner(tuples[i].s),
+                              {tuples[i].s, tuples[i].d, scores[i]});
+          }
+        } else {
+          ScopedAccumulator merge_timing(&stats.knn_merge_s);
+          for (std::size_t i = 0; i < tuples.size(); ++i) {
+            acc.offer(tuples[i].s, tuples[i].d, scores[i]);
+          }
+        }
+      }
+      cache.flush();
+      stats.partition_loads = cache.loads();
+      stats.partition_unloads = cache.unloads();
+
+      ScopedAccumulator merge_timing(&stats.knn_merge_s);
+      if (score_writer) {
+        // Finalise one partition at a time, restricted to owned users.
+        score_writer->finish();
+        for (PartitionId p = 0; p < m; ++p) {
+          const auto spilled = read_record_shard<ScoredTuple>(
+              score_writer->shard_path(p), io);
+          for (const ScoredTuple& t : spilled) {
+            acc.offer(t.s, t.d, t.score);
+          }
+          for (VertexId member : assignment.members(p)) {
+            if (shard_owner.owner(member) != static_cast<PartitionId>(c)) {
+              continue;
+            }
+            next.set_neighbors(member, acc.take(member));
+          }
+        }
+      } else {
+        next = acc.build_graph(pool);
+      }
+    }
+
+    // Exact per-user change counts over owned users; the driver's sum
+    // reproduces the serial change rate bit-for-bit.
+    std::uint64_t changed = 0;
+    for (VertexId s : shard_members[c]) {
+      changed += KnnGraph::change_count(graph_, next, s, s + 1);
+    }
+    change_counts[c] = changed;
+    output.set_shard(c, std::move(next));
+    worker.consume_s = wall.elapsed_seconds();
+  });
+
+  for (std::uint32_t s = 0; s < S; ++s) {
+    out.workers[s].stats.io = worker_io[s]->counters();
+    out.workers[s].stats.modeled_io_us = worker_io[s]->modeled_us();
+  }
+
+  // ---- Merge (driver): deterministic re-assembly from shard owners.
+  IterationStats merged;
+  {
+    std::vector<IterationStats> parts;
+    parts.reserve(S);
+    for (const ShardWorkerStats& w : out.workers) parts.push_back(w.stats);
+    merged = sum_iteration_stats(parts);
+  }
+  merged.iteration = iteration_;
+  merged.timings.partition_s += partition_s;
+  merged.partition_cost_total = partition_cost_total;
+  {
+    double merge_s = 0.0;
+    {
+      ScopedAccumulator timing(&merge_s);
+      graph_ = output.merge();
+    }
+    merged.timings.knn_s += merge_s;
+    merged.knn_merge_s += merge_s;
+  }
+  std::uint64_t differing = 0;
+  for (const std::uint64_t c : change_counts) differing += c;
+  merged.change_rate =
+      n == 0 ? 0.0
+             : static_cast<double>(differing) /
+                   (static_cast<double>(n) *
+                    std::max<std::uint32_t>(config_.k, 1));
+
+  // ---- Phase 5 (driver): apply queued profile updates.
+  {
+    ScopedAccumulator timing(&merged.timings.update_s);
+    merged.profile_updates_applied = queue_.apply_to(profiles_);
+  }
+
+  if (config_.checkpoint) {
+    save_knn_graph_file(impl_->work_dir / "checkpoint_latest.knng", graph_);
+  }
+  if (config_.recall_samples > 0) {
+    merged.sampled_recall =
+        sampled_recall(graph_, profiles_, config_.measure,
+                       config_.recall_samples, config_.seed,
+                       impl_->pools[0].get())
+            .recall;
+  }
+
+  merged.io += store.io().counters();
+  merged.io += spool_io.counters();
+  merged.modeled_io_us += store.io().modeled_us() + spool_io.modeled_us();
+
+  KNNPC_LOG(Info) << "sharded iteration " << iteration_ << " (S=" << S
+                  << "): " << merged.unique_tuples << " tuples, "
+                  << merged.pi_pairs << " PI pairs, "
+                  << merged.partition_loads << " loads, change rate "
+                  << merged.change_rate;
+  ++iteration_;
+  out.merged = merged;
+  return out;
+}
+
+RunStats ShardedKnnEngine::run(std::uint32_t max_iterations,
+                               double convergence_delta) {
+  RunStats run_stats;
+  Timer total;
+  for (std::uint32_t i = 0; i < max_iterations; ++i) {
+    ShardedIterationStats stats = run_iteration();
+    const double change = stats.merged.change_rate;
+    run_stats.iterations.push_back(std::move(stats.merged));
+    if (change < convergence_delta) {
+      run_stats.converged = true;
+      break;
+    }
+  }
+  run_stats.total_seconds = total.elapsed_seconds();
+  return run_stats;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,158 @@
+// Sharded execution driver: one engine worker per user shard over one
+// shared on-disk partition store.
+//
+// The paper's scaling argument is that the pipeline's phases communicate
+// only through files — partitions (phase 1 -> 2/4) and tuple shards
+// (phase 2 -> 4) — so nothing in memory has to be split to add workers.
+// This driver takes that literally:
+//
+//   driver   phase 1: partition G(t) once, write the shared partition
+//            store; split the user universe into S shards with a
+//            src/partition partitioner.
+//   worker w phase 2 (producer wave): generate candidate tuples from its
+//            slice of the partitions (p ≡ w mod S) plus the random
+//            restarts of its own users, and route every tuple to the
+//            shard owning its source user through one spool file per
+//            (producer, consumer) pair (storage/shard_writer.h).
+//   worker c phases 2b-4 (consumer wave): dedup its spooled tuples into
+//            its own hash table H_c, build its own PI graph + schedule,
+//            stream the shared read-only partition store through a
+//            private 2-slot cache, and keep top-K for its users only.
+//   driver   merge the per-shard graphs (staticgraph/sharded_graph.h's
+//            ShardedKnnGraph) and run phase 5 on the shared profiles.
+//
+// Determinism contract (mirrors PR 2's thread-count contract): the merged
+// G(t+1) is bit-identical to the serial KnnEngine's for the same
+// EngineConfig, for ANY shard count. It holds because (a) each user's
+// top-K kept set is a pure function of its unique candidate SET — the
+// accumulator keeps "top K by (score desc, id asc)" regardless of offer
+// order (core/topk.cpp) — and (b) phase 2 generates a
+// decomposition-independent candidate set: sampling and restart RNG
+// streams are derived per partition / per user (core/tuple_generation.h)
+// and dedup happens consumer-side, where all tuples of a given source
+// user meet. shard_driver_test asserts the contract for S in {1,2,3,5},
+// including the spill-scores path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/knn_graph.h"
+#include "profiles/profile_store.h"
+#include "profiles/update_queue.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+/// Auto shard mode: one worker per this many candidate edges (n * k),
+/// i.e. 4x the phase-4 per-thread granularity — a shard only pays off
+/// once it can keep a few threads busy. At k=10 the second worker
+/// arrives at 20k users (n*k = 2 * kWorkPerShard), growing to the
+/// kMaxAutoShards cap near 80k.
+inline constexpr std::uint64_t kWorkPerShard = 4 * kPhase4WorkPerThread;
+inline constexpr std::uint32_t kMaxAutoShards = 8;
+
+/// Resolves the shard-count knob: `requested > 0` is taken verbatim
+/// (clamped to the user count); `requested == 0` is auto — hardware
+/// concurrency clamped so every shard gets at least kWorkPerShard of the
+/// n*k workload, capped at kMaxAutoShards. Always returns >= 1.
+std::uint32_t resolve_shard_count(std::uint32_t requested,
+                                  VertexId num_users, std::uint32_t k);
+
+struct ShardConfig {
+  /// Engine workers S. 0 = auto (resolve_shard_count); 1 degenerates to
+  /// the serial pipeline run through the driver's machinery.
+  std::uint32_t shards = 0;
+  /// How the user universe is split into shards: "range" | "hash" |
+  /// "degree-range" | "greedy" (any src/partition strategy). The output
+  /// graph does not depend on this choice — only load balance does.
+  std::string shard_partitioner = "range";
+};
+
+/// Per-worker observability for one iteration.
+struct ShardWorkerStats {
+  std::uint32_t shard = 0;
+  /// Users this shard owns (its top-K responsibility).
+  VertexId users = 0;
+  /// Tuples received through the spools (pre-dedup).
+  std::uint64_t spooled_tuples = 0;
+  /// Wall time of this worker's producer / consumer wave participation.
+  double produce_s = 0.0;
+  double consume_s = 0.0;
+  /// This worker's share of the merged counters (sum_iteration_stats
+  /// folds these into ShardedIterationStats::merged).
+  IterationStats stats;
+
+  [[nodiscard]] double wall_s() const noexcept {
+    return produce_s + consume_s;
+  }
+};
+
+struct ShardedIterationStats {
+  /// Aggregate view, same shape as the serial engine's IterationStats:
+  /// counters and I/O are summed over workers (plus the driver's phase-1
+  /// work); change_rate is recomputed from summed per-user change counts
+  /// and therefore matches the serial engine's exactly.
+  IterationStats merged;
+  std::vector<ShardWorkerStats> workers;
+};
+
+/// S-worker sharded pipeline with the KnnEngine interface.
+///
+/// Thread-safety: single-owner, like KnnEngine — no member function may
+/// overlap another call on the same instance. run_iteration() spawns one
+/// producer and one consumer thread per shard internally (each worker
+/// with its own ThreadPool, the phase-4 thread budget divided across
+/// shards) and joins them before returning.
+///
+/// Ownership: owns the profiles, the merged graph, the per-shard pools
+/// and the work directory (scratch unless EngineConfig::work_dir is set).
+class ShardedKnnEngine {
+ public:
+  ShardedKnnEngine(EngineConfig config, ShardConfig shard_config,
+                   std::vector<SparseProfile> profiles);
+  ~ShardedKnnEngine();
+  ShardedKnnEngine(const ShardedKnnEngine&) = delete;
+  ShardedKnnEngine& operator=(const ShardedKnnEngine&) = delete;
+
+  /// Replaces the current graph G(t) (vertex count must match).
+  void set_initial_graph(KnnGraph graph);
+
+  /// One full five-phase iteration across all shards.
+  ShardedIterationStats run_iteration();
+
+  /// Iterates until change_rate < `convergence_delta` or `max_iterations`
+  /// (RunStats holds the merged per-iteration stats).
+  RunStats run(std::uint32_t max_iterations, double convergence_delta = 0.01);
+
+  [[nodiscard]] const KnnGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const InMemoryProfileStore& profiles() const noexcept {
+    return profiles_;
+  }
+  [[nodiscard]] const EngineConfig& config() const noexcept {
+    return config_;
+  }
+  /// Resolved worker count S.
+  [[nodiscard]] std::uint32_t num_shards() const noexcept;
+  /// Phase-4 threads each worker runs with (total budget / S).
+  [[nodiscard]] std::uint32_t threads_per_shard() const noexcept;
+
+  /// Same lazy phase-5 semantics as KnnEngine::update_queue().
+  UpdateQueue& update_queue() noexcept { return queue_; }
+
+ private:
+  struct Impl;
+
+  EngineConfig config_;
+  ShardConfig shard_config_;
+  InMemoryProfileStore profiles_;
+  KnnGraph graph_;
+  UpdateQueue queue_;
+  std::uint32_t iteration_ = 0;
+  std::unique_ptr<Impl> impl_;  // scratch dir, per-shard pools
+};
+
+}  // namespace knnpc

@@ -11,9 +11,46 @@
 #include <span>
 
 #include "graph/digraph.h"
+#include "util/hash.h"
+#include "util/rng.h"
 #include "util/types.h"
 
 namespace knnpc {
+
+/// Triangular index of the unordered PI pair (a, b), a <= b < m — the
+/// slot layout of the per-pair tuple shard files, shared by the engine
+/// and the shard driver so both bucket tuples identically.
+inline std::size_t pi_pair_slot(PartitionId a, PartitionId b,
+                                PartitionId m) {
+  if (a > b) std::swap(a, b);
+  // Row a starts after a*m - a*(a-1)/2 slots.
+  return static_cast<std::size_t>(a) * m -
+         static_cast<std::size_t>(a) * (a > 0 ? a - 1 : 0) / 2 + (b - a);
+}
+
+/// RNG stream for subsampling partition `p`'s merge-join candidates (the
+/// NN-Descent rho knob) in iteration `t`. The stream is derived from
+/// (seed, iteration, partition) alone — no cross-partition state — so any
+/// executor that processes partition p reproduces the same sampling
+/// decisions: the serial engine and every shard-driver worker draw
+/// identical streams, which is what makes the KNN output independent of
+/// the shard count (see core/shard_driver.h).
+inline Rng candidate_sample_rng(std::uint64_t seed, std::uint32_t iteration,
+                                PartitionId p) {
+  return Rng(mix64(seed + 1) ^
+             mix64(0xda942042e4dd58b5ULL * (iteration + 1)) ^
+             mix64(0x510e527fade682d1ULL + p));
+}
+
+/// RNG stream for user `s`'s random-restart candidates in iteration `t`.
+/// Per-user derivation (not one sequential stream over all users) for the
+/// same reason as candidate_sample_rng: whichever worker generates user
+/// s's restarts draws the same values.
+inline Rng random_restart_rng(std::uint64_t seed, std::uint32_t iteration,
+                              VertexId s) {
+  return Rng(mix64(seed) ^ mix64(0x9e3779b97f4a7c15ULL * (iteration + 1)) ^
+             mix64(0x6a09e667f3bcc909ULL + s));
+}
 
 /// Calls `emit(Tuple{s, d})` for every bridge pairing; skips s == d
 /// (a user is not its own KNN candidate). Inputs MUST be sorted by

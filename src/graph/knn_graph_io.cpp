@@ -96,4 +96,28 @@ KnnGraph load_knn_graph_file(const std::filesystem::path& path) {
   return load_knn_graph(in);
 }
 
+std::uint64_t knn_graph_checksum(const KnnGraph& graph) {
+  // FNV-1a over the checkpoint serialisation fields, in file order.
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  auto mix = [&](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h = (h ^ ((value >> (8 * byte)) & 0xffu)) * kPrime;
+    }
+  };
+  mix(graph.num_vertices());
+  mix(graph.k());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto list = graph.neighbors(v);
+    mix(list.size());
+    for (const Neighbor& n : list) {
+      std::uint32_t score_bits = 0;
+      std::memcpy(&score_bits, &n.score, sizeof(score_bits));
+      mix((static_cast<std::uint64_t>(n.id) << 32) | score_bits);
+    }
+  }
+  return h;
+}
+
 }  // namespace knnpc

@@ -24,4 +24,11 @@ void save_knn_graph_file(const std::filesystem::path& path,
 KnnGraph load_knn_graph(std::istream& in);
 KnnGraph load_knn_graph_file(const std::filesystem::path& path);
 
+/// Order-sensitive 64-bit checksum over (n, k, every vertex's neighbour
+/// list: id + score bits). Two graphs have equal checksums iff their
+/// serialised forms match byte-for-byte — the cheap way for the
+/// determinism tests and bench_shards to compare a sharded run against
+/// the serial reference without holding both graphs.
+std::uint64_t knn_graph_checksum(const KnnGraph& graph);
+
 }  // namespace knnpc

@@ -7,6 +7,7 @@
 // the model only produces numbers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -39,6 +40,14 @@ struct IoModel {
 };
 
 /// Accumulates modelled device time next to the raw byte counters.
+///
+/// Thread-safety: charge_read()/charge_write() are lock-free and safe to
+/// call from any number of threads concurrently (the shard driver's
+/// workers share one accountant per PartitionStore). counters() /
+/// modeled_us() take relaxed snapshots: each field is exact, but a
+/// snapshot taken *while* charges are in flight may mix fields from
+/// different moments — read stats after workers have joined for totals
+/// that add up.
 class IoAccountant {
  public:
   explicit IoAccountant(IoModel model = IoModel::none())
@@ -46,32 +55,47 @@ class IoAccountant {
 
   /// Charges one sequential read/write of `bytes`.
   void charge_read(std::uint64_t bytes) noexcept {
-    counters_.bytes_read += bytes;
-    ++counters_.read_ops;
-    modeled_us_ += model_.op_cost_us(bytes);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_ops_.fetch_add(1, std::memory_order_relaxed);
+    modeled_us_.fetch_add(model_.op_cost_us(bytes),
+                          std::memory_order_relaxed);
   }
   void charge_write(std::uint64_t bytes) noexcept {
-    counters_.bytes_written += bytes;
-    ++counters_.write_ops;
-    modeled_us_ += model_.op_cost_us(bytes);
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    write_ops_.fetch_add(1, std::memory_order_relaxed);
+    modeled_us_.fetch_add(model_.op_cost_us(bytes),
+                          std::memory_order_relaxed);
   }
 
-  [[nodiscard]] const IoCounters& counters() const noexcept {
-    return counters_;
+  /// Snapshot of the raw counters (see the class comment for concurrent
+  /// -read semantics).
+  [[nodiscard]] IoCounters counters() const noexcept {
+    return {bytes_read_.load(std::memory_order_relaxed),
+            bytes_written_.load(std::memory_order_relaxed),
+            read_ops_.load(std::memory_order_relaxed),
+            write_ops_.load(std::memory_order_relaxed)};
   }
   /// Total modelled device time, microseconds.
-  [[nodiscard]] double modeled_us() const noexcept { return modeled_us_; }
+  [[nodiscard]] double modeled_us() const noexcept {
+    return modeled_us_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const IoModel& model() const noexcept { return model_; }
 
   void reset() noexcept {
-    counters_ = IoCounters{};
-    modeled_us_ = 0.0;
+    bytes_read_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
+    read_ops_.store(0, std::memory_order_relaxed);
+    write_ops_.store(0, std::memory_order_relaxed);
+    modeled_us_.store(0.0, std::memory_order_relaxed);
   }
 
  private:
   IoModel model_;
-  IoCounters counters_;
-  double modeled_us_ = 0.0;
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> read_ops_{0};
+  std::atomic<std::uint64_t> write_ops_{0};
+  std::atomic<double> modeled_us_{0.0};
 };
 
 }  // namespace knnpc

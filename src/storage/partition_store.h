@@ -42,6 +42,20 @@ struct PartitionData {
 };
 
 /// Writes and reads partitions under a work directory.
+///
+/// Thread-safety: the write side (write_all / write_all_streaming /
+/// write_profiles) is single-writer and must not overlap any other call.
+/// The read side is concurrent-reader safe: once the partition files for
+/// an iteration are on disk, any number of threads may call load() /
+/// load_edges() simultaneously — each call reads into its own buffers and
+/// the only shared mutable state, the IoAccountant, is atomic. The shard
+/// driver relies on this: one store, written once per iteration by the
+/// driver, is streamed by every shard worker's PartitionCache in parallel.
+///
+/// Ownership: the store owns nothing in memory between calls — load()
+/// returns PartitionData by value and the caller owns it (PartitionCache
+/// is the standard bounded owner). The store does own the directory
+/// layout; two stores over one directory must not write concurrently.
 class PartitionStore {
  public:
   /// How partition files are brought into memory.
@@ -108,6 +122,9 @@ class PartitionStore {
 
 /// Bounded partition cache for phase 4: at most `slots` partitions resident
 /// (the paper uses 2). Counts loads and unloads — Table 1's metric.
+///
+/// Thread-safety: single-owner (one cache per engine / shard worker); the
+/// underlying store may be shared across caches on different threads.
 class PartitionCache {
  public:
   PartitionCache(const PartitionStore& store, std::size_t slots);

@@ -54,6 +54,19 @@ std::uint32_t resolve_thread_count(std::uint32_t requested,
                                    std::uint64_t work_items,
                                    std::uint64_t work_per_thread = 16384);
 
+/// Thread-safety: submit() may be called from any thread, including from
+/// inside worker bodies. parallel_for()/parallel_reduce() may be issued
+/// from multiple threads concurrently — callers serialise on an internal
+/// mutex (one published job at a time), and a call from *inside* a worker
+/// degrades to inline serial execution instead of deadlocking. The shard
+/// driver therefore gives each shard worker its OWN pool: per-shard loops
+/// never queue behind another shard's work.
+///
+/// Ownership: the pool owns its worker threads; the destructor lets
+/// workers drain the pending task queue, then joins them. Callers own the
+/// data their bodies touch — a body must not outlive the objects it
+/// captures by reference (parallel_for blocks until every chunk finished,
+/// which is what makes stack captures safe).
 class ThreadPool {
  public:
   /// Spawns `threads` workers (>=1; 0 is clamped to 1).

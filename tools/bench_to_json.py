@@ -79,10 +79,31 @@ def summarize_threads(d, out):
     out.append("")
 
 
+def summarize_shards(d, out):
+    out.append(
+        "### bench_shards — sharded-driver sweep "
+        f"(n={d.get('users')}, k={d.get('k')})")
+    out.append("")
+    out.append("| shards | threads/shard | wall s | cpu s | speedup "
+               "| max shard wall s | identical |")
+    out.append("|---:|---:|---:|---:|---:|---:|---:|")
+    for row in d.get("results", []):
+        max_wall = max(row.get("per_shard_wall_s", [0.0]) or [0.0])
+        out.append(
+            "| {shards} | {threads_per_shard} | {wall_s:.3f} "
+            "| {cpu_s:.3f} | {speedup:.2f}x | {max_wall:.3f} "
+            "| {ident} |".format(
+                max_wall=max_wall,
+                ident="yes" if row.get("identical") else "**NO**",
+                **row))
+    out.append("")
+
+
 SUMMARIZERS = {
     "table1": summarize_table1,
     "phases": summarize_phases,
     "threads": summarize_threads,
+    "shards": summarize_shards,
 }
 
 

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Check that the repo's markdown docs stay in sync with the tree.
+
+Two classes of drift, both of which have bitten hard-coded docs before:
+
+1. Broken relative links: every `[text](path)` in the checked markdown
+   files must point at an existing file or directory (external http(s)
+   links and pure #anchors are skipped; `path#anchor` checks the file).
+2. Doc/test-name drift: every `ctest -R <name>` / `ctest -L <label>`
+   selector quoted in the docs must still match a registered test name /
+   label. Pass --ctest-list / --ctest-labels with the output of
+   `ctest -N` and `ctest --print-labels` (run from the build dir) to
+   enable this check; without them only links are checked.
+
+Usage (CI docs job):
+    ctest --test-dir build -N > /tmp/ctest_n.txt
+    ctest --test-dir build --print-labels > /tmp/ctest_labels.txt
+    tools/check_docs.py README.md ARCHITECTURE.md \
+        --ctest-list /tmp/ctest_n.txt --ctest-labels /tmp/ctest_labels.txt
+
+Only the standard library is used. Exit code 0 = docs in sync.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CTEST_R_RE = re.compile(r"ctest[^|\n`]*?-R\s+(\S+)")
+CTEST_L_RE = re.compile(r"ctest[^|\n`]*?-L(?:E)?\s+(\S+)")
+TEST_LINE_RE = re.compile(r"Test\s+#\d+:\s+(\S+)")
+
+
+def check_links(doc: pathlib.Path, errors: list) -> None:
+    root = doc.parent
+    for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (root / path).exists():
+                errors.append(f"{doc}:{lineno}: broken link -> {target}")
+
+
+def collect_selectors(docs) -> tuple:
+    regexes, labels = [], []
+    for doc in docs:
+        text = doc.read_text()
+        for match in CTEST_R_RE.findall(text):
+            regexes.append((doc, match.strip("`'\",.)")))
+        for match in CTEST_L_RE.findall(text):
+            labels.append((doc, match.strip("`'\",.)")))
+    return regexes, labels
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("docs", nargs="+", help="markdown files to check")
+    parser.add_argument("--ctest-list",
+                        help="output of `ctest -N` (enables -R checking)")
+    parser.add_argument("--ctest-labels",
+                        help="output of `ctest --print-labels` "
+                             "(enables -L checking)")
+    args = parser.parse_args()
+
+    errors = []
+    docs = [pathlib.Path(d) for d in args.docs]
+    for doc in docs:
+        if not doc.exists():
+            errors.append(f"{doc}: file not found")
+    docs = [d for d in docs if d.exists()]
+
+    for doc in docs:
+        check_links(doc, errors)
+
+    regexes, labels = collect_selectors(docs)
+    if args.ctest_list:
+        names = TEST_LINE_RE.findall(
+            pathlib.Path(args.ctest_list).read_text())
+        if not names:
+            errors.append(f"{args.ctest_list}: no tests found in ctest -N "
+                          "output (wrong file?)")
+        for doc, regex in regexes:
+            try:
+                pattern = re.compile(regex)
+            except re.error:
+                errors.append(f"{doc}: invalid ctest -R regex '{regex}'")
+                continue
+            if not any(pattern.search(name) for name in names):
+                errors.append(
+                    f"{doc}: `ctest -R {regex}` matches no registered test "
+                    f"({len(names)} known)")
+    if args.ctest_labels:
+        # `ctest --print-labels` output: a "Test project" header, an
+        # "All Labels:" line, then one indented label per line.
+        known = {
+            line.strip()
+            for line in pathlib.Path(args.ctest_labels).read_text()
+                .splitlines()
+            if line.startswith((" ", "\t")) and line.strip()
+        }
+        for doc, label in labels:
+            if label not in known:
+                errors.append(
+                    f"{doc}: `ctest -L {label}` names unknown label "
+                    f"(known: {sorted(known)})")
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        checked = ", ".join(str(d) for d in docs)
+        print(f"docs in sync: {checked} "
+              f"({len(regexes)} -R and {len(labels)} -L selectors checked)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

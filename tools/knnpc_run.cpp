@@ -6,14 +6,21 @@
 //   knnpc_run --ratings=ratings.csv --k=10 --partitions=32
 //   knnpc_run --users=20000 --clusters=50 --heuristic=cost-aware
 //             --partitioner=greedy --threads=8 --device=hdd --csv
+//   knnpc_run --users=50000 --shards=4 --checkpoint --workdir=/tmp/run
 //
-// With --csv the per-iteration table is machine-readable.
+// With --csv the per-iteration table is machine-readable. --shards=S runs
+// the sharded driver (core/shard_driver.h); the KNN output is
+// bit-identical to --shards=1 for any S (the final checksum on stderr
+// makes that easy to verify).
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "core/convergence.h"
 #include "core/engine.h"
+#include "core/shard_driver.h"
 #include "core/stats_io.h"
+#include "graph/knn_graph_io.h"
 #include "util/timer.h"
 #include "profiles/generators.h"
 #include "profiles/ratings_io.h"
@@ -41,6 +48,14 @@ int main(int argc, char** argv) {
                   "cosine");
   opts.add_uint("slots", "resident partition slots", 2);
   opts.add_uint("threads", "phase-4 threads (0 = auto for large runs)", 0);
+  opts.add_uint("shards",
+                "engine workers, one per user shard (1 = serial engine, "
+                "0 = auto for large runs)",
+                1);
+  opts.add_string("shard-partitioner",
+                  "how users are split into shards (range | hash | "
+                  "degree-range | greedy)",
+                  "range");
   opts.add_uint("iters", "max iterations", 15);
   opts.add_double("delta", "convergence threshold on change rate", 0.01);
   opts.add_string("device", "none | hdd | ssd | nvme (I/O cost model)",
@@ -102,7 +117,30 @@ int main(int argc, char** argv) {
   config.seed = opts.get_uint("seed");
 
   const InMemoryProfileStore snapshot{profiles};
-  KnnEngine engine(config, std::move(profiles));
+
+  // --shards != 1 routes through the sharded driver; both paths expose
+  // the same per-iteration IterationStats shape.
+  const auto shards = static_cast<std::uint32_t>(opts.get_uint("shards"));
+  std::unique_ptr<KnnEngine> engine;
+  std::unique_ptr<ShardedKnnEngine> sharded;
+  if (shards == 1) {
+    engine = std::make_unique<KnnEngine>(config, std::move(profiles));
+  } else {
+    ShardConfig shard_config;
+    shard_config.shards = shards;
+    shard_config.shard_partitioner = opts.get_string("shard-partitioner");
+    sharded = std::make_unique<ShardedKnnEngine>(config, shard_config,
+                                                 std::move(profiles));
+    std::fprintf(stderr, "sharded driver: %u workers x %u threads\n",
+                 sharded->num_shards(), sharded->threads_per_shard());
+  }
+  auto step = [&]() -> IterationStats {
+    if (engine) return engine->run_iteration();
+    return sharded->run_iteration().merged;
+  };
+  const auto graph = [&]() -> const KnnGraph& {
+    return engine ? engine->graph() : sharded->graph();
+  };
 
   const bool csv = opts.get_flag("csv");
   if (csv) {
@@ -120,7 +158,7 @@ int main(int argc, char** argv) {
   RunStats run;
   Timer run_timer;
   for (std::uint32_t i = 0; i < max_iters; ++i) {
-    const IterationStats s = engine.run_iteration();
+    const IterationStats s = step();
     run.iterations.push_back(s);
     if (csv) {
       std::printf("%u,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%llu,%llu,%llu,%llu,"
@@ -167,12 +205,17 @@ int main(int argc, char** argv) {
   const auto samples =
       static_cast<std::size_t>(opts.get_uint("recall-samples"));
   if (samples > 0) {
-    const auto recall = sampled_recall(engine.graph(), snapshot,
+    const auto recall = sampled_recall(graph(), snapshot,
                                        config.measure, samples, config.seed,
                                        config.threads);
     std::fprintf(stderr, "sampled recall@%u: %.3f +/- %.3f (%zu users)\n",
                  config.k, recall.recall, recall.margin95,
                  recall.sampled_users);
   }
+
+  // Shard/thread-count invariant (see core/shard_driver.h): identical
+  // workloads print identical checksums regardless of --shards/--threads.
+  std::fprintf(stderr, "graph checksum: %016llx\n",
+               static_cast<unsigned long long>(knn_graph_checksum(graph())));
   return 0;
 }

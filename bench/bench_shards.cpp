@@ -1,7 +1,8 @@
 // Sharded-driver sweep: runs the same pinned workload at several shard
-// counts, reports total and per-shard wall time plus the merged phase-4
-// time, and verifies the bit-identical-output contract by checksumming
-// every run against S=1.
+// counts — in thread mode AND in process mode — reports total and
+// per-shard wall time plus the merged phase-4 time, and verifies the
+// bit-identical-output contract by checksumming every run (both modes)
+// against thread-mode S=1.
 //
 // Usage: bench_shards [--users=N] [--k=N] [--iters=N] [--json]
 // With --json the table is replaced by one JSON object on stdout (the CI
@@ -20,7 +21,26 @@
 
 using namespace knnpc;
 
+namespace {
+
+std::vector<SparseProfile> pinned_profiles(VertexId n) {
+  Rng rng(11);
+  ClusteredGenConfig pconfig;
+  pconfig.base.num_users = n;
+  pconfig.base.num_items = 2000;
+  pconfig.base.min_items = 25;
+  pconfig.base.max_items = 50;
+  pconfig.num_clusters = 40;
+  return clustered_profiles(pconfig, rng);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  // Process-mode rows re-execute this binary as shard workers.
+  if (const auto worker_exit = maybe_run_shard_worker(argc, argv)) {
+    return *worker_exit;
+  }
   Options opts;
   opts.add_uint("users", "number of users", 20000);
   opts.add_uint("k", "neighbours per user", 10);
@@ -35,11 +55,11 @@ int main(int argc, char** argv) {
   if (!json) {
     std::printf("Sharded driver sweep (n=%u, k=%u, m=16, %u iteration%s)\n",
                 n, k, iters, iters == 1 ? "" : "s");
-    std::printf("%8s | %10s %10s %12s %10s %9s | %s\n", "shards", "wall s",
-                "cpu s", "max shard s", "speedup", "identical",
-                "per-shard wall s");
+    std::printf("%8s | %10s %10s %12s %10s %9s | %10s %9s | %s\n", "shards",
+                "wall s", "cpu s", "max shard s", "speedup", "identical",
+                "proc s", "proc id", "per-shard wall s");
     std::printf("----------------------------------------------------------"
-                "--------------------\n");
+                "------------------------------------\n");
   }
 
   struct Row {
@@ -50,55 +70,67 @@ int main(int argc, char** argv) {
     double wall_s = 0.0;
     double cpu_s = 0.0;
     double phase4_s = 0.0;
+    /// Same workload through out-of-process workers: the spawn/plan/
+    /// sidecar overhead is process_wall_s - wall_s.
+    double process_wall_s = 0.0;
     std::vector<double> shard_wall_s;
     std::uint64_t checksum = 0;
+    std::uint64_t process_checksum = 0;
     bool identical = false;
+    bool process_identical = false;
   };
   std::vector<Row> rows;
   double baseline = 0.0;
   std::uint64_t reference_checksum = 0;
   for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
-    Rng rng(11);
-    ClusteredGenConfig pconfig;
-    pconfig.base.num_users = n;
-    pconfig.base.num_items = 2000;
-    pconfig.base.min_items = 25;
-    pconfig.base.max_items = 50;
-    pconfig.num_clusters = 40;
     EngineConfig config;
     config.k = k;
     config.num_partitions = 16;
     ShardConfig shard_config;
     shard_config.shards = shards;
-    ShardedKnnEngine driver(config, shard_config,
-                            clustered_profiles(pconfig, rng));
     Row row;
     row.shards = shards;
-    row.threads_per_shard = driver.threads_per_shard();
     row.shard_wall_s.assign(shards, 0.0);
-    Timer wall;
-    for (std::uint32_t i = 0; i < iters; ++i) {
-      const ShardedIterationStats s = driver.run_iteration();
-      row.cpu_s += s.merged.timings.total();
-      row.phase4_s += s.merged.timings.knn_s;
-      for (const ShardWorkerStats& w : s.workers) {
-        row.shard_wall_s[w.shard] += w.wall_s();
+    {
+      ShardedKnnEngine driver(config, shard_config, pinned_profiles(n));
+      row.threads_per_shard = driver.threads_per_shard();
+      Timer wall;
+      for (std::uint32_t i = 0; i < iters; ++i) {
+        const ShardedIterationStats s = driver.run_iteration();
+        row.cpu_s += s.merged.timings.total();
+        row.phase4_s += s.merged.timings.knn_s;
+        for (const ShardWorkerStats& w : s.workers) {
+          row.shard_wall_s[w.shard] += w.wall_s();
+        }
       }
+      row.wall_s = wall.elapsed_seconds();
+      row.checksum = knn_graph_checksum(driver.graph());
     }
-    row.wall_s = wall.elapsed_seconds();
-    row.checksum = knn_graph_checksum(driver.graph());
+    {
+      shard_config.worker_mode = ShardWorkerMode::Process;
+      ShardedKnnEngine driver(config, shard_config, pinned_profiles(n));
+      Timer wall;
+      for (std::uint32_t i = 0; i < iters; ++i) {
+        (void)driver.run_iteration();
+      }
+      row.process_wall_s = wall.elapsed_seconds();
+      row.process_checksum = knn_graph_checksum(driver.graph());
+    }
     if (shards == 1) {
       baseline = row.wall_s;
       reference_checksum = row.checksum;
     }
     row.identical = row.checksum == reference_checksum;
+    row.process_identical = row.process_checksum == reference_checksum;
     rows.push_back(row);
     if (!json) {
       double max_wall = 0.0;
       for (double w : row.shard_wall_s) max_wall = std::max(max_wall, w);
-      std::printf("%8u | %10.3f %10.3f %12.3f %9.2fx %9s | ", shards,
-                  row.wall_s, row.cpu_s, max_wall,
-                  baseline / row.wall_s, row.identical ? "yes" : "NO");
+      std::printf("%8u | %10.3f %10.3f %12.3f %9.2fx %9s | %10.3f %9s | ",
+                  shards, row.wall_s, row.cpu_s, max_wall,
+                  baseline / row.wall_s, row.identical ? "yes" : "NO",
+                  row.process_wall_s,
+                  row.process_identical ? "yes" : "NO");
       for (double w : row.shard_wall_s) std::printf("%.3f ", w);
       std::printf("\n");
     }
@@ -113,12 +145,16 @@ int main(int argc, char** argv) {
       std::printf("%s{\"shards\":%u,\"threads_per_shard\":%u,"
                   "\"wall_s\":%.6f,\"cpu_s\":%.6f,\"phase4_s\":%.6f,"
                   "\"speedup\":%.4f,\"checksum\":\"%016llx\","
-                  "\"identical\":%s,\"per_shard_wall_s\":[",
+                  "\"identical\":%s,\"process_wall_s\":%.6f,"
+                  "\"process_checksum\":\"%016llx\","
+                  "\"process_identical\":%s,\"per_shard_wall_s\":[",
                   i == 0 ? "" : ",", row.shards, row.threads_per_shard,
                   row.wall_s, row.cpu_s, row.phase4_s,
                   baseline / row.wall_s,
                   static_cast<unsigned long long>(row.checksum),
-                  row.identical ? "true" : "false");
+                  row.identical ? "true" : "false", row.process_wall_s,
+                  static_cast<unsigned long long>(row.process_checksum),
+                  row.process_identical ? "true" : "false");
       for (std::size_t s = 0; s < row.shard_wall_s.size(); ++s) {
         std::printf("%s%.6f", s == 0 ? "" : ",", row.shard_wall_s[s]);
       }
@@ -127,15 +163,18 @@ int main(int argc, char** argv) {
     std::printf("]}\n");
   } else {
     std::printf(
-        "\nExpected shape: every row says identical=yes (the determinism "
-        "contract).\nWall time falls with shards once scoring dominates "
-        "partition I/O; cpu s grows\nwith S because each shard pays fixed "
-        "costs (its own PI pass, spool read-back,\npartition loads for its "
-        "schedule) — the gap between the two columns is the\nsharding "
-        "overhead.\n");
+        "\nExpected shape: every row says identical=yes and proc id=yes "
+        "(the determinism\ncontract, both execution modes). Wall time "
+        "falls with shards once scoring\ndominates partition I/O; cpu s "
+        "grows with S because each shard pays fixed costs\n(its own PI "
+        "pass, spool read-back, partition loads for its schedule) — the "
+        "gap\nbetween the two columns is the sharding overhead. proc s "
+        "additionally pays one\nspawn + plan/sidecar round-trip per "
+        "worker per wave.\n");
   }
   const bool all_identical =
-      std::all_of(rows.begin(), rows.end(),
-                  [](const Row& r) { return r.identical; });
+      std::all_of(rows.begin(), rows.end(), [](const Row& r) {
+        return r.identical && r.process_identical;
+      });
   return all_identical ? 0 : 1;
 }

@@ -169,7 +169,10 @@ std::uint64_t estimate_data_bytes(const std::vector<SparseProfile>& profiles,
 /// every parallel execution mode must reproduce bit-for-bit: phase 4 may
 /// run on an internal thread pool (EngineConfig::threads), and the sharded
 /// driver (core/shard_driver.h) runs S of these pipelines side by side —
-/// both contracts are tested against this class.
+/// as threads in this process or as supervised worker processes
+/// (ShardWorkerMode). All three contracts are tested against this class
+/// (engine_test, shard_driver_test, shard_process_test) and pinned by the
+/// golden-checksum corpus (golden_test, tests/golden/).
 ///
 /// Thread-safety: a KnnEngine is single-owner. No member function may be
 /// called concurrently with another on the same instance; run_iteration()

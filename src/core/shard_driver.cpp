@@ -1,14 +1,22 @@
 #include "core/shard_driver.h"
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <filesystem>
+#include <functional>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "core/convergence.h"
+#include "core/stats_io.h"
 #include "core/topk.h"
 #include "core/tuple_generation.h"
 #include "core/tuple_table.h"
@@ -23,6 +31,8 @@
 #include "storage/shard_writer.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/serde.h"
+#include "util/subprocess.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -41,6 +51,717 @@ std::uint32_t resolve_shard_count(std::uint32_t requested,
       std::min<std::uint64_t>(std::max(requested, 1u), users));
 }
 
+ShardWorkerMode parse_worker_mode(std::string_view name) {
+  if (name == "thread") return ShardWorkerMode::Thread;
+  if (name == "process") return ShardWorkerMode::Process;
+  throw std::invalid_argument("parse_worker_mode: unknown mode '" +
+                              std::string(name) + "' (thread | process)");
+}
+
+const char* worker_mode_name(ShardWorkerMode mode) noexcept {
+  return mode == ShardWorkerMode::Process ? "process" : "thread";
+}
+
+namespace {
+
+// ------------------------------------------------ work-directory layout --
+// Everything the two waves exchange lives under the driver's work dir;
+// process mode adds the plan, the G(t) snapshot, and per-worker
+// results/stats. Paths are defined here once — the driver and the
+// re-executed workers must agree byte-for-byte.
+
+constexpr const char* kSpoolStem = "tuples";
+
+fs::path spools_dir(const fs::path& work_dir) { return work_dir / "spools"; }
+
+fs::path consumer_scratch_dir(const fs::path& work_dir, std::uint32_t c) {
+  return work_dir / ("worker_" + std::to_string(c));
+}
+
+fs::path plan_file_path(const fs::path& work_dir) {
+  return work_dir / "plan.bin";
+}
+
+fs::path prev_graph_path(const fs::path& work_dir) {
+  return work_dir / "graph_t.knng";
+}
+
+fs::path sidecar_path(const fs::path& work_dir, const std::string& wave,
+                      std::uint32_t shard) {
+  return work_dir / "stats" / (wave + "_" + std::to_string(shard) + ".stats");
+}
+
+fs::path result_file_path(const fs::path& work_dir, std::uint32_t shard) {
+  return work_dir / "results" / ("shard_" + std::to_string(shard) + ".res");
+}
+
+// --------------------------------------------------------- fault points --
+// Worker processes consult kShardFaultEnv at one mid-wave point per wave
+// (see shard_driver.h). Parsing is deliberately forgiving: a malformed
+// spec injects nothing rather than crashing a production run that
+// happens to have the variable set.
+
+void maybe_inject_fault(const char* wave, std::uint32_t shard,
+                        std::uint32_t attempt) {
+  const char* env = std::getenv(kShardFaultEnv);
+  if (env == nullptr) return;
+  std::vector<std::string> parts;
+  {
+    std::string spec(env);
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      const std::size_t colon = spec.find(':', start);
+      if (colon == std::string::npos) {
+        parts.push_back(spec.substr(start));
+        break;
+      }
+      parts.push_back(spec.substr(start, colon - start));
+      start = colon + 1;
+    }
+  }
+  if (parts.size() < 3 || parts[0] != wave) return;
+  try {
+    if (std::stoul(parts[1]) != shard) return;
+    if (parts.size() >= 4 && std::stoul(parts[3]) != attempt) return;
+  } catch (const std::exception&) {
+    return;
+  }
+  const std::string& kind = parts[2];
+  std::fprintf(stderr, "shard_worker: injecting fault '%s' (%s wave, shard "
+                       "%u, attempt %u)\n",
+               kind.c_str(), wave, shard, attempt);
+  if (kind == "kill") {
+    std::raise(SIGKILL);
+  } else if (kind == "exit") {
+    std::_Exit(3);
+  } else if (kind == "wedge") {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+}
+
+// ---------------------------------------------------- shared wave bodies --
+// The producer and consumer bodies are mode-agnostic: thread mode calls
+// them on one thread per shard inside the driver, process mode calls them
+// from shard_worker_main in a child process. Keeping one body per wave is
+// what makes the two modes bit-identical by construction.
+
+struct WaveContext {
+  const EngineConfig& config;
+  std::uint32_t iteration;
+  std::uint32_t shards;
+  std::uint32_t threads_per_shard;
+  const PartitionAssignment& assignment;   // user -> partition (m)
+  const PartitionAssignment& shard_owner;  // user -> shard (S)
+  fs::path work_dir;
+};
+
+/// Phase 2, producer wave for shard `w`: generate candidates, route by
+/// owner of the source user into `sink` (= spool files (w, *)). The
+/// caller flushes the sink (thread mode: RoutedShardWriter::finish after
+/// all producers join; process mode: the worker before its sidecar).
+void produce_candidates(const WaveContext& ctx, std::uint32_t w,
+                        std::span<const VertexId> members,
+                        const PartitionStore& store,
+                        RecordShardWriter<Tuple>& sink,
+                        ShardWorkerStats& worker,
+                        const std::function<void()>& mid_wave_hook) {
+  const EngineConfig& config = ctx.config;
+  const VertexId n = ctx.assignment.num_vertices();
+  const PartitionId m = ctx.assignment.num_partitions();
+  Timer wall;
+  ScopedAccumulator timing(&worker.stats.timings.hash_s);
+  auto route = [&](Tuple t) {
+    sink.add(ctx.shard_owner.owner(t.s), t);
+    if (config.include_reverse) {
+      sink.add(ctx.shard_owner.owner(t.d), Tuple{t.d, t.s});
+    }
+  };
+  const bool sampling = config.sample_rate < 1.0;
+  for (PartitionId p = w; p < m; p += ctx.shards) {
+    const PartitionData part = store.load_edges(p);
+    // Same per-partition sampling stream as the serial engine — the
+    // decisions don't depend on which worker processes p.
+    Rng sample_rng = candidate_sample_rng(config.seed, ctx.iteration, p);
+    worker.stats.candidate_tuples += merge_join_tuples(
+        part.in_edges, part.out_edges, [&](Tuple t) {
+          if (sampling && !sample_rng.next_bool(config.sample_rate)) {
+            return;
+          }
+          route(t);
+        });
+    // Direct edges of G(t), never sampled (as in the serial engine).
+    for (const Edge& e : part.out_edges) {
+      ++worker.stats.candidate_tuples;
+      route(Tuple{e.src, e.dst});
+    }
+  }
+  // Random restarts for this shard's own users, one derived stream per
+  // user — identical values to the serial engine's.
+  if (config.random_candidates > 0 && n > 1) {
+    for (VertexId s : members) {
+      Rng restart_rng = random_restart_rng(config.seed, ctx.iteration, s);
+      for (std::uint32_t r = 0; r < config.random_candidates; ++r) {
+        const auto d = static_cast<VertexId>(restart_rng.next_below(n));
+        if (d == s) continue;
+        ++worker.stats.candidate_tuples;
+        route(Tuple{s, d});
+      }
+    }
+  }
+  if (mid_wave_hook) mid_wave_hook();
+  worker.produce_s = wall.elapsed_seconds();
+}
+
+struct ConsumerOutput {
+  /// Full-size graph populated only for the owned users.
+  KnnGraph next;
+  /// Exact change count over the owned users.
+  std::uint64_t changed = 0;
+};
+
+/// Phases 2b-4, consumer wave for shard `c`: dedup the spooled tuples,
+/// build this shard's PI graph + schedule, stream the shared store, keep
+/// top-K for owned users, count changes against `prev` = G(t).
+ConsumerOutput consume_candidates(const WaveContext& ctx, std::uint32_t c,
+                                  std::span<const VertexId> members,
+                                  const PartitionStore& store,
+                                  const KnnGraph& prev, ThreadPool* pool,
+                                  IoAccountant* io, ShardWorkerStats& worker,
+                                  const std::function<void()>& mid_wave_hook) {
+  const EngineConfig& config = ctx.config;
+  const VertexId n = ctx.assignment.num_vertices();
+  const PartitionId m = ctx.assignment.num_partitions();
+  const std::uint32_t S = ctx.shards;
+  IterationStats& stats = worker.stats;
+  Timer wall;
+
+  // Phase 2b: consumer-side H_c — global dedup per source user falls
+  // out of the routing (all (s, *) tuples land here together).
+  const std::size_t num_slots = pi_pair_slot(m - 1, m - 1, m) + 1;
+  TupleShardWriter pair_writer(consumer_scratch_dir(ctx.work_dir, c),
+                               "tuples", num_slots,
+                               std::max<std::size_t>(
+                                   config.shard_buffer_bytes / S,
+                                   sizeof(Tuple)),
+                               io);
+  {
+    ScopedAccumulator timing(&stats.timings.hash_s);
+    // Stream one producer's spool at a time — peak extra memory is the
+    // largest single spool, not the whole pre-dedup stream. The expected
+    // record count comes from the spool file sizes, so both execution
+    // modes reserve identically.
+    std::uint64_t expected = 0;
+    for (std::uint32_t p = 0; p < S; ++p) {
+      expected += knnpc::file_size(routed_spool_path(
+                      spools_dir(ctx.work_dir), kSpoolStem, p, c)) /
+                  sizeof(Tuple);
+    }
+    TupleTable table(expected);
+    for (std::uint32_t p = 0; p < S; ++p) {
+      const std::vector<Tuple> chunk = read_record_shard<Tuple>(
+          routed_spool_path(spools_dir(ctx.work_dir), kSpoolStem, p, c), io);
+      worker.spooled_tuples += chunk.size();
+      for (const Tuple& t : chunk) {
+        if (table.insert(t)) {
+          pair_writer.add(pi_pair_slot(ctx.assignment.owner(t.s),
+                                       ctx.assignment.owner(t.d), m),
+                          t);
+        }
+      }
+    }
+    stats.unique_tuples = table.size();
+    pair_writer.finish();
+  }
+  if (mid_wave_hook) mid_wave_hook();
+
+  // Phase 3: this shard's own PI graph + traversal schedule.
+  PiGraph pi(m);
+  Schedule schedule;
+  {
+    ScopedAccumulator timing(&stats.timings.pi_graph_s);
+    for (PartitionId a = 0; a < m; ++a) {
+      for (PartitionId b = a; b < m; ++b) {
+        const auto count = pair_writer.shard_records(pi_pair_slot(a, b, m));
+        if (count > 0) pi.add_edge(a, b, count);
+      }
+    }
+    pi.finalize();
+    stats.pi_pairs = pi.num_pairs();
+    schedule = make_heuristic(config.heuristic)->schedule(pi);
+  }
+
+  // Phase 4: stream the shared store through a private cache; top-K for
+  // this shard's users only. Offers are made serially — the kept set is
+  // offer-order-independent, so only scoring needs the pool.
+  KnnGraph next(n, config.k);
+  {
+    ScopedAccumulator timing(&stats.timings.knn_s);
+    TopKAccumulator acc(n, config.k);
+    std::optional<RecordShardWriter<ScoredTuple>> score_writer;
+    if (config.spill_scores) {
+      score_writer.emplace(consumer_scratch_dir(ctx.work_dir, c), "scores",
+                           m,
+                           std::max<std::size_t>(
+                               config.shard_buffer_bytes / S,
+                               sizeof(ScoredTuple)),
+                           io);
+    }
+    PartitionCache cache(store, config.memory_slots);
+    std::vector<float> scores;
+    for (PairIndex idx : schedule) {
+      const PiPair& pair = pi.pair(idx);
+      const std::vector<Tuple> tuples = read_record_shard<Tuple>(
+          pair_writer.shard_path(pi_pair_slot(pair.a, pair.b, m)), io);
+      const PartitionData& pa = cache.get(pair.a);
+      const PartitionData& pb = pair.b == pair.a ? pa : cache.get(pair.b);
+      auto profile_of = [&](VertexId v) -> const SparseProfile& {
+        if (const SparseProfile* p = pa.profile_of(v)) return *p;
+        if (const SparseProfile* p = pb.profile_of(v)) return *p;
+        throw std::logic_error(
+            "shard_driver: tuple endpoint outside loaded pair");
+      };
+      scores.assign(tuples.size(), 0.0f);
+      {
+        ScopedAccumulator score_timing(&stats.knn_score_s);
+        auto score_range = [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            scores[i] =
+                similarity(config.measure, profile_of(tuples[i].s),
+                           profile_of(tuples[i].d));
+          }
+        };
+        if (pool != nullptr) {
+          pool->parallel_for(0, tuples.size(), score_range,
+                             /*min_chunk=*/256);
+        } else {
+          score_range(0, tuples.size());
+        }
+      }
+      if (score_writer) {
+        for (std::size_t i = 0; i < tuples.size(); ++i) {
+          score_writer->add(ctx.assignment.owner(tuples[i].s),
+                            {tuples[i].s, tuples[i].d, scores[i]});
+        }
+      } else {
+        ScopedAccumulator merge_timing(&stats.knn_merge_s);
+        for (std::size_t i = 0; i < tuples.size(); ++i) {
+          acc.offer(tuples[i].s, tuples[i].d, scores[i]);
+        }
+      }
+    }
+    cache.flush();
+    stats.partition_loads = cache.loads();
+    stats.partition_unloads = cache.unloads();
+
+    ScopedAccumulator merge_timing(&stats.knn_merge_s);
+    if (score_writer) {
+      // Finalise one partition at a time, restricted to owned users.
+      score_writer->finish();
+      for (PartitionId p = 0; p < m; ++p) {
+        const auto spilled = read_record_shard<ScoredTuple>(
+            score_writer->shard_path(p), io);
+        for (const ScoredTuple& t : spilled) {
+          acc.offer(t.s, t.d, t.score);
+        }
+        for (VertexId member : ctx.assignment.members(p)) {
+          if (ctx.shard_owner.owner(member) !=
+              static_cast<PartitionId>(c)) {
+            continue;
+          }
+          next.set_neighbors(member, acc.take(member));
+        }
+      }
+    } else {
+      next = acc.build_graph(pool);
+    }
+  }
+
+  // Exact per-user change counts over owned users; the driver's sum
+  // reproduces the serial change rate bit-for-bit.
+  std::uint64_t changed = 0;
+  for (VertexId s : members) {
+    changed += KnnGraph::change_count(prev, next, s, s + 1);
+  }
+  worker.consume_s = wall.elapsed_seconds();
+  return {std::move(next), changed};
+}
+
+// ---------------------------------------------------- process-mode plan --
+// The plan file ("KPLN") carries everything a worker process needs that
+// is not already on disk: the wave-relevant EngineConfig fields, the
+// resolved shard/thread budget, and both ownership maps. Same-build
+// producer and consumer (the worker IS the driver's binary).
+
+constexpr char kPlanMagic[4] = {'K', 'P', 'L', 'N'};
+constexpr std::uint32_t kPlanVersion = 1;
+
+// Tripwire: the plan file hand-serialises the wave-relevant subset of
+// EngineConfig. A field added to EngineConfig that the wave bodies read
+// but the plan omits would make process-mode workers silently run on the
+// default while thread mode uses the configured value — a plausible but
+// wrong graph. Growing EngineConfig therefore fails here on the CI
+// platform until save_plan_file/load_plan_file (below) were reviewed and
+// this constant is bumped.
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+static_assert(sizeof(EngineConfig) == 248,
+              "EngineConfig changed: review the process-mode plan "
+              "serialisation (save_plan_file/load_plan_file) before "
+              "bumping this size");
+#endif
+
+struct ProcessPlan {
+  EngineConfig config;
+  std::uint32_t iteration = 0;
+  std::uint32_t shards = 1;
+  std::uint32_t threads_per_shard = 1;
+  std::vector<PartitionId> partition_owner;  // user -> partition
+  std::vector<PartitionId> shard_owner;      // user -> shard
+};
+
+void append_string(std::vector<std::byte>& out, const std::string& s) {
+  append_record(out, static_cast<std::uint32_t>(s.size()));
+  for (const char c : s) append_record(out, c);
+}
+
+void save_plan_file(const fs::path& path, const ProcessPlan& plan) {
+  const EngineConfig& config = plan.config;
+  std::vector<std::byte> bytes;
+  bytes.reserve(128 + plan.partition_owner.size() * 2 * sizeof(PartitionId));
+  for (const char c : kPlanMagic) append_record(bytes, c);
+  append_record(bytes, kPlanVersion);
+  append_record(bytes, plan.iteration);
+  append_record(bytes, plan.shards);
+  append_record(bytes, plan.threads_per_shard);
+  append_record(bytes, config.k);
+  append_record(bytes, config.num_partitions);
+  append_record(bytes, static_cast<std::uint32_t>(config.measure));
+  append_record(bytes, static_cast<std::uint64_t>(config.memory_slots));
+  append_record(bytes, static_cast<std::uint64_t>(config.shard_buffer_bytes));
+  append_record(bytes, config.seed);
+  append_record(bytes, config.sample_rate);
+  append_record(bytes, config.random_candidates);
+  append_record(bytes, static_cast<std::uint8_t>(config.include_reverse));
+  append_record(bytes, static_cast<std::uint8_t>(config.spill_scores));
+  append_record(bytes, static_cast<std::uint8_t>(config.storage_mode));
+  append_string(bytes, config.heuristic);
+  append_string(bytes, config.io_model.name);
+  append_record(bytes, config.io_model.seek_us);
+  append_record(bytes, config.io_model.bytes_per_us);
+  append_record(bytes,
+                static_cast<std::uint32_t>(plan.partition_owner.size()));
+  for (const PartitionId p : plan.partition_owner) append_record(bytes, p);
+  for (const PartitionId p : plan.shard_owner) append_record(bytes, p);
+  IoCounters counters;
+  write_file(path, bytes, counters);
+}
+
+ProcessPlan load_plan_file(const fs::path& path) {
+  IoCounters counters;
+  const std::vector<std::byte> bytes = read_file(path, counters);
+  std::size_t offset = 0;
+  auto fail = [&](const std::string& what) -> std::runtime_error {
+    return std::runtime_error("load_plan_file: " + what + " in " +
+                              path.string());
+  };
+  auto read = [&]<typename T>(T& out) {
+    if (!read_record(bytes, offset, out)) throw fail("truncated plan");
+  };
+  auto read_string = [&](std::string& out) {
+    std::uint32_t len = 0;
+    read(len);
+    // Corrupt-header protection: the string must fit in what's left.
+    if (len > bytes.size() - offset) throw fail("string exceeds file size");
+    out.resize(len);
+    for (char& c : out) read(c);
+  };
+  char magic[4];
+  for (char& c : magic) read(c);
+  if (std::memcmp(magic, kPlanMagic, sizeof(kPlanMagic)) != 0) {
+    throw fail("bad magic");
+  }
+  std::uint32_t version = 0;
+  read(version);
+  if (version != kPlanVersion) {
+    throw fail("unsupported version " + std::to_string(version));
+  }
+  ProcessPlan plan;
+  EngineConfig& config = plan.config;
+  read(plan.iteration);
+  read(plan.shards);
+  read(plan.threads_per_shard);
+  read(config.k);
+  read(config.num_partitions);
+  std::uint32_t measure = 0;
+  read(measure);
+  config.measure = static_cast<SimilarityMeasure>(measure);
+  std::uint64_t slots = 0;
+  std::uint64_t buffer = 0;
+  read(slots);
+  read(buffer);
+  config.memory_slots = static_cast<std::size_t>(slots);
+  config.shard_buffer_bytes = static_cast<std::size_t>(buffer);
+  read(config.seed);
+  read(config.sample_rate);
+  read(config.random_candidates);
+  std::uint8_t reverse = 0;
+  std::uint8_t spill = 0;
+  std::uint8_t storage_mode = 0;
+  read(reverse);
+  read(spill);
+  read(storage_mode);
+  config.include_reverse = reverse != 0;
+  config.spill_scores = spill != 0;
+  config.storage_mode = static_cast<PartitionStore::Mode>(storage_mode);
+  read_string(config.heuristic);
+  read_string(config.io_model.name);
+  read(config.io_model.seek_us);
+  read(config.io_model.bytes_per_us);
+  std::uint32_t n = 0;
+  read(n);
+  // Both ownership maps must actually fit in the remaining bytes before
+  // n drives any allocation (corrupt-header protection).
+  if (n > (bytes.size() - offset) / (2 * sizeof(PartitionId))) {
+    throw fail("vertex count exceeds file size");
+  }
+  plan.partition_owner.resize(n);
+  for (PartitionId& p : plan.partition_owner) read(p);
+  plan.shard_owner.resize(n);
+  for (PartitionId& p : plan.shard_owner) read(p);
+  if (offset != bytes.size()) throw fail("trailing bytes");
+  if (plan.shards == 0 || config.num_partitions == 0) {
+    throw fail("degenerate shard/partition count");
+  }
+  return plan;
+}
+
+/// Flattens an assignment into its owner vector for the plan file.
+std::vector<PartitionId> owner_vector(const PartitionAssignment& a) {
+  std::vector<PartitionId> owners(a.num_vertices());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) owners[v] = a.owner(v);
+  return owners;
+}
+
+// ------------------------------------------------------ wave supervision --
+
+/// Spawns one worker process per pending shard for `wave`, waits with the
+/// configured deadline, verifies completion markers, retries failed
+/// shards exactly once, and throws with a per-worker diagnostic when a
+/// shard fails twice. Guarantees on exit: either every shard's outputs
+/// are complete on disk, or an exception — never a hang, never a merge
+/// of a failed worker's partial output (stale outputs of the pending
+/// shards are deleted before each attempt, and the atomically-written
+/// sidecar is the completion marker).
+void supervise_wave(const WaveContext& ctx, const ShardConfig& shard_config,
+                    const std::string& wave) {
+  const fs::path& work_dir = ctx.work_dir;
+  const bool consume = wave == "consume";
+  const std::string exe = shard_config.worker_exe.empty()
+                              ? current_executable().string()
+                              : shard_config.worker_exe;
+  std::vector<std::uint32_t> pending(ctx.shards);
+  for (std::uint32_t s = 0; s < ctx.shards; ++s) pending[s] = s;
+  std::vector<std::string> history(ctx.shards);
+
+  for (std::uint32_t attempt = 0; attempt < 2; ++attempt) {
+    // A stale file from a failed attempt must never masquerade as this
+    // attempt's output.
+    for (const std::uint32_t s : pending) {
+      std::error_code ec;
+      fs::remove(sidecar_path(work_dir, wave, s), ec);
+      if (consume) fs::remove(result_file_path(work_dir, s), ec);
+    }
+    std::vector<Subprocess> procs;
+    procs.reserve(pending.size());
+    for (const std::uint32_t s : pending) {
+      procs.emplace_back(std::vector<std::string>{
+          exe, "--shard-worker",
+          "--plan=" + plan_file_path(work_dir).string(), "--wave=" + wave,
+          "--shard=" + std::to_string(s),
+          "--attempt=" + std::to_string(attempt)});
+    }
+    const std::vector<SubprocessStatus> statuses =
+        wait_all(procs, shard_config.worker_timeout_s);
+
+    std::vector<std::uint32_t> failed;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::uint32_t s = pending[i];
+      std::string why;
+      if (!statuses[i].success()) {
+        why = statuses[i].describe();
+      } else if (!fs::exists(sidecar_path(work_dir, wave, s))) {
+        why = "exited 0 without writing its stats sidecar";
+      } else if (consume && !fs::exists(result_file_path(work_dir, s))) {
+        why = "exited 0 without writing its ShardResult";
+      }
+      if (!why.empty()) {
+        failed.push_back(s);
+        if (!history[s].empty()) history[s] += "; ";
+        history[s] += "attempt " + std::to_string(attempt) + ": " + why;
+      }
+    }
+    if (failed.empty()) return;
+    if (attempt == 0) {
+      for (const std::uint32_t s : failed) {
+        KNNPC_LOG(Warn) << "shard " << s << " " << wave
+                        << " worker failed (" << history[s]
+                        << "); re-executing once";
+      }
+      pending = std::move(failed);
+      continue;
+    }
+    std::string message =
+        "sharded " + wave + " wave failed after one retry:";
+    for (const std::uint32_t s : failed) {
+      message += "\n  shard " + std::to_string(s) + ": " + history[s];
+    }
+    throw std::runtime_error(message);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------ the worker role --
+
+int shard_worker_main(const fs::path& plan_file, const std::string& wave,
+                      std::uint32_t shard, std::uint32_t attempt) try {
+  const fs::path work_dir = plan_file.parent_path();
+  const ProcessPlan plan = load_plan_file(plan_file);
+  if (shard >= plan.shards) {
+    throw std::invalid_argument("shard " + std::to_string(shard) +
+                                " out of range (S=" +
+                                std::to_string(plan.shards) + ")");
+  }
+  const EngineConfig& config = plan.config;
+  const PartitionAssignment assignment(plan.partition_owner,
+                                       config.num_partitions);
+  const PartitionAssignment shard_owner(plan.shard_owner, plan.shards);
+  const WaveContext ctx{config,     plan.iteration,
+                        plan.shards, plan.threads_per_shard,
+                        assignment, shard_owner,
+                        work_dir};
+  const std::vector<VertexId> members = shard_owner.members(shard);
+  const PartitionStore store(work_dir / "partitions", config.io_model,
+                             config.storage_mode);
+  IoAccountant io(config.io_model);
+
+  ShardWorkerStats worker;
+  worker.shard = shard;
+  worker.users = static_cast<VertexId>(members.size());
+  worker.stats.iteration = plan.iteration;
+  worker.stats.threads_used = plan.threads_per_shard;
+  const auto fault_hook = [&] {
+    maybe_inject_fault(wave.c_str(), shard, attempt);
+  };
+
+  if (wave == "produce") {
+    RecordShardWriter<Tuple> sink(
+        spools_dir(work_dir), routed_producer_stem(kSpoolStem, shard),
+        plan.shards,
+        std::max<std::size_t>(config.shard_buffer_bytes / plan.shards,
+                              sizeof(Tuple)),
+        &io);
+    produce_candidates(ctx, shard, members, store, sink, worker, fault_hook);
+    sink.finish();
+  } else if (wave == "consume") {
+    std::unique_ptr<ThreadPool> pool;
+    if (plan.threads_per_shard > 1) {
+      // The worker's main thread participates (same rule as everywhere).
+      pool = std::make_unique<ThreadPool>(plan.threads_per_shard - 1);
+    }
+    const KnnGraph prev = load_knn_graph_file(prev_graph_path(work_dir));
+    if (prev.num_vertices() != assignment.num_vertices()) {
+      throw std::runtime_error("shard_worker: G(t) snapshot vertex count "
+                               "does not match the plan");
+    }
+    ConsumerOutput out =
+        consume_candidates(ctx, shard, members, store, prev, pool.get(), &io,
+                           worker, fault_hook);
+    ShardResult result;
+    result.shard = shard;
+    result.num_vertices = assignment.num_vertices();
+    result.k = config.k;
+    result.changed = out.changed;
+    result.entries.reserve(members.size());
+    for (const VertexId user : members) {
+      const auto list = out.next.neighbors(user);
+      result.entries.emplace_back(
+          user, std::vector<Neighbor>(list.begin(), list.end()));
+    }
+    save_shard_result_file(result_file_path(work_dir, shard), result);
+  } else {
+    std::fprintf(stderr, "shard_worker: unknown wave '%s'\n", wave.c_str());
+    return 2;
+  }
+
+  worker.stats.io = io.counters();
+  worker.stats.io += store.io().counters();
+  worker.stats.modeled_io_us = io.modeled_us() + store.io().modeled_us();
+  // Last write: the atomic sidecar is the completion marker the driver
+  // requires, so everything above must already be on disk.
+  save_worker_stats_file(sidecar_path(work_dir, wave, shard), worker);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "shard_worker (%s wave, shard %u): %s\n",
+               wave.c_str(), shard, e.what());
+  return 12;
+}
+
+std::optional<int> maybe_run_shard_worker(int argc, char** argv) {
+  bool is_worker = false;
+  std::string plan;
+  std::string wave;
+  std::uint32_t shard = 0;
+  std::uint32_t attempt = 0;
+  bool have_shard = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    auto value_of = [&](std::string_view prefix)
+        -> std::optional<std::string> {
+      if (arg.size() >= prefix.size() &&
+          arg.substr(0, prefix.size()) == prefix) {
+        return std::string(arg.substr(prefix.size()));
+      }
+      return std::nullopt;
+    };
+    std::string parse_error;
+    auto parse_u32 = [&](const std::string& value, const char* flag,
+                         std::uint32_t& out) {
+      try {
+        out = static_cast<std::uint32_t>(std::stoul(value));
+      } catch (const std::exception&) {
+        parse_error = std::string("bad ") + flag + " value '" + value + "'";
+      }
+    };
+    if (arg == "--shard-worker") {
+      is_worker = true;
+    } else if (auto v = value_of("--plan=")) {
+      plan = *v;
+    } else if (auto v = value_of("--wave=")) {
+      wave = *v;
+    } else if (auto v = value_of("--shard=")) {
+      parse_u32(*v, "--shard", shard);
+      have_shard = parse_error.empty();
+    } else if (auto v = value_of("--attempt=")) {
+      parse_u32(*v, "--attempt", attempt);
+    }
+    // A parse failure only matters in the worker role; a normal binary
+    // invocation must fall through to its own argv handling untouched.
+    if (!parse_error.empty() && is_worker) {
+      std::fprintf(stderr, "--shard-worker: %s\n", parse_error.c_str());
+      return 2;
+    }
+  }
+  if (!is_worker) return std::nullopt;
+  if (plan.empty() || wave.empty() || !have_shard) {
+    std::fprintf(stderr,
+                 "--shard-worker requires --plan= --wave= --shard=\n");
+    return 2;
+  }
+  return shard_worker_main(plan, wave, shard, attempt);
+}
+
+// ----------------------------------------------------------- the driver --
+
 struct ShardedKnnEngine::Impl {
   std::unique_ptr<ScratchDir> scratch;
   fs::path work_dir;
@@ -50,7 +771,8 @@ struct ShardedKnnEngine::Impl {
   /// (resolve_thread_count, as in the serial engine) divided by S.
   std::uint32_t threads_per_shard = 1;
   /// One pool per worker (nullptr when threads_per_shard == 1: the worker
-  /// thread itself is the one thread).
+  /// thread itself is the one thread). Process mode leaves all slots
+  /// empty — each worker process builds its own pool.
   std::vector<std::unique_ptr<ThreadPool>> pools;
   /// Previous phase-1 assignment (reused when repartition_every > 1).
   std::optional<PartitionAssignment> last_assignment;
@@ -72,11 +794,13 @@ struct ShardedKnnEngine::Impl {
         kPhase4WorkPerThread);
     threads_per_shard = std::max(total / shards, 1u);
     pools.resize(shards);
-    for (std::uint32_t s = 0; s < shards; ++s) {
-      if (threads_per_shard > 1) {
-        // The worker thread participates in its own parallel loops, so
-        // spawn one fewer pool worker (same rule as the serial engine).
-        pools[s] = std::make_unique<ThreadPool>(threads_per_shard - 1);
+    if (shard_config.worker_mode == ShardWorkerMode::Thread) {
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        if (threads_per_shard > 1) {
+          // The worker thread participates in its own parallel loops, so
+          // spawn one fewer pool worker (same rule as the serial engine).
+          pools[s] = std::make_unique<ThreadPool>(threads_per_shard - 1);
+        }
       }
     }
   }
@@ -163,251 +887,140 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
   }
 
   out.workers.resize(S);
-  std::vector<std::unique_ptr<IoAccountant>> worker_io;
-  worker_io.reserve(S);
   for (std::uint32_t s = 0; s < S; ++s) {
     out.workers[s].shard = s;
     out.workers[s].users = static_cast<VertexId>(shard_members[s].size());
     out.workers[s].stats.iteration = iteration_;
     out.workers[s].stats.threads_used = impl_->threads_per_shard;
-    worker_io.push_back(std::make_unique<IoAccountant>(config_.io_model));
   }
 
-  // Cross-shard exchange: spool (producer, consumer) holds the tuples
-  // producer w generated whose source user consumer c owns. The write-side
-  // accountant is shared (its charges are atomic).
-  IoAccountant spool_io(config_.io_model);
-  RoutedShardWriter<Tuple> spool(impl_->work_dir / "spools", "tuples", S, S,
-                                 config_.shard_buffer_bytes, &spool_io);
-
-  // Runs fn(w) on one thread per shard; rethrows the lowest-shard
-  // exception after all joined (deterministic, like the pool contract).
-  auto run_wave = [&](auto&& fn) {
-    std::vector<std::exception_ptr> errors(S);
-    std::vector<std::thread> threads;
-    threads.reserve(S);
-    for (std::uint32_t w = 0; w < S; ++w) {
-      threads.emplace_back([&, w] {
-        try {
-          fn(w);
-        } catch (...) {
-          errors[w] = std::current_exception();
-        }
-      });
-    }
-    for (auto& t : threads) t.join();
-    for (auto& e : errors) {
-      if (e) std::rethrow_exception(e);
-    }
-  };
-
-  // ---- Phase 2, producer wave: generate candidates, route by owner of
-  // the source user. No dedup here — H lives consumer-side, where all
-  // tuples of a user meet.
-  run_wave([&](std::uint32_t w) {
-    ShardWorkerStats& worker = out.workers[w];
-    Timer wall;
-    ScopedAccumulator timing(&worker.stats.timings.hash_s);
-    RecordShardWriter<Tuple>& sink = spool.producer(w);
-    auto route = [&](Tuple t) {
-      sink.add(shard_owner.owner(t.s), t);
-      if (config_.include_reverse) {
-        sink.add(shard_owner.owner(t.d), Tuple{t.d, t.s});
-      }
-    };
-    const bool sampling = config_.sample_rate < 1.0;
-    for (PartitionId p = w; p < m; p += S) {
-      const PartitionData part = store.load_edges(p);
-      // Same per-partition sampling stream as the serial engine — the
-      // decisions don't depend on which worker processes p.
-      Rng sample_rng = candidate_sample_rng(config_.seed, iteration_, p);
-      worker.stats.candidate_tuples += merge_join_tuples(
-          part.in_edges, part.out_edges, [&](Tuple t) {
-            if (sampling && !sample_rng.next_bool(config_.sample_rate)) {
-              return;
-            }
-            route(t);
-          });
-      // Direct edges of G(t), never sampled (as in the serial engine).
-      for (const Edge& e : part.out_edges) {
-        ++worker.stats.candidate_tuples;
-        route(Tuple{e.src, e.dst});
-      }
-    }
-    // Random restarts for this shard's own users, one derived stream per
-    // user — identical values to the serial engine's.
-    if (config_.random_candidates > 0 && n > 1) {
-      for (VertexId s : shard_members[w]) {
-        Rng restart_rng = random_restart_rng(config_.seed, iteration_, s);
-        for (std::uint32_t r = 0; r < config_.random_candidates; ++r) {
-          const auto d = static_cast<VertexId>(restart_rng.next_below(n));
-          if (d == s) continue;
-          ++worker.stats.candidate_tuples;
-          route(Tuple{s, d});
-        }
-      }
-    }
-    worker.produce_s = wall.elapsed_seconds();
-  });
-  spool.finish();
-
-  // ---- Phases 2b-4, consumer wave: dedup, schedule, score, top-K.
+  const WaveContext ctx{config_,    iteration_,
+                       S,          impl_->threads_per_shard,
+                       assignment, shard_owner,
+                       impl_->work_dir};
   ShardedKnnGraph output(shard_owner, config_.k);
   std::vector<std::uint64_t> change_counts(S, 0);
-  run_wave([&](std::uint32_t c) {
-    ShardWorkerStats& worker = out.workers[c];
-    IterationStats& stats = worker.stats;
-    IoAccountant* io = worker_io[c].get();
-    Timer wall;
+  // I/O of the cross-shard exchange not already inside a worker's stats
+  // (thread mode: the shared spool accountant; process mode: nothing —
+  // workers account their own spool traffic in their sidecars).
+  IoCounters exchange_io;
+  double exchange_io_us = 0.0;
 
-    // Phase 2b: consumer-side H_c — global dedup per source user falls
-    // out of the routing (all (s, *) tuples land here together).
-    const std::size_t num_slots = pi_pair_slot(m - 1, m - 1, m) + 1;
-    TupleShardWriter pair_writer(impl_->work_dir / ("worker_" +
-                                                    std::to_string(c)),
-                                 "tuples", num_slots,
-                                 std::max<std::size_t>(
-                                     config_.shard_buffer_bytes / S,
-                                     sizeof(Tuple)),
-                                 io);
-    {
-      ScopedAccumulator timing(&stats.timings.hash_s);
-      // Stream one producer's spool at a time — peak extra memory is the
-      // largest single spool, not the whole pre-dedup stream.
-      TupleTable table(spool.consumer_records(c));
-      for (std::uint32_t p = 0; p < S; ++p) {
-        const std::vector<Tuple> chunk =
-            read_record_shard<Tuple>(spool.spool_path(p, c), io);
-        worker.spooled_tuples += chunk.size();
-        for (const Tuple& t : chunk) {
-          if (table.insert(t)) {
-            pair_writer.add(pi_pair_slot(assignment.owner(t.s),
-                                         assignment.owner(t.d), m),
-                            t);
-          }
-        }
+  if (shard_config_.worker_mode == ShardWorkerMode::Process) {
+    // ---- Process mode: persist the plan + G(t), then supervise one
+    // child process per shard per wave.
+    ProcessPlan plan;
+    plan.config = config_;
+    plan.iteration = iteration_;
+    plan.shards = S;
+    plan.threads_per_shard = impl_->threads_per_shard;
+    plan.partition_owner = owner_vector(assignment);
+    plan.shard_owner = owner_vector(shard_owner);
+    save_plan_file(plan_file_path(impl_->work_dir), plan);
+    save_knn_graph_file(prev_graph_path(impl_->work_dir), graph_);
+    fs::create_directories(impl_->work_dir / "stats");
+    fs::create_directories(impl_->work_dir / "results");
+
+    supervise_wave(ctx, shard_config_, "produce");
+    supervise_wave(ctx, shard_config_, "consume");
+
+    for (std::uint32_t s = 0; s < S; ++s) {
+      const ShardWorkerStats produced =
+          load_worker_stats_file(sidecar_path(impl_->work_dir, "produce", s));
+      const ShardWorkerStats consumed =
+          load_worker_stats_file(sidecar_path(impl_->work_dir, "consume", s));
+      ShardWorkerStats& worker = out.workers[s];
+      worker.stats = sum_iteration_stats({produced.stats, consumed.stats});
+      worker.stats.iteration = iteration_;
+      worker.stats.threads_used = impl_->threads_per_shard;
+      worker.produce_s = produced.produce_s;
+      worker.consume_s = consumed.consume_s;
+      worker.spooled_tuples = consumed.spooled_tuples;
+
+      ShardResult result =
+          load_shard_result_file(result_file_path(impl_->work_dir, s));
+      if (result.shard != s || result.num_vertices != n ||
+          result.k != config_.k) {
+        throw std::runtime_error(
+            "shard_driver: ShardResult header mismatch for shard " +
+            std::to_string(s));
       }
-      stats.unique_tuples = table.size();
-      pair_writer.finish();
+      if (result.entries.size() != shard_members[s].size()) {
+        throw std::runtime_error(
+            "shard_driver: shard " + std::to_string(s) + " returned " +
+            std::to_string(result.entries.size()) + " users, owns " +
+            std::to_string(shard_members[s].size()) +
+            " (worker/driver build mismatch?)");
+      }
+      KnnGraph next(n, config_.k);
+      for (auto& [user, list] : result.entries) {
+        if (shard_owner.owner(user) != s) {
+          throw std::runtime_error(
+              "shard_driver: shard " + std::to_string(s) +
+              " returned a result for foreign user " + std::to_string(user));
+        }
+        next.set_neighbors(user, std::move(list));
+      }
+      output.set_shard(s, std::move(next));
+      change_counts[s] = result.changed;
+    }
+  } else {
+    // ---- Thread mode: one producer and one consumer thread per shard.
+    std::vector<std::unique_ptr<IoAccountant>> worker_io;
+    worker_io.reserve(S);
+    for (std::uint32_t s = 0; s < S; ++s) {
+      worker_io.push_back(std::make_unique<IoAccountant>(config_.io_model));
     }
 
-    // Phase 3: this shard's own PI graph + traversal schedule.
-    PiGraph pi(m);
-    Schedule schedule;
-    {
-      ScopedAccumulator timing(&stats.timings.pi_graph_s);
-      for (PartitionId a = 0; a < m; ++a) {
-        for (PartitionId b = a; b < m; ++b) {
-          const auto count = pair_writer.shard_records(pi_pair_slot(a, b, m));
-          if (count > 0) pi.add_edge(a, b, count);
-        }
+    // Cross-shard exchange: spool (producer, consumer) holds the tuples
+    // producer w generated whose source user consumer c owns. The
+    // write-side accountant is shared (its charges are atomic).
+    IoAccountant spool_io(config_.io_model);
+    RoutedShardWriter<Tuple> spool(spools_dir(impl_->work_dir), kSpoolStem,
+                                   S, S, config_.shard_buffer_bytes,
+                                   &spool_io);
+
+    // Runs fn(w) on one thread per shard; rethrows the lowest-shard
+    // exception after all joined (deterministic, like the pool contract).
+    auto run_wave = [&](auto&& fn) {
+      std::vector<std::exception_ptr> errors(S);
+      std::vector<std::thread> threads;
+      threads.reserve(S);
+      for (std::uint32_t w = 0; w < S; ++w) {
+        threads.emplace_back([&, w] {
+          try {
+            fn(w);
+          } catch (...) {
+            errors[w] = std::current_exception();
+          }
+        });
       }
-      pi.finalize();
-      stats.pi_pairs = pi.num_pairs();
-      schedule = make_heuristic(config_.heuristic)->schedule(pi);
+      for (auto& t : threads) t.join();
+      for (auto& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    };
+
+    run_wave([&](std::uint32_t w) {
+      produce_candidates(ctx, w, shard_members[w], store, spool.producer(w),
+                         out.workers[w], /*mid_wave_hook=*/{});
+    });
+    spool.finish();
+
+    run_wave([&](std::uint32_t c) {
+      ConsumerOutput consumer_out = consume_candidates(
+          ctx, c, shard_members[c], store, graph_, impl_->pools[c].get(),
+          worker_io[c].get(), out.workers[c], /*mid_wave_hook=*/{});
+      change_counts[c] = consumer_out.changed;
+      output.set_shard(c, std::move(consumer_out.next));
+    });
+
+    for (std::uint32_t s = 0; s < S; ++s) {
+      out.workers[s].stats.io = worker_io[s]->counters();
+      out.workers[s].stats.modeled_io_us = worker_io[s]->modeled_us();
     }
-
-    // Phase 4: stream the shared store through a private cache; top-K for
-    // this shard's users only. Offers are made serially — the kept set is
-    // offer-order-independent, so only scoring needs the pool.
-    ThreadPool* pool = impl_->pools[c].get();
-    KnnGraph next(n, config_.k);
-    {
-      ScopedAccumulator timing(&stats.timings.knn_s);
-      TopKAccumulator acc(n, config_.k);
-      std::optional<RecordShardWriter<ScoredTuple>> score_writer;
-      if (config_.spill_scores) {
-        score_writer.emplace(impl_->work_dir / ("worker_" +
-                                                std::to_string(c)),
-                             "scores", m,
-                             std::max<std::size_t>(
-                                 config_.shard_buffer_bytes / S,
-                                 sizeof(ScoredTuple)),
-                             io);
-      }
-      PartitionCache cache(store, config_.memory_slots);
-      std::vector<float> scores;
-      for (PairIndex idx : schedule) {
-        const PiPair& pair = pi.pair(idx);
-        const std::vector<Tuple> tuples = read_record_shard<Tuple>(
-            pair_writer.shard_path(pi_pair_slot(pair.a, pair.b, m)), io);
-        const PartitionData& pa = cache.get(pair.a);
-        const PartitionData& pb = pair.b == pair.a ? pa : cache.get(pair.b);
-        auto profile_of = [&](VertexId v) -> const SparseProfile& {
-          if (const SparseProfile* p = pa.profile_of(v)) return *p;
-          if (const SparseProfile* p = pb.profile_of(v)) return *p;
-          throw std::logic_error(
-              "shard_driver: tuple endpoint outside loaded pair");
-        };
-        scores.assign(tuples.size(), 0.0f);
-        {
-          ScopedAccumulator score_timing(&stats.knn_score_s);
-          auto score_range = [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i) {
-              scores[i] =
-                  similarity(config_.measure, profile_of(tuples[i].s),
-                             profile_of(tuples[i].d));
-            }
-          };
-          if (pool != nullptr) {
-            pool->parallel_for(0, tuples.size(), score_range,
-                               /*min_chunk=*/256);
-          } else {
-            score_range(0, tuples.size());
-          }
-        }
-        if (score_writer) {
-          for (std::size_t i = 0; i < tuples.size(); ++i) {
-            score_writer->add(assignment.owner(tuples[i].s),
-                              {tuples[i].s, tuples[i].d, scores[i]});
-          }
-        } else {
-          ScopedAccumulator merge_timing(&stats.knn_merge_s);
-          for (std::size_t i = 0; i < tuples.size(); ++i) {
-            acc.offer(tuples[i].s, tuples[i].d, scores[i]);
-          }
-        }
-      }
-      cache.flush();
-      stats.partition_loads = cache.loads();
-      stats.partition_unloads = cache.unloads();
-
-      ScopedAccumulator merge_timing(&stats.knn_merge_s);
-      if (score_writer) {
-        // Finalise one partition at a time, restricted to owned users.
-        score_writer->finish();
-        for (PartitionId p = 0; p < m; ++p) {
-          const auto spilled = read_record_shard<ScoredTuple>(
-              score_writer->shard_path(p), io);
-          for (const ScoredTuple& t : spilled) {
-            acc.offer(t.s, t.d, t.score);
-          }
-          for (VertexId member : assignment.members(p)) {
-            if (shard_owner.owner(member) != static_cast<PartitionId>(c)) {
-              continue;
-            }
-            next.set_neighbors(member, acc.take(member));
-          }
-        }
-      } else {
-        next = acc.build_graph(pool);
-      }
-    }
-
-    // Exact per-user change counts over owned users; the driver's sum
-    // reproduces the serial change rate bit-for-bit.
-    std::uint64_t changed = 0;
-    for (VertexId s : shard_members[c]) {
-      changed += KnnGraph::change_count(graph_, next, s, s + 1);
-    }
-    change_counts[c] = changed;
-    output.set_shard(c, std::move(next));
-    worker.consume_s = wall.elapsed_seconds();
-  });
-
-  for (std::uint32_t s = 0; s < S; ++s) {
-    out.workers[s].stats.io = worker_io[s]->counters();
-    out.workers[s].stats.modeled_io_us = worker_io[s]->modeled_us();
+    exchange_io = spool_io.counters();
+    exchange_io_us = spool_io.modeled_us();
   }
 
   // ---- Merge (driver): deterministic re-assembly from shard owners.
@@ -448,19 +1061,28 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
     save_knn_graph_file(impl_->work_dir / "checkpoint_latest.knng", graph_);
   }
   if (config_.recall_samples > 0) {
+    // Thread mode reuses shard 0's pool; process mode has no driver-side
+    // pools, so spin one up for the estimator (it is O(samples * n) —
+    // the pool spawn is noise next to it).
+    ThreadPool* pool = impl_->pools[0].get();
+    std::unique_ptr<ThreadPool> recall_pool;
+    if (pool == nullptr && impl_->threads_per_shard > 1) {
+      recall_pool = std::make_unique<ThreadPool>(impl_->threads_per_shard - 1);
+      pool = recall_pool.get();
+    }
     merged.sampled_recall =
         sampled_recall(graph_, profiles_, config_.measure,
-                       config_.recall_samples, config_.seed,
-                       impl_->pools[0].get())
+                       config_.recall_samples, config_.seed, pool)
             .recall;
   }
 
   merged.io += store.io().counters();
-  merged.io += spool_io.counters();
-  merged.modeled_io_us += store.io().modeled_us() + spool_io.modeled_us();
+  merged.io += exchange_io;
+  merged.modeled_io_us += store.io().modeled_us() + exchange_io_us;
 
   KNNPC_LOG(Info) << "sharded iteration " << iteration_ << " (S=" << S
-                  << "): " << merged.unique_tuples << " tuples, "
+                  << ", " << worker_mode_name(shard_config_.worker_mode)
+                  << " workers): " << merged.unique_tuples << " tuples, "
                   << merged.pi_pairs << " PI pairs, "
                   << merged.partition_loads << " loads, change rate "
                   << merged.change_rate;

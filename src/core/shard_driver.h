@@ -35,8 +35,11 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/engine.h"
@@ -62,6 +65,26 @@ inline constexpr std::uint32_t kMaxAutoShards = 8;
 std::uint32_t resolve_shard_count(std::uint32_t requested,
                                   VertexId num_users, std::uint32_t k);
 
+/// How the S workers execute one iteration's two waves.
+enum class ShardWorkerMode {
+  /// One thread per worker inside the driver's process (the PR 3 mode).
+  Thread,
+  /// One OS process per worker per wave: the driver re-executes
+  /// `ShardConfig::worker_exe` in the hidden --shard-worker role, with
+  /// all cross-worker state carried by files (plan, partition store,
+  /// spools, ShardResult, stats sidecar — see ARCHITECTURE.md
+  /// "Process-mode execution"). Crash containment per worker: a dead,
+  /// non-zero or wedged worker is re-executed once; a second failure
+  /// fails the iteration with a per-worker diagnostic. The merged graph
+  /// stays bit-identical to thread mode and to the serial engine.
+  Process,
+};
+
+/// Parses "thread" | "process"; throws std::invalid_argument.
+ShardWorkerMode parse_worker_mode(std::string_view name);
+/// Inverse of parse_worker_mode.
+const char* worker_mode_name(ShardWorkerMode mode) noexcept;
+
 struct ShardConfig {
   /// Engine workers S. 0 = auto (resolve_shard_count); 1 degenerates to
   /// the serial pipeline run through the driver's machinery.
@@ -70,6 +93,18 @@ struct ShardConfig {
   /// "degree-range" | "greedy" (any src/partition strategy). The output
   /// graph does not depend on this choice — only load balance does.
   std::string shard_partitioner = "range";
+  /// Thread workers (default) or out-of-process workers.
+  ShardWorkerMode worker_mode = ShardWorkerMode::Thread;
+  /// Process mode only: wall-clock budget for ONE wave of ONE worker.
+  /// A worker exceeding it is SIGKILLed, counted as wedged, and retried
+  /// once like any other failure. <= 0 disables the deadline (a truly
+  /// wedged worker then hangs the run — keep a bound in production).
+  double worker_timeout_s = 600.0;
+  /// Process mode only: binary to re-execute as --shard-worker; empty =
+  /// the running executable (/proc/self/exe). The binary must dispatch
+  /// maybe_run_shard_worker() before its own argv parsing — knnpc_run,
+  /// bench_shards and the process-mode test suites all do.
+  std::string worker_exe;
 };
 
 /// Per-worker observability for one iteration.
@@ -106,7 +141,10 @@ struct ShardedIterationStats {
 /// overlap another call on the same instance. run_iteration() spawns one
 /// producer and one consumer thread per shard internally (each worker
 /// with its own ThreadPool, the phase-4 thread budget divided across
-/// shards) and joins them before returning.
+/// shards) and joins them before returning. In
+/// ShardWorkerMode::Process the waves run as supervised child processes
+/// instead — same files, same merged output, crash containment per
+/// worker.
 ///
 /// Ownership: owns the profiles, the merged graph, the per-shard pools
 /// and the work directory (scratch unless EngineConfig::work_dir is set).
@@ -154,5 +192,36 @@ class ShardedKnnEngine {
   std::uint32_t iteration_ = 0;
   std::unique_ptr<Impl> impl_;  // scratch dir, per-shard pools
 };
+
+// ---------------------------------------------------------------------------
+// The hidden --shard-worker role (process mode).
+
+/// Entry point of one worker wave in its own process. Loads the driver's
+/// plan file, runs the `wave` ("produce" | "consume") body for `shard`,
+/// writes the wave's outputs (spools / ShardResult) and finally the stats
+/// sidecar — the atomic completion marker the driver requires before it
+/// will merge anything. Returns the process exit code (0 = success);
+/// exceptions are reported on stderr and become a non-zero code.
+int shard_worker_main(const std::filesystem::path& plan_file,
+                      const std::string& wave, std::uint32_t shard,
+                      std::uint32_t attempt);
+
+/// Dispatch helper for binaries that can be re-executed as workers: when
+/// argv contains --shard-worker, runs the worker role and returns its
+/// exit code for main() to return; otherwise returns nullopt and the
+/// binary proceeds with its normal argv parsing. Call this FIRST in
+/// main() — worker argv is not meant for the normal option parsers.
+std::optional<int> maybe_run_shard_worker(int argc, char** argv);
+
+/// Fault-injection hook for the process-mode test harness. When this
+/// environment variable is set in a *worker* process (inherited from the
+/// spawning test), the worker injects the named fault mid-wave:
+///   "<wave>:<shard>:<kind>[:<attempt>]"
+/// kind ∈ { kill (raise SIGKILL), exit (exit code 3), wedge (sleep until
+/// the driver's deadline kills the worker) }. Without the optional
+/// attempt filter the fault fires on every attempt (driving the
+/// retry-then-fail path); with it, only on that attempt (driving the
+/// retry-succeeds path). Thread-mode workers never consult this.
+inline constexpr const char* kShardFaultEnv = "KNNPC_SHARD_FAULT";
 
 }  // namespace knnpc

@@ -5,11 +5,17 @@
 #include <stdexcept>
 #include <vector>
 
+#include "storage/block_file.h"
+#include "util/serde.h"
+
 namespace knnpc {
 namespace {
 
 constexpr char kMagic[4] = {'K', 'N', 'N', 'G'};
 constexpr std::uint32_t kVersion = 1;
+
+constexpr char kShardMagic[4] = {'K', 'S', 'H', 'R'};
+constexpr std::uint32_t kShardVersion = 1;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -94,6 +100,88 @@ KnnGraph load_knn_graph_file(const std::filesystem::path& path) {
                              path.string());
   }
   return load_knn_graph(in);
+}
+
+void save_shard_result_file(const std::filesystem::path& path,
+                            const ShardResult& result) {
+  std::vector<std::byte> bytes;
+  bytes.reserve(40 + result.entries.size() * (8 + result.k * 8));
+  for (const char c : kShardMagic) append_record(bytes, c);
+  append_record(bytes, kShardVersion);
+  append_record(bytes, result.shard);
+  append_record(bytes, result.num_vertices);
+  append_record(bytes, result.k);
+  append_record(bytes, result.changed);
+  append_record(bytes, static_cast<std::uint64_t>(result.entries.size()));
+  for (const auto& [user, neighbors] : result.entries) {
+    append_record(bytes, user);
+    append_record(bytes, static_cast<std::uint32_t>(neighbors.size()));
+    for (const Neighbor& n : neighbors) {
+      append_record(bytes, n.id);
+      append_record(bytes, n.score);
+    }
+  }
+  IoCounters counters;  // write_file is the atomic (tmp + rename) primitive
+  write_file(path, bytes, counters);
+}
+
+ShardResult load_shard_result_file(const std::filesystem::path& path) {
+  IoCounters counters;
+  const std::vector<std::byte> bytes = read_file(path, counters);
+  std::size_t offset = 0;
+  auto fail = [&](const std::string& what) -> std::runtime_error {
+    return std::runtime_error("load_shard_result_file: " + what + " in " +
+                              path.string());
+  };
+  auto read = [&]<typename T>(T& out) {
+    if (!read_record(bytes, offset, out)) throw fail("truncated result");
+  };
+  char magic[4];
+  for (char& c : magic) read(c);
+  if (std::memcmp(magic, kShardMagic, sizeof(kShardMagic)) != 0) {
+    throw fail("bad magic");
+  }
+  std::uint32_t version = 0;
+  read(version);
+  if (version != kShardVersion) {
+    throw fail("unsupported version " + std::to_string(version));
+  }
+  ShardResult result;
+  read(result.shard);
+  read(result.num_vertices);
+  read(result.k);
+  read(result.changed);
+  std::uint64_t count = 0;
+  read(count);
+  if (count > result.num_vertices) throw fail("entry count exceeds n");
+  // Each entry takes at least 8 bytes (id + count); a corrupt header
+  // must be rejected before it can drive a huge allocation.
+  if (count > (bytes.size() - offset) / 8) {
+    throw fail("entry count exceeds file size");
+  }
+  result.entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    VertexId user = 0;
+    std::uint32_t neighbors = 0;
+    read(user);
+    read(neighbors);
+    if (user >= result.num_vertices) throw fail("user id out of range");
+    if (neighbors > result.k) throw fail("neighbour count exceeds k");
+    std::vector<Neighbor> list;
+    list.reserve(neighbors);
+    for (std::uint32_t j = 0; j < neighbors; ++j) {
+      Neighbor n;
+      read(n.id);
+      read(n.score);
+      if (n.id >= result.num_vertices) {
+        throw fail("neighbour id out of range");
+      }
+      list.push_back(n);
+    }
+    result.entries.emplace_back(user, std::move(list));
+  }
+  if (offset != bytes.size()) throw fail("trailing bytes");
+  return result;
 }
 
 std::uint64_t knn_graph_checksum(const KnnGraph& graph) {

@@ -1,16 +1,27 @@
-// Binary (de)serialisation of scored KNN graphs.
+// Binary (de)serialisation of scored KNN graphs and per-shard results.
 //
-// Format (little endian):
+// Whole-graph format (little endian):
 //   magic "KNNG" (4 bytes), u32 version, u32 n, u32 k,
 //   then per vertex: u32 count, count x {u32 id, f32 score}.
 //
 // Used by KnnEngine's per-iteration checkpoints (EngineConfig::checkpoint)
 // so a long run can resume after a crash — part of the "commodity PC"
 // operational story.
+//
+// Shard-result format ("KSHR", the process-mode worker -> driver handoff):
+//   magic "KSHR" (4 bytes), u32 version, u32 shard, u32 n, u32 k,
+//   u64 changed, u64 entry count,
+//   then per owned user: u32 id, u32 count, count x {u32 id, f32 score}.
+// Written atomically (tmp + rename) so the driver either sees a complete
+// result or no file at all — a worker that dies mid-write leaves nothing
+// to merge (core/shard_driver.h's no-partial-merge contract).
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <iosfwd>
+#include <utility>
+#include <vector>
 
 #include "graph/knn_graph.h"
 
@@ -23,6 +34,30 @@ void save_knn_graph_file(const std::filesystem::path& path,
 /// Throws std::runtime_error on bad magic, version, or truncation.
 KnnGraph load_knn_graph(std::istream& in);
 KnnGraph load_knn_graph_file(const std::filesystem::path& path);
+
+/// One shard worker's phase-4 output: the new top-K lists of exactly the
+/// users that shard owns, plus the exact change count over those users
+/// (summed by the driver to reproduce the serial change rate bit-for-bit).
+struct ShardResult {
+  std::uint32_t shard = 0;
+  /// Vertex count of the full graph (validation against the driver's n).
+  VertexId num_vertices = 0;
+  std::uint32_t k = 0;
+  /// KnnGraph::change_count summed over the owned users.
+  std::uint64_t changed = 0;
+  /// (user, neighbours) in ascending user order; owned users only.
+  std::vector<std::pair<VertexId, std::vector<Neighbor>>> entries;
+};
+
+/// Writes the result atomically (tmp file + rename): the file is either
+/// absent or complete, never partial.
+void save_shard_result_file(const std::filesystem::path& path,
+                            const ShardResult& result);
+
+/// Throws std::runtime_error on bad magic, version, truncation, or
+/// out-of-range user / neighbour ids (a worker must never smuggle a
+/// corrupt result past the driver).
+ShardResult load_shard_result_file(const std::filesystem::path& path);
 
 /// Order-sensitive 64-bit checksum over (n, k, every vertex's neighbour
 /// list: id + score bits). Two graphs have equal checksums iff their

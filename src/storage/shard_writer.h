@@ -146,6 +146,25 @@ std::vector<T> read_record_shard(const std::filesystem::path& path,
 /// Phase-2 specialisation: tuple shards keyed by PI pair.
 using TupleShardWriter = RecordShardWriter<Tuple>;
 
+/// Stem of producer `p`'s private writer inside a routed spool: spool
+/// (p, c) lives at <dir>/<stem>_p<p>_<c>.bin. Exposed so a process-mode
+/// shard worker (core/shard_driver.h) can reconstruct its producer sink
+/// in its own process with the exact on-disk layout RoutedShardWriter
+/// uses — the layout is defined here and nowhere else.
+inline std::string routed_producer_stem(const std::string& stem,
+                                        std::size_t p) {
+  return stem + "_p" + std::to_string(p);
+}
+
+/// Path of routed spool (p, c) without a RoutedShardWriter instance (the
+/// consumer side of the cross-process exchange).
+inline std::filesystem::path routed_spool_path(
+    const std::filesystem::path& dir, const std::string& stem, std::size_t p,
+    std::size_t c) {
+  return dir / (routed_producer_stem(stem, p) + "_" + std::to_string(c) +
+                ".bin");
+}
+
 /// Routed multi-sink spool: the shard driver's cross-shard exchange.
 ///
 /// `producers` writer threads route records to `consumers` logical sinks;
@@ -178,7 +197,7 @@ class RoutedShardWriter {
     }
     writers_.reserve(producers);
     for (std::size_t p = 0; p < producers; ++p) {
-      writers_.emplace_back(dir, stem + "_p" + std::to_string(p), consumers,
+      writers_.emplace_back(dir, routed_producer_stem(stem, p), consumers,
                             std::max<std::size_t>(
                                 buffer_budget_bytes / producers, sizeof(T)),
                             accountant);

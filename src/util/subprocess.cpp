@@ -1,0 +1,214 @@
+#include "util/subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace knnpc {
+
+std::string SubprocessStatus::describe() const {
+  switch (state) {
+    case State::Running:
+      return "still running";
+    case State::Exited:
+      return exit_code == 0 ? "exited 0"
+                            : "exited with code " + std::to_string(exit_code);
+    case State::Signaled: {
+      if (timed_out) return "timed out (killed with SIGKILL)";
+      const char* name = strsignal(signal);
+      return "killed by signal " + std::to_string(signal) + " (" +
+             (name != nullptr ? name : "?") + ")";
+    }
+  }
+  return "unknown";
+}
+
+Subprocess::Subprocess(std::vector<std::string> argv)
+    : argv_(std::move(argv)) {
+  if (argv_.empty()) {
+    throw std::invalid_argument("Subprocess: empty argv");
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv_.size() + 1);
+  for (std::string& arg : argv_) cargv.push_back(arg.data());
+  cargv.push_back(nullptr);
+  // Hand-rolled fork+exec rather than posix_spawn: the child must run
+  // prctl(PR_SET_PDEATHSIG) on its own side so a worker cannot outlive a
+  // crashed driver, and that has no spawn-attribute equivalent. Between
+  // fork and exec the child calls only async-signal-safe functions (the
+  // driver holds live thread pools). Exec failures (missing binary) come
+  // back through a CLOEXEC pipe so they throw here instead of surfacing
+  // as a mysteriously-exiting child.
+  int err_pipe[2];
+  if (::pipe2(err_pipe, O_CLOEXEC) != 0) {
+    throw std::runtime_error("Subprocess: pipe2 failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const pid_t parent = ::getpid();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    ::close(err_pipe[0]);
+    ::close(err_pipe[1]);
+    throw std::runtime_error("Subprocess: fork failed: " +
+                             std::string(std::strerror(err)));
+  }
+  if (pid == 0) {
+    // Child. Own process group so kill_now() takes down anything it
+    // forks; die with the spawning thread so a dead driver leaves no
+    // orphaned workers behind (PDEATHSIG is per forking *thread* — the
+    // driver spawns from its supervising thread, which lives as long as
+    // the run).
+    ::close(err_pipe[0]);
+    ::setpgid(0, 0);
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() != parent) _exit(127);  // parent died before prctl
+    ::execv(cargv[0], cargv.data());
+    const int err = errno;
+    [[maybe_unused]] const ssize_t written =
+        ::write(err_pipe[1], &err, sizeof(err));
+    _exit(127);
+  }
+  // Parent: mirror the setpgid so the group exists before any kill_now()
+  // (ignore the benign races: child already exec'd or already exited).
+  ::setpgid(pid, pid);
+  ::close(err_pipe[1]);
+  int exec_errno = 0;
+  ssize_t got = -1;
+  do {
+    got = ::read(err_pipe[0], &exec_errno, sizeof(exec_errno));
+  } while (got < 0 && errno == EINTR);
+  ::close(err_pipe[0]);
+  if (got == sizeof(exec_errno)) {
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);  // reap the exec-failed child
+    throw std::runtime_error("Subprocess: cannot spawn " + argv_[0] + ": " +
+                             std::strerror(exec_errno));
+  }
+  pid_ = pid;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)), status_(other.status_),
+      argv_(std::move(other.argv_)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    if (pid_ > 0 && !status_.finished()) {
+      kill_now();
+      wait();
+    }
+    pid_ = std::exchange(other.pid_, -1);
+    status_ = other.status_;
+    argv_ = std::move(other.argv_);
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (pid_ > 0 && !status_.finished()) {
+    kill_now();
+    wait();
+  }
+}
+
+void Subprocess::reap(int wstatus) noexcept {
+  if (WIFEXITED(wstatus)) {
+    status_.state = SubprocessStatus::State::Exited;
+    status_.exit_code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    status_.state = SubprocessStatus::State::Signaled;
+    status_.signal = WTERMSIG(wstatus);
+  }
+}
+
+const SubprocessStatus& Subprocess::poll() {
+  if (pid_ <= 0 || status_.finished()) return status_;
+  int wstatus = 0;
+  const pid_t r = ::waitpid(pid_, &wstatus, WNOHANG);
+  if (r == pid_) reap(wstatus);
+  return status_;
+}
+
+const SubprocessStatus& Subprocess::wait() {
+  if (pid_ <= 0 || status_.finished()) return status_;
+  int wstatus = 0;
+  pid_t r = -1;
+  do {
+    r = ::waitpid(pid_, &wstatus, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r == pid_) reap(wstatus);
+  return status_;
+}
+
+void Subprocess::kill_now() noexcept {
+  if (pid_ > 0 && !status_.finished()) {
+    // The child leads its own process group (see the constructor), so
+    // the group kill reaps any processes it forked along with it.
+    ::kill(-pid_, SIGKILL);
+    ::kill(pid_, SIGKILL);  // belt-and-braces if the group is already gone
+  }
+}
+
+std::vector<SubprocessStatus> wait_all(std::span<Subprocess> procs,
+                                       double timeout_s) {
+  using Clock = std::chrono::steady_clock;
+  const bool bounded = timeout_s > 0.0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(bounded ? timeout_s
+                                                              : 0.0));
+  std::vector<bool> killed(procs.size(), false);
+  for (;;) {
+    bool all_done = true;
+    for (Subprocess& p : procs) {
+      if (p.valid() && !p.poll().finished()) all_done = false;
+    }
+    if (all_done) break;
+    if (bounded && Clock::now() >= deadline) {
+      for (std::size_t i = 0; i < procs.size(); ++i) {
+        if (procs[i].valid() && !procs[i].status().finished()) {
+          killed[i] = true;
+          procs[i].kill_now();
+        }
+      }
+      for (Subprocess& p : procs) {
+        if (p.valid()) p.wait();
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::vector<SubprocessStatus> out(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    out[i] = procs[i].status();
+    // Only a deadline kill that actually took the child down counts as a
+    // timeout — a child that finished normally in the race keeps its
+    // genuine status.
+    out[i].timed_out =
+        killed[i] && out[i].state == SubprocessStatus::State::Signaled;
+  }
+  return out;
+}
+
+std::filesystem::path current_executable() {
+  char buffer[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len <= 0) {
+    throw std::runtime_error("current_executable: cannot readlink "
+                             "/proc/self/exe");
+  }
+  buffer[len] = '\0';
+  return std::filesystem::path(buffer);
+}
+
+}  // namespace knnpc

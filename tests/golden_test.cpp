@@ -1,0 +1,199 @@
+// Golden-checksum regression corpus: pinned KNN-graph checksums for fixed
+// (seed, workload) pairs, asserted against the live engine so any silent
+// determinism drift — in the serial pipeline, the thread pool, the
+// sharded driver, or process-mode execution — fails tier-1 instead of
+// shipping a plausible-looking different graph.
+//
+// The table lives in tests/golden/checksums.tsv (whitespace-separated:
+// name users items clusters k partitions seed iters checksum). The
+// checksums are toolchain-pinned in the same sense the determinism
+// contract is: any build of this repo on the CI platform must reproduce
+// them exactly. To regenerate after an *intentional* pipeline change:
+//
+//   KNNPC_UPDATE_GOLDEN=1 ./golden_test && ./golden_test
+//
+// This binary carries a custom main(): the process-mode rows re-execute
+// it as shard workers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/shard_driver.h"
+#include "graph/knn_graph_io.h"
+#include "profiles/generators.h"
+#include "util/rng.h"
+
+#ifndef KNNPC_GOLDEN_DIR
+#error "KNNPC_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace knnpc {
+namespace {
+
+struct GoldenRow {
+  std::string name;
+  VertexId users = 0;
+  ItemId items = 0;
+  std::uint32_t clusters = 0;
+  std::uint32_t k = 0;
+  PartitionId partitions = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t iters = 0;
+  std::uint64_t checksum = 0;
+};
+
+std::string golden_path() {
+  return std::string(KNNPC_GOLDEN_DIR) + "/checksums.tsv";
+}
+
+std::vector<GoldenRow> load_rows() {
+  std::ifstream in(golden_path());
+  if (!in) {
+    ADD_FAILURE() << "golden corpus missing: " << golden_path();
+    return {};
+  }
+  std::vector<GoldenRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    GoldenRow row;
+    std::string checksum_hex;
+    if (!(fields >> row.name >> row.users >> row.items >> row.clusters >>
+          row.k >> row.partitions >> row.seed >> row.iters >>
+          checksum_hex)) {
+      ADD_FAILURE() << "malformed golden row: " << line;
+      continue;
+    }
+    row.checksum = std::stoull(checksum_hex, nullptr, 16);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+/// The workload generator is part of the pinned contract: these knobs
+/// must never drift, or every golden value silently changes meaning.
+std::vector<SparseProfile> golden_profiles(const GoldenRow& row) {
+  Rng rng(21);
+  ClusteredGenConfig config;
+  config.base.num_users = row.users;
+  config.base.num_items = row.items;
+  config.base.min_items = 15;
+  config.base.max_items = 25;
+  config.num_clusters = row.clusters;
+  config.in_cluster_prob = 0.9;
+  return clustered_profiles(config, rng);
+}
+
+/// Per-row config tweaks keyed by name, so the table stays pure data
+/// while still covering the spill / sampling / reverse code paths.
+EngineConfig golden_config(const GoldenRow& row) {
+  EngineConfig config;
+  config.k = row.k;
+  config.num_partitions = row.partitions;
+  config.seed = row.seed;
+  if (row.name.find("spill") != std::string::npos) {
+    config.spill_scores = true;
+  }
+  if (row.name.find("reverse") != std::string::npos) {
+    config.include_reverse = true;
+    config.sample_rate = 0.5;
+  }
+  return config;
+}
+
+std::uint64_t run_serial(const GoldenRow& row) {
+  KnnEngine engine(golden_config(row), golden_profiles(row));
+  for (std::uint32_t i = 0; i < row.iters; ++i) engine.run_iteration();
+  return knn_graph_checksum(engine.graph());
+}
+
+std::string hex(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+TEST(GoldenTest, SerialPipelineMatchesPinnedChecksums) {
+  const std::vector<GoldenRow> rows = load_rows();
+  ASSERT_FALSE(rows.empty());
+
+  if (std::getenv("KNNPC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot rewrite " << golden_path();
+    out << "# Golden KNN-graph checksums (see golden_test.cpp). Columns:\n"
+        << "# name users items clusters k partitions seed iters checksum\n"
+        << "# Regenerate: KNNPC_UPDATE_GOLDEN=1 ./golden_test\n";
+    for (const GoldenRow& row : rows) {
+      out << row.name << '\t' << row.users << '\t' << row.items << '\t'
+          << row.clusters << '\t' << row.k << '\t' << row.partitions << '\t'
+          << row.seed << '\t' << row.iters << '\t' << hex(run_serial(row))
+          << '\n';
+    }
+    GTEST_SKIP() << "golden corpus rewritten at " << golden_path()
+                 << "; rerun without KNNPC_UPDATE_GOLDEN to verify";
+  }
+
+  for (const GoldenRow& row : rows) {
+    const std::uint64_t actual = run_serial(row);
+    EXPECT_EQ(hex(actual), hex(row.checksum))
+        << "determinism drift on golden workload '" << row.name
+        << "' — if intentional, regenerate with KNNPC_UPDATE_GOLDEN=1";
+  }
+}
+
+TEST(GoldenTest, EveryExecutionModeReproducesTheGoldenGraph) {
+  const std::vector<GoldenRow> rows = load_rows();
+  ASSERT_FALSE(rows.empty());
+  if (std::getenv("KNNPC_UPDATE_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "corpus being regenerated; modes covered on rerun";
+  }
+  const GoldenRow& row = rows.front();  // the base workload
+  const EngineConfig config = golden_config(row);
+
+  {
+    EngineConfig threaded = config;
+    threaded.threads = 2;
+    KnnEngine engine(threaded, golden_profiles(row));
+    for (std::uint32_t i = 0; i < row.iters; ++i) engine.run_iteration();
+    EXPECT_EQ(hex(knn_graph_checksum(engine.graph())), hex(row.checksum))
+        << "thread-pool execution drifted from the golden graph";
+  }
+  {
+    ShardConfig shard_config;
+    shard_config.shards = 3;
+    ShardedKnnEngine engine(config, shard_config, golden_profiles(row));
+    for (std::uint32_t i = 0; i < row.iters; ++i) engine.run_iteration();
+    EXPECT_EQ(hex(knn_graph_checksum(engine.graph())), hex(row.checksum))
+        << "thread-mode sharded execution drifted from the golden graph";
+  }
+  {
+    ShardConfig shard_config;
+    shard_config.shards = 2;
+    shard_config.worker_mode = ShardWorkerMode::Process;
+    shard_config.worker_timeout_s = 120.0;
+    ShardedKnnEngine engine(config, shard_config, golden_profiles(row));
+    for (std::uint32_t i = 0; i < row.iters; ++i) engine.run_iteration();
+    EXPECT_EQ(hex(knn_graph_checksum(engine.graph())), hex(row.checksum))
+        << "process-mode sharded execution drifted from the golden graph";
+  }
+}
+
+}  // namespace
+}  // namespace knnpc
+
+int main(int argc, char** argv) {
+  // Process-mode rows re-execute this binary as shard workers.
+  if (const auto worker_exit = knnpc::maybe_run_shard_worker(argc, argv)) {
+    return *worker_exit;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,375 @@
+// Tests for process-mode shard execution (core/shard_driver with
+// ShardWorkerMode::Process): the determinism contract across execution
+// modes — serial engine vs thread-mode vs process-mode, bit-identical for
+// any shard count — plus the fault-injection harness proving the driver's
+// supervision contract: a killed, non-zero-exiting or wedged worker is
+// deterministically re-executed once; a second failure fails the run with
+// a per-worker diagnostic; the driver never hangs and never merges a
+// failed worker's partial spools.
+//
+// This binary is re-executed by the driver as its own shard workers, so
+// it carries a custom main() that dispatches the hidden --shard-worker
+// role before gtest sees argv.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/shard_driver.h"
+#include "core/stats_io.h"
+#include "graph/knn_graph_io.h"
+#include "profiles/generators.h"
+#include "storage/block_file.h"
+#include "util/rng.h"
+
+namespace knnpc {
+namespace {
+
+std::vector<SparseProfile> clustered(VertexId n, std::uint32_t clusters,
+                                     std::uint64_t seed = 21) {
+  Rng rng(seed);
+  ClusteredGenConfig config;
+  config.base.num_users = n;
+  config.base.num_items = 400;
+  config.base.min_items = 15;
+  config.base.max_items = 25;
+  config.num_clusters = clusters;
+  config.in_cluster_prob = 0.9;
+  return clustered_profiles(config, rng);
+}
+
+EngineConfig base_config() {
+  EngineConfig config;
+  config.k = 5;
+  config.num_partitions = 4;
+  config.seed = 99;
+  return config;
+}
+
+ShardConfig process_config(std::uint32_t shards,
+                           double timeout_s = 120.0) {
+  ShardConfig shard_config;
+  shard_config.shards = shards;
+  shard_config.worker_mode = ShardWorkerMode::Process;
+  shard_config.worker_timeout_s = timeout_s;
+  return shard_config;
+}
+
+std::vector<std::uint64_t> serial_checksums(const EngineConfig& config,
+                                            VertexId n,
+                                            std::uint32_t clusters,
+                                            std::uint32_t iters) {
+  std::vector<std::uint64_t> out;
+  KnnEngine engine(config, clustered(n, clusters));
+  for (std::uint32_t i = 0; i < iters; ++i) {
+    engine.run_iteration();
+    out.push_back(knn_graph_checksum(engine.graph()));
+  }
+  return out;
+}
+
+/// Sets KNNPC_SHARD_FAULT for the worker processes spawned inside the
+/// enclosing scope; always clears it on exit so no fault leaks into the
+/// next test.
+class FaultGuard {
+ public:
+  explicit FaultGuard(const std::string& spec) {
+    ::setenv(kShardFaultEnv, spec.c_str(), 1);
+  }
+  ~FaultGuard() { ::unsetenv(kShardFaultEnv); }
+  FaultGuard(const FaultGuard&) = delete;
+  FaultGuard& operator=(const FaultGuard&) = delete;
+};
+
+// ------------------------------------------------ determinism contract --
+
+class ProcessShardCountTest
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ProcessShardCountTest, ProcessModeBitIdenticalToSerialAndThread) {
+  const EngineConfig config = base_config();
+  const std::vector<std::uint64_t> serial =
+      serial_checksums(config, 80, 4, 2);
+
+  ShardConfig thread_config;
+  thread_config.shards = GetParam();
+  ShardedKnnEngine threaded(config, thread_config, clustered(80, 4));
+  ShardedKnnEngine processed(config, process_config(GetParam()),
+                             clustered(80, 4));
+  EXPECT_EQ(processed.num_shards(), GetParam());
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const ShardedIterationStats thread_stats = threaded.run_iteration();
+    const ShardedIterationStats process_stats = processed.run_iteration();
+    EXPECT_EQ(knn_graph_checksum(threaded.graph()), serial[i])
+        << "thread mode, S=" << GetParam() << " iteration " << i;
+    EXPECT_EQ(knn_graph_checksum(processed.graph()), serial[i])
+        << "process mode, S=" << GetParam() << " iteration " << i;
+    // The shard-count/mode-invariant merged counters agree too.
+    EXPECT_EQ(process_stats.merged.candidate_tuples,
+              thread_stats.merged.candidate_tuples);
+    EXPECT_EQ(process_stats.merged.unique_tuples,
+              thread_stats.merged.unique_tuples);
+    EXPECT_DOUBLE_EQ(process_stats.merged.change_rate,
+                     thread_stats.merged.change_rate);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ProcessShardCountTest,
+                         ::testing::Values(1u, 2u, 3u, 5u));
+
+TEST(ShardProcessTest, SpillScoresPathBitIdentical) {
+  EngineConfig config = base_config();
+  config.spill_scores = true;
+  const std::vector<std::uint64_t> serial =
+      serial_checksums(config, 80, 4, 2);
+  ShardedKnnEngine processed(config, process_config(3), clustered(80, 4));
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    processed.run_iteration();
+    EXPECT_EQ(knn_graph_checksum(processed.graph()), serial[i])
+        << "iteration " << i;
+  }
+}
+
+TEST(ShardProcessTest, SamplingAndReverseCandidatesBitIdentical) {
+  EngineConfig config = base_config();
+  config.sample_rate = 0.5;
+  config.include_reverse = true;
+  const std::vector<std::uint64_t> serial =
+      serial_checksums(config, 90, 5, 2);
+  ShardedKnnEngine processed(config, process_config(3), clustered(90, 5));
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    processed.run_iteration();
+    EXPECT_EQ(knn_graph_checksum(processed.graph()), serial[i])
+        << "iteration " << i;
+  }
+}
+
+TEST(ShardProcessTest, WorkerStatsArriveThroughSidecars) {
+  const EngineConfig config = base_config();
+  ShardedKnnEngine processed(config, process_config(3), clustered(80, 4));
+  const ShardedIterationStats stats = processed.run_iteration();
+
+  ASSERT_EQ(stats.workers.size(), 3u);
+  VertexId users = 0;
+  std::uint64_t unique = 0;
+  for (const ShardWorkerStats& w : stats.workers) {
+    users += w.users;
+    unique += w.stats.unique_tuples;
+    EXPECT_EQ(w.stats.threads_used, processed.threads_per_shard());
+    EXPECT_GT(w.spooled_tuples, 0u);
+    EXPECT_GE(w.spooled_tuples, w.stats.unique_tuples);
+    EXPECT_GT(w.produce_s, 0.0);
+    EXPECT_GT(w.consume_s, 0.0);
+    EXPECT_GT(w.stats.io.bytes_read, 0u);
+  }
+  EXPECT_EQ(users, 80u);
+  EXPECT_EQ(unique, stats.merged.unique_tuples);
+}
+
+// ------------------------------------------------------ fault injection --
+
+TEST(ShardFaultTest, ProducerKilledMidWaveIsRetriedOnceAndRecovers) {
+  EngineConfig config = base_config();
+  // A tiny spool buffer forces flushes mid-generation, so the killed
+  // attempt leaves genuinely partial spool files on disk — the retry
+  // must discard them, not merge them.
+  config.shard_buffer_bytes = 64;
+  const std::vector<std::uint64_t> serial =
+      serial_checksums(config, 80, 4, 1);
+
+  FaultGuard fault("produce:1:kill:0");  // attempt 0 only
+  ShardedKnnEngine processed(config, process_config(3), clustered(80, 4));
+  processed.run_iteration();
+  EXPECT_EQ(knn_graph_checksum(processed.graph()), serial[0]);
+}
+
+TEST(ShardFaultTest, ConsumerExitingNonZeroMidWaveIsRetriedOnce) {
+  const EngineConfig config = base_config();
+  const std::vector<std::uint64_t> serial =
+      serial_checksums(config, 80, 4, 1);
+
+  FaultGuard fault("consume:0:exit:0");
+  ShardedKnnEngine processed(config, process_config(3), clustered(80, 4));
+  processed.run_iteration();
+  EXPECT_EQ(knn_graph_checksum(processed.graph()), serial[0]);
+}
+
+TEST(ShardFaultTest, WedgedConsumerHitsTimeoutAndRetrySucceeds) {
+  const EngineConfig config = base_config();
+  const std::vector<std::uint64_t> serial =
+      serial_checksums(config, 80, 4, 1);
+
+  FaultGuard fault("consume:1:wedge:0");
+  ShardedKnnEngine processed(config,
+                             process_config(3, /*timeout_s=*/2.0),
+                             clustered(80, 4));
+  processed.run_iteration();  // must not hang: deadline kill + retry
+  EXPECT_EQ(knn_graph_checksum(processed.graph()), serial[0]);
+}
+
+TEST(ShardFaultTest, PersistentlyKilledProducerFailsAfterOneRetry) {
+  const EngineConfig config = base_config();
+  FaultGuard fault("produce:2:kill");  // every attempt
+  ShardedKnnEngine processed(config, process_config(3), clustered(80, 4));
+  const std::uint64_t before = knn_graph_checksum(processed.graph());
+  try {
+    processed.run_iteration();
+    FAIL() << "expected the produce wave to fail after one retry";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("produce wave failed after one retry"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("shard 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("killed by signal 9"), std::string::npos) << what;
+    EXPECT_NE(what.find("attempt 1"), std::string::npos) << what;
+  }
+  // No partial merge: G(t) is untouched by the failed iteration.
+  EXPECT_EQ(knn_graph_checksum(processed.graph()), before);
+}
+
+TEST(ShardFaultTest, PersistentNonZeroExitReportsPerWorkerDiagnostic) {
+  const EngineConfig config = base_config();
+  FaultGuard fault("consume:1:exit");
+  ShardedKnnEngine processed(config, process_config(3), clustered(80, 4));
+  const std::uint64_t before = knn_graph_checksum(processed.graph());
+  try {
+    processed.run_iteration();
+    FAIL() << "expected the consume wave to fail after one retry";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("consume wave failed after one retry"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("exited with code 3"), std::string::npos) << what;
+  }
+  EXPECT_EQ(knn_graph_checksum(processed.graph()), before);
+}
+
+TEST(ShardFaultTest, PersistentWedgeTimesOutTwiceAndFails) {
+  const EngineConfig config = base_config();
+  FaultGuard fault("produce:0:wedge");
+  ShardedKnnEngine processed(config,
+                             process_config(2, /*timeout_s=*/1.0),
+                             clustered(60, 3));
+  const std::uint64_t before = knn_graph_checksum(processed.graph());
+  try {
+    processed.run_iteration();  // two bounded attempts, then throw
+    FAIL() << "expected the wedged worker to fail the run";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("timed out"), std::string::npos) << what;
+    EXPECT_NE(what.find("shard 0"), std::string::npos) << what;
+  }
+  EXPECT_EQ(knn_graph_checksum(processed.graph()), before);
+}
+
+TEST(ShardFaultTest, RecoveredRunKeepsIteratingNormally) {
+  const EngineConfig config = base_config();
+  const std::vector<std::uint64_t> serial =
+      serial_checksums(config, 80, 4, 2);
+  ShardedKnnEngine processed(config, process_config(3), clustered(80, 4));
+  {
+    FaultGuard fault("consume:2:kill:0");
+    processed.run_iteration();
+  }
+  EXPECT_EQ(knn_graph_checksum(processed.graph()), serial[0]);
+  processed.run_iteration();  // fault cleared; second iteration clean
+  EXPECT_EQ(knn_graph_checksum(processed.graph()), serial[1]);
+}
+
+// ---------------------------------------- on-disk format round-trips --
+
+TEST(ShardResultIoTest, RoundTripsThroughDisk) {
+  ScratchDir scratch("shard_result_io");
+  ShardResult result;
+  result.shard = 2;
+  result.num_vertices = 10;
+  result.k = 3;
+  result.changed = 17;
+  result.entries.emplace_back(
+      1, std::vector<Neighbor>{{4, 0.75f}, {9, 0.5f}});
+  result.entries.emplace_back(7, std::vector<Neighbor>{});
+  const auto path = scratch.path() / "shard_2.res";
+  save_shard_result_file(path, result);
+
+  const ShardResult loaded = load_shard_result_file(path);
+  EXPECT_EQ(loaded.shard, 2u);
+  EXPECT_EQ(loaded.num_vertices, 10u);
+  EXPECT_EQ(loaded.k, 3u);
+  EXPECT_EQ(loaded.changed, 17u);
+  ASSERT_EQ(loaded.entries.size(), 2u);
+  EXPECT_EQ(loaded.entries[0].first, 1u);
+  ASSERT_EQ(loaded.entries[0].second.size(), 2u);
+  EXPECT_EQ(loaded.entries[0].second[0].id, 4u);
+  EXPECT_FLOAT_EQ(loaded.entries[0].second[0].score, 0.75f);
+  EXPECT_TRUE(loaded.entries[1].second.empty());
+}
+
+TEST(ShardResultIoTest, RejectsCorruptFiles) {
+  ScratchDir scratch("shard_result_bad");
+  const auto path = scratch.path() / "bad.res";
+  EXPECT_THROW((void)load_shard_result_file(path), std::runtime_error);
+
+  IoCounters counters;
+  write_file(path, std::vector<std::byte>(8, std::byte{0x5a}), counters);
+  EXPECT_THROW((void)load_shard_result_file(path), std::runtime_error);
+
+  // A valid header truncated mid-entry must be rejected too.
+  ShardResult result;
+  result.shard = 0;
+  result.num_vertices = 4;
+  result.k = 2;
+  result.entries.emplace_back(1, std::vector<Neighbor>{{2, 1.0f}});
+  save_shard_result_file(path, result);
+  IoCounters read_counters;
+  auto bytes = read_file(path, read_counters);
+  bytes.resize(bytes.size() - 3);
+  write_file(path, bytes, counters);
+  EXPECT_THROW((void)load_shard_result_file(path), std::runtime_error);
+}
+
+TEST(WorkerStatsIoTest, SidecarRoundTrips) {
+  ScratchDir scratch("worker_stats_io");
+  ShardWorkerStats stats;
+  stats.shard = 3;
+  stats.users = 123;
+  stats.spooled_tuples = 456;
+  stats.produce_s = 0.25;
+  stats.consume_s = 0.5;
+  stats.stats.unique_tuples = 99;
+  stats.stats.io.bytes_read = 1024;
+  stats.stats.sampled_recall = 0.875;
+  const auto path = scratch.path() / "produce_3.stats";
+  save_worker_stats_file(path, stats);
+
+  const ShardWorkerStats loaded = load_worker_stats_file(path);
+  EXPECT_EQ(loaded.shard, 3u);
+  EXPECT_EQ(loaded.users, 123u);
+  EXPECT_EQ(loaded.spooled_tuples, 456u);
+  EXPECT_DOUBLE_EQ(loaded.produce_s, 0.25);
+  EXPECT_EQ(loaded.stats.unique_tuples, 99u);
+  EXPECT_EQ(loaded.stats.io.bytes_read, 1024u);
+  ASSERT_TRUE(loaded.stats.sampled_recall.has_value());
+  EXPECT_DOUBLE_EQ(*loaded.stats.sampled_recall, 0.875);
+
+  EXPECT_THROW((void)load_worker_stats_file(scratch.path() / "missing"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace knnpc
+
+int main(int argc, char** argv) {
+  // The driver under test re-executes THIS binary as its shard workers;
+  // the hidden role must win before gtest parses argv.
+  if (const auto worker_exit = knnpc::maybe_run_shard_worker(argc, argv)) {
+    return *worker_exit;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

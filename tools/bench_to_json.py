@@ -84,17 +84,22 @@ def summarize_shards(d, out):
         "### bench_shards — sharded-driver sweep "
         f"(n={d.get('users')}, k={d.get('k')})")
     out.append("")
-    out.append("| shards | threads/shard | wall s | cpu s | speedup "
-               "| max shard wall s | identical |")
-    out.append("|---:|---:|---:|---:|---:|---:|---:|")
+    out.append("| shards | threads/shard | wall s | process wall s | cpu s "
+               "| speedup | max shard wall s | identical | proc identical |")
+    out.append("|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
     for row in d.get("results", []):
         max_wall = max(row.get("per_shard_wall_s", [0.0]) or [0.0])
         out.append(
             "| {shards} | {threads_per_shard} | {wall_s:.3f} "
-            "| {cpu_s:.3f} | {speedup:.2f}x | {max_wall:.3f} "
-            "| {ident} |".format(
+            "| {proc_wall} | {cpu_s:.3f} | {speedup:.2f}x | {max_wall:.3f} "
+            "| {ident} | {proc_ident} |".format(
                 max_wall=max_wall,
                 ident="yes" if row.get("identical") else "**NO**",
+                proc_wall=("{:.3f}".format(row["process_wall_s"])
+                           if "process_wall_s" in row else "-"),
+                proc_ident=("-" if "process_identical" not in row
+                            else "yes" if row["process_identical"]
+                            else "**NO**"),
                 **row))
     out.append("")
 

@@ -7,11 +7,14 @@
 //   knnpc_run --users=20000 --clusters=50 --heuristic=cost-aware
 //             --partitioner=greedy --threads=8 --device=hdd --csv
 //   knnpc_run --users=50000 --shards=4 --checkpoint --workdir=/tmp/run
+//   knnpc_run --users=50000 --shards=4 --worker-mode=process
 //
 // With --csv the per-iteration table is machine-readable. --shards=S runs
 // the sharded driver (core/shard_driver.h); the KNN output is
 // bit-identical to --shards=1 for any S (the final checksum on stderr
-// makes that easy to verify).
+// makes that easy to verify). --worker-mode=process promotes the shard
+// workers from threads to supervised child processes (this same binary,
+// re-executed in the hidden --shard-worker role) — same checksum again.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -31,6 +34,11 @@
 using namespace knnpc;
 
 int main(int argc, char** argv) {
+  // Process-mode shard workers re-execute this binary; the worker role
+  // must win before the option parser sees the hidden flags.
+  if (const auto worker_exit = maybe_run_shard_worker(argc, argv)) {
+    return *worker_exit;
+  }
   Options opts;
   opts.add_string("ratings", "rating file; empty = synthetic profiles", "");
   opts.add_uint("users", "synthetic user count", 10000);
@@ -56,6 +64,12 @@ int main(int argc, char** argv) {
                   "how users are split into shards (range | hash | "
                   "degree-range | greedy)",
                   "range");
+  opts.add_string("worker-mode",
+                  "how shard workers execute (thread | process)", "thread");
+  opts.add_double("worker-timeout",
+                  "process mode: seconds one worker wave may run before "
+                  "it is killed and retried (<= 0 = no deadline)",
+                  600.0);
   opts.add_uint("iters", "max iterations", 15);
   opts.add_double("delta", "convergence threshold on change rate", 0.01);
   opts.add_string("device", "none | hdd | ssd | nvme (I/O cost model)",
@@ -129,10 +143,15 @@ int main(int argc, char** argv) {
     ShardConfig shard_config;
     shard_config.shards = shards;
     shard_config.shard_partitioner = opts.get_string("shard-partitioner");
+    shard_config.worker_mode =
+        parse_worker_mode(opts.get_string("worker-mode"));
+    shard_config.worker_timeout_s = opts.get_double("worker-timeout");
     sharded = std::make_unique<ShardedKnnEngine>(config, shard_config,
                                                  std::move(profiles));
-    std::fprintf(stderr, "sharded driver: %u workers x %u threads\n",
-                 sharded->num_shards(), sharded->threads_per_shard());
+    std::fprintf(stderr, "sharded driver: %u workers x %u threads (%s "
+                         "mode)\n",
+                 sharded->num_shards(), sharded->threads_per_shard(),
+                 worker_mode_name(shard_config.worker_mode));
   }
   auto step = [&]() -> IterationStats {
     if (engine) return engine->run_iteration();

@@ -1,12 +1,16 @@
 // Sharded-driver sweep: runs the same pinned workload at several shard
-// counts — in thread mode AND in process mode — reports total and
-// per-shard wall time plus the merged phase-4 time, and verifies the
-// bit-identical-output contract by checksumming every run (both modes)
-// against thread-mode S=1.
+// counts — in thread mode, process mode AND persistent-worker mode —
+// reports total and per-shard wall time plus the merged phase-4 time,
+// and verifies the bit-identical-output contract by checksumming every
+// run (all modes) against thread-mode S=1.
 //
 // Usage: bench_shards [--users=N] [--k=N] [--iters=N] [--json]
 // With --json the table is replaced by one JSON object on stdout (the CI
-// perf-tracking job parses it; see tools/bench_to_json.py).
+// perf-tracking job parses it; see tools/bench_to_json.py). On
+// multi-iteration runs (--iters > 1) the persistent column shows the
+// spawn-amortisation story: process mode pays fork+execv + plan +
+// snapshot + store-open per shard per wave per iteration, persistent
+// mode pays the spawn once and ships G(t) deltas after that.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -55,11 +59,12 @@ int main(int argc, char** argv) {
   if (!json) {
     std::printf("Sharded driver sweep (n=%u, k=%u, m=16, %u iteration%s)\n",
                 n, k, iters, iters == 1 ? "" : "s");
-    std::printf("%8s | %10s %10s %12s %10s %9s | %10s %9s | %s\n", "shards",
-                "wall s", "cpu s", "max shard s", "speedup", "identical",
-                "proc s", "proc id", "per-shard wall s");
+    std::printf("%8s | %10s %10s %12s %10s %9s | %10s %9s | %10s %9s | %s\n",
+                "shards", "wall s", "cpu s", "max shard s", "speedup",
+                "identical", "proc s", "proc id", "persist s", "pers id",
+                "per-shard wall s");
     std::printf("----------------------------------------------------------"
-                "------------------------------------\n");
+                "--------------------------------------------------------\n");
   }
 
   struct Row {
@@ -73,11 +78,17 @@ int main(int argc, char** argv) {
     /// Same workload through out-of-process workers: the spawn/plan/
     /// sidecar overhead is process_wall_s - wall_s.
     double process_wall_s = 0.0;
+    /// And through persistent workers: one spawn for the whole run, then
+    /// framed commands with G(t) deltas. On multi-iteration runs this
+    /// should beat process_wall_s — the amortisation the mode exists for.
+    double persistent_wall_s = 0.0;
     std::vector<double> shard_wall_s;
     std::uint64_t checksum = 0;
     std::uint64_t process_checksum = 0;
+    std::uint64_t persistent_checksum = 0;
     bool identical = false;
     bool process_identical = false;
+    bool persistent_identical = false;
   };
   std::vector<Row> rows;
   double baseline = 0.0;
@@ -116,21 +127,35 @@ int main(int argc, char** argv) {
       row.process_wall_s = wall.elapsed_seconds();
       row.process_checksum = knn_graph_checksum(driver.graph());
     }
+    {
+      shard_config.worker_mode = ShardWorkerMode::Persistent;
+      ShardedKnnEngine driver(config, shard_config, pinned_profiles(n));
+      Timer wall;
+      for (std::uint32_t i = 0; i < iters; ++i) {
+        (void)driver.run_iteration();
+      }
+      row.persistent_wall_s = wall.elapsed_seconds();
+      row.persistent_checksum = knn_graph_checksum(driver.graph());
+    }
     if (shards == 1) {
       baseline = row.wall_s;
       reference_checksum = row.checksum;
     }
     row.identical = row.checksum == reference_checksum;
     row.process_identical = row.process_checksum == reference_checksum;
+    row.persistent_identical = row.persistent_checksum == reference_checksum;
     rows.push_back(row);
     if (!json) {
       double max_wall = 0.0;
       for (double w : row.shard_wall_s) max_wall = std::max(max_wall, w);
-      std::printf("%8u | %10.3f %10.3f %12.3f %9.2fx %9s | %10.3f %9s | ",
+      std::printf("%8u | %10.3f %10.3f %12.3f %9.2fx %9s | %10.3f %9s "
+                  "| %10.3f %9s | ",
                   shards, row.wall_s, row.cpu_s, max_wall,
                   baseline / row.wall_s, row.identical ? "yes" : "NO",
                   row.process_wall_s,
-                  row.process_identical ? "yes" : "NO");
+                  row.process_identical ? "yes" : "NO",
+                  row.persistent_wall_s,
+                  row.persistent_identical ? "yes" : "NO");
       for (double w : row.shard_wall_s) std::printf("%.3f ", w);
       std::printf("\n");
     }
@@ -147,14 +172,20 @@ int main(int argc, char** argv) {
                   "\"speedup\":%.4f,\"checksum\":\"%016llx\","
                   "\"identical\":%s,\"process_wall_s\":%.6f,"
                   "\"process_checksum\":\"%016llx\","
-                  "\"process_identical\":%s,\"per_shard_wall_s\":[",
+                  "\"process_identical\":%s,"
+                  "\"persistent_wall_s\":%.6f,"
+                  "\"persistent_checksum\":\"%016llx\","
+                  "\"persistent_identical\":%s,\"per_shard_wall_s\":[",
                   i == 0 ? "" : ",", row.shards, row.threads_per_shard,
                   row.wall_s, row.cpu_s, row.phase4_s,
                   baseline / row.wall_s,
                   static_cast<unsigned long long>(row.checksum),
                   row.identical ? "true" : "false", row.process_wall_s,
                   static_cast<unsigned long long>(row.process_checksum),
-                  row.process_identical ? "true" : "false");
+                  row.process_identical ? "true" : "false",
+                  row.persistent_wall_s,
+                  static_cast<unsigned long long>(row.persistent_checksum),
+                  row.persistent_identical ? "true" : "false");
       for (std::size_t s = 0; s < row.shard_wall_s.size(); ++s) {
         std::printf("%s%.6f", s == 0 ? "" : ",", row.shard_wall_s[s]);
       }
@@ -163,18 +194,20 @@ int main(int argc, char** argv) {
     std::printf("]}\n");
   } else {
     std::printf(
-        "\nExpected shape: every row says identical=yes and proc id=yes "
-        "(the determinism\ncontract, both execution modes). Wall time "
-        "falls with shards once scoring\ndominates partition I/O; cpu s "
-        "grows with S because each shard pays fixed costs\n(its own PI "
-        "pass, spool read-back, partition loads for its schedule) — the "
-        "gap\nbetween the two columns is the sharding overhead. proc s "
-        "additionally pays one\nspawn + plan/sidecar round-trip per "
-        "worker per wave.\n");
+        "\nExpected shape: every row says identical=yes, proc id=yes and "
+        "pers id=yes\n(the determinism contract, all execution modes). "
+        "Wall time falls with shards\nonce scoring dominates partition "
+        "I/O; cpu s grows with S because each shard\npays fixed costs "
+        "(its own PI pass, spool read-back, partition loads for its\n"
+        "schedule) — the gap between the two columns is the sharding "
+        "overhead. proc s\nadditionally pays one spawn + plan/sidecar "
+        "round-trip per worker per wave;\npersist s pays the spawn once "
+        "per run and ships deltas, so on multi-iteration\nruns "
+        "(--iters > 1) it should undercut proc s.\n");
   }
   const bool all_identical =
       std::all_of(rows.begin(), rows.end(), [](const Row& r) {
-        return r.identical && r.process_identical;
+        return r.identical && r.process_identical && r.persistent_identical;
       });
   return all_identical ? 0 : 1;
 }

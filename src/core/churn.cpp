@@ -30,7 +30,10 @@ SparseProfile ChurnDriver::fresh_profile_for_cluster(std::uint32_t cluster) {
 }
 
 std::size_t ChurnDriver::tick(KnnEngine& engine) {
-  const VertexId n = engine.profiles().num_users();
+  return tick(engine.update_queue(), engine.profiles().num_users());
+}
+
+std::size_t ChurnDriver::tick(UpdateQueue& queue, VertexId n) {
   if (n == 0) return 0;
   std::size_t pushed = 0;
   const std::uint32_t clusters = config_.generator.num_clusters;
@@ -43,7 +46,7 @@ std::size_t ChurnDriver::tick(KnnEngine& engine) {
     update.user = static_cast<VertexId>(rng_.next_below(n));
     update.item = static_cast<ItemId>(rng_.next_below(items));
     update.value = static_cast<float>(1.0 - rng_.next_double() * 0.999);
-    engine.update_queue().push(std::move(update));
+    queue.push(std::move(update));
     ++pushed;
   }
 
@@ -58,7 +61,7 @@ std::size_t ChurnDriver::tick(KnnEngine& engine) {
     update.kind = ProfileUpdate::Kind::Replace;
     update.user = user;
     update.profile = fresh_profile_for_cluster(target);
-    engine.update_queue().push(std::move(update));
+    queue.push(std::move(update));
     drift_log_.push_back({user, target});
     ++pushed;
   }
@@ -71,7 +74,7 @@ std::size_t ChurnDriver::tick(KnnEngine& engine) {
     update.user = user;
     update.profile =
         fresh_profile_for_cluster(static_cast<std::uint32_t>(user % clusters));
-    engine.update_queue().push(std::move(update));
+    queue.push(std::move(update));
     ++pushed;
   }
   return pushed;

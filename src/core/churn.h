@@ -42,6 +42,13 @@ class ChurnDriver {
   /// number of updates pushed.
   std::size_t tick(KnnEngine& engine);
 
+  /// Engine-agnostic core: pushes into any update queue over `num_users`
+  /// users. Two drivers with the same config produce identical update
+  /// streams regardless of which engine consumes them — that is how the
+  /// golden churn workload replays bit-identically through the serial,
+  /// threaded, sharded, process and persistent execution modes.
+  std::size_t tick(UpdateQueue& queue, VertexId num_users);
+
   /// Users that have drifted so far and their new cluster.
   struct Drift {
     VertexId user;

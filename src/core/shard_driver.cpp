@@ -21,6 +21,7 @@
 #include "core/tuple_generation.h"
 #include "core/tuple_table.h"
 #include "graph/digraph.h"
+#include "graph/knn_graph_delta.h"
 #include "graph/knn_graph_io.h"
 #include "partition/cost.h"
 #include "partition/partitioner.h"
@@ -29,6 +30,7 @@
 #include "staticgraph/sharded_graph.h"
 #include "storage/partition_store.h"
 #include "storage/shard_writer.h"
+#include "util/ipc_channel.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/serde.h"
@@ -54,12 +56,22 @@ std::uint32_t resolve_shard_count(std::uint32_t requested,
 ShardWorkerMode parse_worker_mode(std::string_view name) {
   if (name == "thread") return ShardWorkerMode::Thread;
   if (name == "process") return ShardWorkerMode::Process;
+  if (name == "persistent") return ShardWorkerMode::Persistent;
   throw std::invalid_argument("parse_worker_mode: unknown mode '" +
-                              std::string(name) + "' (thread | process)");
+                              std::string(name) +
+                              "' (thread | process | persistent)");
 }
 
 const char* worker_mode_name(ShardWorkerMode mode) noexcept {
-  return mode == ShardWorkerMode::Process ? "process" : "thread";
+  switch (mode) {
+    case ShardWorkerMode::Process:
+      return "process";
+    case ShardWorkerMode::Persistent:
+      return "persistent";
+    case ShardWorkerMode::Thread:
+      break;
+  }
+  return "thread";
 }
 
 namespace {
@@ -102,7 +114,7 @@ fs::path result_file_path(const fs::path& work_dir, std::uint32_t shard) {
 // happens to have the variable set.
 
 void maybe_inject_fault(const char* wave, std::uint32_t shard,
-                        std::uint32_t attempt) {
+                        std::uint32_t attempt, std::uint32_t iteration) {
   const char* env = std::getenv(kShardFaultEnv);
   if (env == nullptr) return;
   std::vector<std::string> parts;
@@ -120,16 +132,25 @@ void maybe_inject_fault(const char* wave, std::uint32_t shard,
     }
   }
   if (parts.size() < 3 || parts[0] != wave) return;
+  // Optional fields 3/4 filter by attempt and iteration; "*" (or an
+  // omitted field) matches anything.
+  auto matches = [&](std::size_t index, std::uint32_t value) {
+    if (parts.size() <= index || parts[index].empty() ||
+        parts[index] == "*") {
+      return true;
+    }
+    return std::stoul(parts[index]) == value;
+  };
   try {
     if (std::stoul(parts[1]) != shard) return;
-    if (parts.size() >= 4 && std::stoul(parts[3]) != attempt) return;
+    if (!matches(3, attempt) || !matches(4, iteration)) return;
   } catch (const std::exception&) {
     return;
   }
   const std::string& kind = parts[2];
   std::fprintf(stderr, "shard_worker: injecting fault '%s' (%s wave, shard "
-                       "%u, attempt %u)\n",
-               kind.c_str(), wave, shard, attempt);
+                       "%u, attempt %u, iteration %u)\n",
+               kind.c_str(), wave, shard, attempt, iteration);
   if (kind == "kill") {
     std::raise(SIGKILL);
   } else if (kind == "exit") {
@@ -618,6 +639,336 @@ void supervise_wave(const WaveContext& ctx, const ShardConfig& shard_config,
   }
 }
 
+// ---------------------------------------------- persistent-worker protocol --
+// Persistent mode spawns the S workers once and drives every wave of every
+// iteration over a framed pipe channel (util/ipc_channel.h). The frame
+// vocabulary and payload layouts below are the whole protocol; both sides
+// are by construction the same binary (like the plan file), so payloads
+// use the same serde records as the on-disk formats.
+//
+// Driver -> worker commands:
+//   RUN_PRODUCE  u32 iteration, u32 attempt, u8 maps_included,
+//                [u32 n, n x u32 partition_owner, n x u32 shard_owner]
+//   RUN_CONSUME  the RUN_PRODUCE prefix, then u8 full_sync,
+//                i64 base_version, i64 new_version, and the rest of the
+//                payload is a "KDLT" knn_graph_delta: the G(t) rows that
+//                changed since `base_version` (full_sync = every row —
+//                the respawn resync path)
+//   SHUTDOWN     empty payload; the worker exits 0
+// Worker -> driver replies:
+//   READY         u32 shard (sent once at startup, store already open)
+//   PRODUCE_DONE  raw ShardWorkerStats (spools are on disk by now)
+//   CONSUME_DONE  raw ShardWorkerStats, then "KSHR" ShardResult bytes
+//
+// Ownership maps ride along only when they changed since the last command
+// the worker saw (or after a respawn); on the default range shard
+// partitioner that is the first command only. The strict request/reply
+// discipline (a worker never writes before fully reading its command)
+// means the two pipe directions can never deadlock on full buffers.
+
+constexpr std::uint32_t kCmdRunProduce = 1;
+constexpr std::uint32_t kCmdRunConsume = 2;
+constexpr std::uint32_t kCmdShutdown = 3;
+constexpr std::uint32_t kRspReady = 100;
+constexpr std::uint32_t kRspProduceDone = 101;
+constexpr std::uint32_t kRspConsumeDone = 102;
+
+const char* frame_type_name(std::uint32_t type) {
+  switch (type) {
+    case kCmdRunProduce: return "RUN_PRODUCE";
+    case kCmdRunConsume: return "RUN_CONSUME";
+    case kCmdShutdown: return "SHUTDOWN";
+    case kRspReady: return "READY";
+    case kRspProduceDone: return "PRODUCE_DONE";
+    case kRspConsumeDone: return "CONSUME_DONE";
+  }
+  return "?";
+}
+
+void append_owner_maps(std::vector<std::byte>& out,
+                       const std::vector<PartitionId>& partition_owner,
+                       const std::vector<PartitionId>& shard_owner) {
+  append_record(out, static_cast<std::uint32_t>(partition_owner.size()));
+  for (const PartitionId p : partition_owner) append_record(out, p);
+  for (const PartitionId p : shard_owner) append_record(out, p);
+}
+
+/// One long-lived worker as the driver sees it: the process, its channel,
+/// and what state the worker is known to hold (so commands can carry
+/// deltas instead of snapshots).
+struct PersistentWorker {
+  Subprocess proc;
+  IpcChannel channel;
+  /// READY seen (consumed lazily before the first command reply).
+  bool ready = false;
+  /// Worker holds current ownership maps.
+  bool has_maps = false;
+  /// Version of G the worker holds (-1 = none / desynced).
+  std::int64_t graph_version = -1;
+  /// Set at respawn; cleared (and counted) when the full resync ships.
+  bool needs_resync = false;
+  std::uint32_t spawn_count = 0;
+  std::uint32_t resync_count = 0;
+};
+
+/// Driver-side state of the persistent fleet, owned by Impl.
+struct PersistentRuntime {
+  std::vector<PersistentWorker> workers;
+  bool plan_written = false;
+  /// The last G broadcast to the fleet and its version counter —
+  /// the base the next iteration's incremental delta diffs against.
+  KnnGraph synced_graph;
+  std::int64_t broadcast_version = -1;
+  /// Ownership maps as last sent (maps ride commands only when changed).
+  std::vector<PartitionId> sent_partition_owner;
+  std::vector<PartitionId> sent_shard_owner;
+};
+
+void spawn_persistent_worker(PersistentWorker& worker,
+                             const ShardConfig& shard_config,
+                             const fs::path& work_dir, std::uint32_t shard) {
+  const std::string exe = shard_config.worker_exe.empty()
+                              ? current_executable().string()
+                              : shard_config.worker_exe;
+  IpcChannelPair pair = make_ipc_channel_pair();
+  worker.proc = Subprocess(
+      std::vector<std::string>{
+          exe, "--shard-worker",
+          "--plan=" + plan_file_path(work_dir).string(), "--wave=serve",
+          "--shard=" + std::to_string(shard)},
+      pair.child_read_fd, pair.child_write_fd);
+  worker.channel = std::move(pair.parent);
+  worker.ready = false;
+  worker.has_maps = false;
+  worker.graph_version = -1;
+  ++worker.spawn_count;
+}
+
+enum class PersistentWave { Produce, Consume };
+
+/// Everything one wave needs to build per-worker commands.
+struct PersistentWaveInput {
+  PersistentWave wave = PersistentWave::Produce;
+  std::uint32_t iteration = 0;
+  const std::vector<PartitionId>* partition_owner = nullptr;
+  const std::vector<PartitionId>* shard_owner = nullptr;
+  /// Maps differ from PersistentRuntime::sent_* (every worker needs them).
+  bool maps_changed = false;
+  /// Consume only: G(t) and the fleet's last synced base.
+  const KnnGraph* graph = nullptr;
+  std::int64_t base_version = -1;
+  std::int64_t new_version = -1;
+};
+
+struct PersistentWaveReply {
+  ShardWorkerStats stats;
+  std::vector<std::byte> result_bytes;  // consume only: "KSHR" payload
+};
+
+/// Sends one wave's command to every worker and collects the replies
+/// under a shared deadline. Failure containment mirrors supervise_wave:
+/// a worker that dies, replies garbage, or misses the deadline is
+/// SIGKILLed and respawned exactly once — with full maps and (for the
+/// consume wave) a full-snapshot G(t) resync — and its command replays;
+/// a second failure throws with the per-worker diagnostic history. On
+/// return every shard's reply is complete; partial output can never be
+/// observed by the caller.
+std::vector<PersistentWaveReply> run_persistent_wave(
+    PersistentRuntime& rt, const ShardConfig& shard_config,
+    const fs::path& work_dir, const PersistentWaveInput& in,
+    const KnnGraph& full_base_graph) {
+  using Clock = std::chrono::steady_clock;
+  const bool consume = in.wave == PersistentWave::Consume;
+  const std::uint32_t cmd = consume ? kCmdRunConsume : kCmdRunProduce;
+  const std::uint32_t expected_reply =
+      consume ? kRspConsumeDone : kRspProduceDone;
+  const std::uint32_t S = static_cast<std::uint32_t>(rt.workers.size());
+
+  // Delta payloads are memoised per wave: the incremental delta is shared
+  // by every in-sync worker, the full snapshot by every respawned one.
+  std::optional<std::vector<std::byte>> incremental_bytes;
+  std::optional<std::vector<std::byte>> full_bytes;
+  auto delta_payload = [&](bool full) -> const std::vector<std::byte>& {
+    if (full) {
+      if (!full_bytes) {
+        full_bytes = knn_graph_delta_to_bytes(full_knn_graph_delta(*in.graph));
+      }
+      return *full_bytes;
+    }
+    if (!incremental_bytes) {
+      incremental_bytes = knn_graph_delta_to_bytes(
+          knn_graph_delta(full_base_graph, *in.graph));
+    }
+    return *incremental_bytes;
+  };
+
+  std::vector<PersistentWaveReply> replies(S);
+  std::vector<std::uint32_t> pending(S);
+  for (std::uint32_t s = 0; s < S; ++s) pending[s] = s;
+  std::vector<std::string> history(S);
+  const char* wave_name = consume ? "consume" : "produce";
+
+  for (std::uint32_t attempt = 0; attempt < 2; ++attempt) {
+    std::vector<std::uint32_t> failed;
+    std::vector<bool> send_ok(S, true);
+    // Record a failure for this attempt; the worker is killed and reaped
+    // so the next step (respawn or diagnostic) starts from a clean slate.
+    auto fail_worker = [&](std::uint32_t s, const std::string& why) {
+      failed.push_back(s);
+      if (!history[s].empty()) history[s] += "; ";
+      history[s] += "attempt " + std::to_string(attempt) + ": " + why;
+      rt.workers[s].proc.kill_now();
+      rt.workers[s].proc.wait();
+      rt.workers[s].channel = IpcChannel();
+    };
+
+    // Send phase: every pending worker gets its command (a dead peer
+    // surfaces as an EPIPE SysError here and is handled like any other
+    // failure — no hang, no partial wave).
+    for (const std::uint32_t s : pending) {
+      PersistentWorker& worker = rt.workers[s];
+      std::vector<std::byte> payload;
+      append_record(payload, in.iteration);
+      append_record(payload, attempt);
+      const bool include_maps = in.maps_changed || !worker.has_maps;
+      append_record(payload, static_cast<std::uint8_t>(include_maps));
+      if (include_maps) {
+        append_owner_maps(payload, *in.partition_owner, *in.shard_owner);
+      }
+      if (consume) {
+        const bool full = in.base_version < 0 ||
+                          worker.graph_version != in.base_version;
+        append_record(payload, static_cast<std::uint8_t>(full));
+        append_record(payload, in.base_version);
+        append_record(payload, in.new_version);
+        const std::vector<std::byte>& delta = delta_payload(full);
+        payload.insert(payload.end(), delta.begin(), delta.end());
+        if (full && worker.needs_resync) {
+          ++worker.resync_count;
+          worker.needs_resync = false;
+        }
+      }
+      try {
+        worker.channel.send(cmd, payload);
+      } catch (const IpcError& e) {
+        // An OversizedFrame here is the DRIVER refusing its own payload
+        // (workload too large for the frame cap) — deterministic, so a
+        // kill/respawn would only replay the refusal against a healthy
+        // worker. Abort the wave with the real cause instead.
+        if (e.kind() == IpcErrorKind::OversizedFrame) {
+          throw std::runtime_error(
+              "sharded " + std::string(wave_name) + " wave: command for "
+              "shard " + std::to_string(s) + " exceeds the IPC frame "
+              "bound (" + e.what() + "); use process mode for workloads "
+              "of this size");
+        }
+        send_ok[s] = false;
+        fail_worker(s, std::string("command send failed (") + e.what() +
+                           "; worker " + worker.proc.status().describe() +
+                           ")");
+      }
+    }
+
+    // Collect phase. The deadline is per worker, not shared across the
+    // wave: every worker computes concurrently from the moment its
+    // command was sent, so a wedged worker early in the collection order
+    // must not eat the budget of a healthy worker whose (possibly
+    // multi-megabyte) reply is still streaming through the pipe when the
+    // driver reaches it. Worst case the wave is bounded by S deadlines.
+    const double timeout_s = shard_config.worker_timeout_s;
+    for (const std::uint32_t s : pending) {
+      if (!send_ok[s]) continue;
+      PersistentWorker& worker = rt.workers[s];
+      const auto deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 timeout_s > 0.0 ? timeout_s : 0.0));
+      auto remaining = [&]() -> double {
+        if (timeout_s <= 0.0) return -1.0;
+        return std::max(
+            std::chrono::duration<double>(deadline - Clock::now()).count(),
+            0.0);
+      };
+      try {
+        // A fresh (re)spawned worker leads with READY; consume it first.
+        if (!worker.ready) {
+          const IpcFrame hello = worker.channel.recv(remaining());
+          std::uint32_t echoed = S;  // any invalid value
+          std::size_t offset = 0;
+          if (hello.type != kRspReady ||
+              !read_record(std::span<const std::byte>(hello.payload), offset,
+                           echoed) ||
+              echoed != s) {
+            throw std::runtime_error(
+                std::string("expected READY, got frame ") +
+                frame_type_name(hello.type));
+          }
+          worker.ready = true;
+        }
+        const IpcFrame frame = worker.channel.recv(remaining());
+        if (frame.type != expected_reply) {
+          throw std::runtime_error(std::string("expected ") +
+                                   frame_type_name(expected_reply) +
+                                   ", got frame " +
+                                   frame_type_name(frame.type));
+        }
+        const std::span<const std::byte> payload(frame.payload);
+        std::size_t offset = 0;
+        ShardWorkerStats stats;
+        if (!read_record(payload, offset, stats) ||
+            (!consume && offset != payload.size())) {
+          throw std::runtime_error("malformed " +
+                                   std::string(frame_type_name(frame.type)) +
+                                   " payload");
+        }
+        replies[s].stats = stats;
+        if (consume) {
+          replies[s].result_bytes.assign(payload.begin() + offset,
+                                         payload.end());
+        }
+        // The worker observably holds what the command carried.
+        worker.has_maps = true;
+        if (consume) worker.graph_version = in.new_version;
+      } catch (const IpcError& e) {
+        if (e.kind() == IpcErrorKind::Timeout) {
+          fail_worker(s, "command timed out after " +
+                             std::to_string(timeout_s) +
+                             "s (killed with SIGKILL)");
+        } else {
+          // EOF / truncation / garbage: reap first so the description
+          // carries how the process actually died.
+          rt.workers[s].proc.kill_now();
+          rt.workers[s].proc.wait();
+          fail_worker(s, std::string(e.what()) + " (worker " +
+                             rt.workers[s].proc.status().describe() + ")");
+        }
+      } catch (const std::exception& e) {
+        fail_worker(s, e.what());
+      }
+    }
+
+    if (failed.empty()) return replies;
+    if (attempt == 0) {
+      for (const std::uint32_t s : failed) {
+        KNNPC_LOG(Warn) << "persistent shard " << s << " " << wave_name
+                        << " worker failed (" << history[s]
+                        << "); respawning once with a full resync";
+        spawn_persistent_worker(rt.workers[s], shard_config, work_dir, s);
+        rt.workers[s].needs_resync = true;
+      }
+      pending = std::move(failed);
+      continue;
+    }
+    std::string message = "sharded " + std::string(wave_name) +
+                          " wave failed after one retry:";
+    for (const std::uint32_t s : failed) {
+      message += "\n  shard " + std::to_string(s) + ": " + history[s];
+    }
+    throw std::runtime_error(message);
+  }
+  return replies;  // unreachable; the loop returns or throws
+}
+
 }  // namespace
 
 // ------------------------------------------------------ the worker role --
@@ -650,7 +1001,7 @@ int shard_worker_main(const fs::path& plan_file, const std::string& wave,
   worker.stats.iteration = plan.iteration;
   worker.stats.threads_used = plan.threads_per_shard;
   const auto fault_hook = [&] {
-    maybe_inject_fault(wave.c_str(), shard, attempt);
+    maybe_inject_fault(wave.c_str(), shard, attempt, plan.iteration);
   };
 
   if (wave == "produce") {
@@ -706,6 +1057,182 @@ int shard_worker_main(const fs::path& plan_file, const std::string& wave,
   return 12;
 }
 
+int persistent_shard_worker_main(const fs::path& plan_file,
+                                 std::uint32_t shard) try {
+  const fs::path work_dir = plan_file.parent_path();
+  const ProcessPlan plan = load_plan_file(plan_file);
+  if (shard >= plan.shards) {
+    throw std::invalid_argument("shard " + std::to_string(shard) +
+                                " out of range (S=" +
+                                std::to_string(plan.shards) + ")");
+  }
+  const EngineConfig& config = plan.config;
+  // Opened ONCE and held — the point of staying alive. The store holds no
+  // state between load() calls, so the driver rewriting the partition
+  // files each iteration is safe by the same argument that makes the
+  // store concurrent-reader safe within one.
+  const PartitionStore store(work_dir / "partitions", config.io_model,
+                             config.storage_mode);
+  std::unique_ptr<ThreadPool> pool;
+  if (plan.threads_per_shard > 1) {
+    pool = std::make_unique<ThreadPool>(plan.threads_per_shard - 1);
+  }
+  // The command channel is this process's stdin/stdout (wired to the
+  // driver's pipes by the Subprocess stdio constructor). Diagnostics go
+  // to the inherited stderr only.
+  IpcChannel channel(STDIN_FILENO, STDOUT_FILENO);
+
+  // State synced from the driver across commands.
+  std::optional<PartitionAssignment> assignment;  // user -> partition
+  std::optional<PartitionAssignment> shard_owner;  // user -> shard
+  std::vector<VertexId> members;
+  KnnGraph graph;  // this worker's copy of G(t)
+  std::int64_t graph_version = -1;
+
+  {
+    std::vector<std::byte> hello;
+    append_record(hello, shard);
+    channel.send(kRspReady, hello);
+  }
+
+  for (;;) {
+    IpcFrame frame;
+    try {
+      frame = channel.recv();
+    } catch (const IpcError& e) {
+      // The driver dropping its end is an orderly shutdown (its process
+      // may already be gone); anything else is a protocol failure.
+      if (e.kind() == IpcErrorKind::Eof) return 0;
+      throw;
+    }
+    if (frame.type == kCmdShutdown) return 0;
+    if (frame.type != kCmdRunProduce && frame.type != kCmdRunConsume) {
+      throw std::runtime_error(std::string("unexpected command frame ") +
+                               frame_type_name(frame.type));
+    }
+    const bool consume = frame.type == kCmdRunConsume;
+    const std::span<const std::byte> payload(frame.payload);
+    std::size_t offset = 0;
+    auto read = [&]<typename T>(T& out) {
+      if (!read_record(payload, offset, out)) {
+        throw std::runtime_error(std::string("truncated ") +
+                                 frame_type_name(frame.type) + " payload");
+      }
+    };
+    std::uint32_t iteration = 0;
+    std::uint32_t attempt = 0;
+    std::uint8_t maps_included = 0;
+    read(iteration);
+    read(attempt);
+    read(maps_included);
+    if (maps_included != 0) {
+      std::uint32_t n = 0;
+      read(n);
+      std::vector<PartitionId> partition_owner(n);
+      for (PartitionId& p : partition_owner) read(p);
+      std::vector<PartitionId> owner(n);
+      for (PartitionId& p : owner) read(p);
+      assignment.emplace(std::move(partition_owner), config.num_partitions);
+      shard_owner.emplace(std::move(owner), plan.shards);
+      members = shard_owner->members(shard);
+    }
+    if (!assignment || !shard_owner) {
+      throw std::runtime_error("command arrived before any ownership maps");
+    }
+    const WaveContext ctx{config,      iteration,
+                          plan.shards, plan.threads_per_shard,
+                          *assignment, *shard_owner,
+                          work_dir};
+
+    ShardWorkerStats worker;
+    worker.shard = shard;
+    worker.users = static_cast<VertexId>(members.size());
+    worker.stats.iteration = iteration;
+    worker.stats.threads_used = plan.threads_per_shard;
+    IoAccountant io(config.io_model);
+    // The held store's accountant runs for the whole process lifetime;
+    // this command's share is the delta across it.
+    const IoCounters store_io_before = store.io().counters();
+    const double store_us_before = store.io().modeled_us();
+    const char* wave_name = consume ? "consume" : "produce";
+    const auto fault_hook = [&] {
+      maybe_inject_fault(wave_name, shard, attempt, iteration);
+    };
+
+    if (!consume) {
+      RecordShardWriter<Tuple> sink(
+          spools_dir(work_dir), routed_producer_stem(kSpoolStem, shard),
+          plan.shards,
+          std::max<std::size_t>(config.shard_buffer_bytes / plan.shards,
+                                sizeof(Tuple)),
+          &io);
+      produce_candidates(ctx, shard, members, store, sink, worker,
+                         fault_hook);
+      sink.finish();
+      worker.stats.io = io.counters();
+      worker.stats.io += store.io().counters() - store_io_before;
+      worker.stats.modeled_io_us =
+          io.modeled_us() + (store.io().modeled_us() - store_us_before);
+      std::vector<std::byte> reply;
+      append_record(reply, worker);
+      channel.send(kRspProduceDone, reply);
+      continue;
+    }
+
+    // Consume: sync this worker's G(t) from the delta, then run the wave.
+    std::uint8_t full_sync = 0;
+    std::int64_t base_version = -1;
+    std::int64_t new_version = -1;
+    read(full_sync);
+    read(base_version);
+    read(new_version);
+    const KnnGraphDelta delta =
+        knn_graph_delta_from_bytes(payload.subspan(offset));
+    if (full_sync != 0) {
+      graph = KnnGraph(delta.num_vertices, delta.k);
+    } else if (graph_version != base_version) {
+      throw std::runtime_error(
+          "incremental G(t) delta against version " +
+          std::to_string(base_version) + " but this worker holds " +
+          std::to_string(graph_version));
+    }
+    apply_knn_graph_delta(graph, delta);
+    graph_version = new_version;
+    if (graph.num_vertices() != assignment->num_vertices()) {
+      throw std::runtime_error(
+          "synced G(t) vertex count does not match the ownership maps");
+    }
+
+    ConsumerOutput out =
+        consume_candidates(ctx, shard, members, store, graph, pool.get(),
+                           &io, worker, fault_hook);
+    ShardResult result;
+    result.shard = shard;
+    result.num_vertices = assignment->num_vertices();
+    result.k = config.k;
+    result.changed = out.changed;
+    result.entries.reserve(members.size());
+    for (const VertexId user : members) {
+      const auto list = out.next.neighbors(user);
+      result.entries.emplace_back(
+          user, std::vector<Neighbor>(list.begin(), list.end()));
+    }
+    worker.stats.io = io.counters();
+    worker.stats.io += store.io().counters() - store_io_before;
+    worker.stats.modeled_io_us =
+        io.modeled_us() + (store.io().modeled_us() - store_us_before);
+    std::vector<std::byte> reply;
+    append_record(reply, worker);
+    const std::vector<std::byte> result_bytes = shard_result_to_bytes(result);
+    reply.insert(reply.end(), result_bytes.begin(), result_bytes.end());
+    channel.send(kRspConsumeDone, reply);
+  }
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "persistent shard_worker (shard %u): %s\n", shard,
+               e.what());
+  return 13;
+}
+
 std::optional<int> maybe_run_shard_worker(int argc, char** argv) {
   bool is_worker = false;
   std::string plan;
@@ -757,6 +1284,9 @@ std::optional<int> maybe_run_shard_worker(int argc, char** argv) {
                  "--shard-worker requires --plan= --wave= --shard=\n");
     return 2;
   }
+  if (wave == "serve") {
+    return persistent_shard_worker_main(plan, shard);
+  }
   return shard_worker_main(plan, wave, shard, attempt);
 }
 
@@ -776,6 +1306,41 @@ struct ShardedKnnEngine::Impl {
   std::vector<std::unique_ptr<ThreadPool>> pools;
   /// Previous phase-1 assignment (reused when repartition_every > 1).
   std::optional<PartitionAssignment> last_assignment;
+  /// Persistent mode only: the long-lived worker fleet and its sync
+  /// state. Workers spawn lazily on the first iteration and are shut
+  /// down (gracefully, then by force) when the engine dies.
+  PersistentRuntime persistent;
+
+  ~Impl() { shutdown_persistent_workers(); }
+
+  /// Sends SHUTDOWN to every live worker, waits briefly for orderly
+  /// exits, and SIGKILLs stragglers. Never blocks unboundedly.
+  void shutdown_persistent_workers() noexcept {
+    using Clock = std::chrono::steady_clock;
+    bool any = false;
+    for (PersistentWorker& w : persistent.workers) {
+      if (!w.proc.valid() || w.proc.status().finished()) continue;
+      any = true;
+      try {
+        w.channel.send(kCmdShutdown, {});
+      } catch (...) {
+        // Already dead: the reap below handles it.
+      }
+      w.channel.close_write();
+    }
+    if (!any) return;
+    const auto deadline = Clock::now() + std::chrono::seconds(5);
+    for (PersistentWorker& w : persistent.workers) {
+      if (!w.proc.valid()) continue;
+      while (!w.proc.poll().finished() && Clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (!w.proc.status().finished()) {
+        w.proc.kill_now();
+        w.proc.wait();
+      }
+    }
+  }
 
   Impl(const EngineConfig& config, const ShardConfig& shard_config,
        VertexId num_users) {
@@ -906,6 +1471,37 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
   IoCounters exchange_io;
   double exchange_io_us = 0.0;
 
+  // Validates and folds one worker's ShardResult into the merged output —
+  // shared by the process (file handoff) and persistent (inline reply)
+  // paths; a worker can never smuggle a wrong-shaped or foreign-user
+  // result past this.
+  auto fold_result = [&](std::uint32_t s, ShardResult result) {
+    if (result.shard != s || result.num_vertices != n ||
+        result.k != config_.k) {
+      throw std::runtime_error(
+          "shard_driver: ShardResult header mismatch for shard " +
+          std::to_string(s));
+    }
+    if (result.entries.size() != shard_members[s].size()) {
+      throw std::runtime_error(
+          "shard_driver: shard " + std::to_string(s) + " returned " +
+          std::to_string(result.entries.size()) + " users, owns " +
+          std::to_string(shard_members[s].size()) +
+          " (worker/driver build mismatch?)");
+    }
+    KnnGraph next(n, config_.k);
+    for (auto& [user, list] : result.entries) {
+      if (shard_owner.owner(user) != s) {
+        throw std::runtime_error(
+            "shard_driver: shard " + std::to_string(s) +
+            " returned a result for foreign user " + std::to_string(user));
+      }
+      next.set_neighbors(user, std::move(list));
+    }
+    output.set_shard(s, std::move(next));
+    change_counts[s] = result.changed;
+  };
+
   if (shard_config_.worker_mode == ShardWorkerMode::Process) {
     // ---- Process mode: persist the plan + G(t), then supervise one
     // child process per shard per wave.
@@ -937,32 +1533,84 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
       worker.consume_s = consumed.consume_s;
       worker.spooled_tuples = consumed.spooled_tuples;
 
-      ShardResult result =
-          load_shard_result_file(result_file_path(impl_->work_dir, s));
-      if (result.shard != s || result.num_vertices != n ||
-          result.k != config_.k) {
-        throw std::runtime_error(
-            "shard_driver: ShardResult header mismatch for shard " +
-            std::to_string(s));
+      fold_result(s,
+                  load_shard_result_file(result_file_path(impl_->work_dir, s)));
+    }
+  } else if (shard_config_.worker_mode == ShardWorkerMode::Persistent) {
+    // ---- Persistent mode: spawn the fleet once, then drive both waves
+    // through framed commands carrying only deltas.
+    PersistentRuntime& rt = impl_->persistent;
+    if (!rt.plan_written) {
+      // The static plan: config + resolved budgets. Ownership maps and
+      // G(t) travel over the channel, so the maps here stay empty and
+      // plan.iteration is meaningless to a persistent worker.
+      ProcessPlan plan;
+      plan.config = config_;
+      plan.shards = S;
+      plan.threads_per_shard = impl_->threads_per_shard;
+      save_plan_file(plan_file_path(impl_->work_dir), plan);
+      rt.plan_written = true;
+    }
+    if (rt.workers.size() != S) {
+      rt.workers = std::vector<PersistentWorker>(S);
+      for (std::uint32_t s = 0; s < S; ++s) {
+        spawn_persistent_worker(rt.workers[s], shard_config_,
+                                impl_->work_dir, s);
       }
-      if (result.entries.size() != shard_members[s].size()) {
-        throw std::runtime_error(
-            "shard_driver: shard " + std::to_string(s) + " returned " +
-            std::to_string(result.entries.size()) + " users, owns " +
-            std::to_string(shard_members[s].size()) +
-            " (worker/driver build mismatch?)");
-      }
-      KnnGraph next(n, config_.k);
-      for (auto& [user, list] : result.entries) {
-        if (shard_owner.owner(user) != s) {
-          throw std::runtime_error(
-              "shard_driver: shard " + std::to_string(s) +
-              " returned a result for foreign user " + std::to_string(user));
-        }
-        next.set_neighbors(user, std::move(list));
-      }
-      output.set_shard(s, std::move(next));
-      change_counts[s] = result.changed;
+    }
+    std::vector<PartitionId> part_owner = owner_vector(assignment);
+    std::vector<PartitionId> sh_owner = owner_vector(shard_owner);
+    const bool maps_changed = part_owner != rt.sent_partition_owner ||
+                              sh_owner != rt.sent_shard_owner;
+
+    PersistentWaveInput wave_in;
+    wave_in.wave = PersistentWave::Produce;
+    wave_in.iteration = iteration_;
+    wave_in.partition_owner = &part_owner;
+    wave_in.shard_owner = &sh_owner;
+    wave_in.maps_changed = maps_changed;
+    const std::vector<PersistentWaveReply> produced = run_persistent_wave(
+        rt, shard_config_, impl_->work_dir, wave_in, rt.synced_graph);
+
+    wave_in.wave = PersistentWave::Consume;
+    // Every worker confirmed the maps when its PRODUCE_DONE was
+    // collected, so the consume wave never re-ships them wholesale —
+    // only a worker respawned between the waves (has_maps reset) gets
+    // them again.
+    wave_in.maps_changed = false;
+    wave_in.graph = &graph_;
+    // An incremental delta needs a same-shape base the fleet actually
+    // holds; set_initial_graph() after iterations (or a k change) voids
+    // that, in which case everyone gets the full snapshot.
+    const bool base_usable =
+        rt.broadcast_version >= 0 &&
+        rt.synced_graph.num_vertices() == graph_.num_vertices() &&
+        rt.synced_graph.k() == graph_.k();
+    wave_in.base_version = base_usable ? rt.broadcast_version : -1;
+    wave_in.new_version = rt.broadcast_version + 1;
+    const std::vector<PersistentWaveReply> consumed = run_persistent_wave(
+        rt, shard_config_, impl_->work_dir, wave_in, rt.synced_graph);
+
+    rt.synced_graph = graph_;
+    rt.broadcast_version = wave_in.new_version;
+    rt.sent_partition_owner = std::move(part_owner);
+    rt.sent_shard_owner = std::move(sh_owner);
+
+    for (std::uint32_t s = 0; s < S; ++s) {
+      ShardWorkerStats& worker = out.workers[s];
+      worker.stats = sum_iteration_stats(
+          {produced[s].stats.stats, consumed[s].stats.stats});
+      worker.stats.iteration = iteration_;
+      worker.stats.threads_used = impl_->threads_per_shard;
+      worker.produce_s = produced[s].stats.produce_s;
+      worker.consume_s = consumed[s].stats.consume_s;
+      worker.spooled_tuples = consumed[s].stats.spooled_tuples;
+      worker.spawn_count = rt.workers[s].spawn_count;
+      worker.resync_count = rt.workers[s].resync_count;
+      fold_result(s, shard_result_from_bytes(
+                         consumed[s].result_bytes,
+                         "persistent worker " + std::to_string(s) +
+                             "'s CONSUME_DONE reply"));
     }
   } else {
     // ---- Thread mode: one producer and one consumer thread per shard.

@@ -78,9 +78,26 @@ enum class ShardWorkerMode {
   /// fails the iteration with a per-worker diagnostic. The merged graph
   /// stays bit-identical to thread mode and to the serial engine.
   Process,
+  /// S worker processes spawned ONCE per run and kept alive across
+  /// iterations: each worker opens the shared partition store once and
+  /// is then driven through a length-prefixed command protocol over
+  /// pipes (util/ipc_channel.h) — RUN_PRODUCE / RUN_CONSUME commands
+  /// carry the per-iteration deltas (ownership maps only when they
+  /// changed, G(t) as a changed-rows knn_graph_delta) instead of a full
+  /// plan + snapshot per wave, and workers reply with their
+  /// ShardWorkerStats / ShardResult inline. Amortises the per-wave
+  /// fork+execv, plan write, snapshot write and store re-open that
+  /// Process mode pays. Supervision: a worker that dies, replies
+  /// garbage, or exceeds `worker_timeout_s` on one command is SIGKILLed
+  /// and respawned exactly once with a full-snapshot resync, and the
+  /// wave command replays deterministically; a second failure in the
+  /// same wave throws with per-worker diagnostics and leaves G(t)
+  /// untouched. Output stays bit-identical to every other mode.
+  Persistent,
 };
 
-/// Parses "thread" | "process"; throws std::invalid_argument.
+/// Parses "thread" | "process" | "persistent"; throws
+/// std::invalid_argument.
 ShardWorkerMode parse_worker_mode(std::string_view name);
 /// Inverse of parse_worker_mode.
 const char* worker_mode_name(ShardWorkerMode mode) noexcept;
@@ -93,17 +110,19 @@ struct ShardConfig {
   /// "degree-range" | "greedy" (any src/partition strategy). The output
   /// graph does not depend on this choice — only load balance does.
   std::string shard_partitioner = "range";
-  /// Thread workers (default) or out-of-process workers.
+  /// Thread workers (default), per-wave processes, or long-lived
+  /// processes driven over pipes.
   ShardWorkerMode worker_mode = ShardWorkerMode::Thread;
-  /// Process mode only: wall-clock budget for ONE wave of ONE worker.
-  /// A worker exceeding it is SIGKILLed, counted as wedged, and retried
-  /// once like any other failure. <= 0 disables the deadline (a truly
-  /// wedged worker then hangs the run — keep a bound in production).
+  /// Process/persistent modes: wall-clock budget for ONE wave of ONE
+  /// worker (persistent mode: for one wave command's reply). A worker
+  /// exceeding it is SIGKILLed, counted as wedged, and retried once like
+  /// any other failure. <= 0 disables the deadline (a truly wedged
+  /// worker then hangs the run — keep a bound in production).
   double worker_timeout_s = 600.0;
-  /// Process mode only: binary to re-execute as --shard-worker; empty =
-  /// the running executable (/proc/self/exe). The binary must dispatch
-  /// maybe_run_shard_worker() before its own argv parsing — knnpc_run,
-  /// bench_shards and the process-mode test suites all do.
+  /// Process/persistent modes: binary to re-execute as --shard-worker;
+  /// empty = the running executable (/proc/self/exe). The binary must
+  /// dispatch maybe_run_shard_worker() before its own argv parsing —
+  /// knnpc_run, bench_shards and the process-mode test suites all do.
   std::string worker_exe;
 };
 
@@ -117,6 +136,13 @@ struct ShardWorkerStats {
   /// Wall time of this worker's producer / consumer wave participation.
   double produce_s = 0.0;
   double consume_s = 0.0;
+  /// Persistent mode: processes launched for this worker slot so far in
+  /// the run (1 = the original spawn, each respawn adds one) and
+  /// full-snapshot resyncs shipped after a respawn. Zero in the other
+  /// modes. Cumulative across iterations — the spawn-amortisation story
+  /// in numbers.
+  std::uint32_t spawn_count = 0;
+  std::uint32_t resync_count = 0;
   /// This worker's share of the merged counters (sum_iteration_stats
   /// folds these into ShardedIterationStats::merged).
   IterationStats stats;
@@ -206,6 +232,17 @@ int shard_worker_main(const std::filesystem::path& plan_file,
                       const std::string& wave, std::uint32_t shard,
                       std::uint32_t attempt);
 
+/// Entry point of one PERSISTENT worker (--wave=serve): loads the static
+/// plan, opens the shared partition store and thread pool once, sends a
+/// READY frame on stdout and then serves RUN_PRODUCE / RUN_CONSUME /
+/// SHUTDOWN commands from stdin until shutdown or EOF (both exit 0).
+/// Wave bodies, spool layout and fault injection are shared with the
+/// per-wave worker; only the transport differs. Protocol errors are
+/// reported on stderr and become a non-zero exit — the driver's respawn
+/// path takes over from there.
+int persistent_shard_worker_main(const std::filesystem::path& plan_file,
+                                 std::uint32_t shard);
+
 /// Dispatch helper for binaries that can be re-executed as workers: when
 /// argv contains --shard-worker, runs the worker role and returns its
 /// exit code for main() to return; otherwise returns nullopt and the
@@ -213,15 +250,20 @@ int shard_worker_main(const std::filesystem::path& plan_file,
 /// main() — worker argv is not meant for the normal option parsers.
 std::optional<int> maybe_run_shard_worker(int argc, char** argv);
 
-/// Fault-injection hook for the process-mode test harness. When this
-/// environment variable is set in a *worker* process (inherited from the
-/// spawning test), the worker injects the named fault mid-wave:
-///   "<wave>:<shard>:<kind>[:<attempt>]"
+/// Fault-injection hook for the process/persistent-mode test harness.
+/// When this environment variable is set in a *worker* process
+/// (inherited from the spawning test), the worker injects the named
+/// fault mid-wave:
+///   "<wave>:<shard>:<kind>[:<attempt>[:<iteration>]]"
 /// kind ∈ { kill (raise SIGKILL), exit (exit code 3), wedge (sleep until
 /// the driver's deadline kills the worker) }. Without the optional
 /// attempt filter the fault fires on every attempt (driving the
 /// retry-then-fail path); with it, only on that attempt (driving the
-/// retry-succeeds path). Thread-mode workers never consult this.
+/// retry-succeeds path); "*" matches any attempt. The optional fifth
+/// field restricts the fault to one iteration — that is how the
+/// persistent-mode tests kill a long-lived worker mid-run at iteration
+/// i > 0 without also killing its respawned successor in later
+/// iterations. Thread-mode workers never consult this.
 inline constexpr const char* kShardFaultEnv = "KNNPC_SHARD_FAULT";
 
 }  // namespace knnpc

@@ -60,7 +60,10 @@ std::string run_to_json(const RunStats& run) {
 namespace {
 
 constexpr char kStatsMagic[4] = {'K', 'W', 'S', 'T'};
-constexpr std::uint32_t kStatsVersion = 1;
+// v2: ShardWorkerStats grew the persistent-mode spawn_count/resync_count
+// counters. The version gate (not just the size check) is what turns a
+// stale sidecar from an older binary into a typed error.
+constexpr std::uint32_t kStatsVersion = 2;
 
 // The raw-record sidecar only works while the stats structs stay
 // trivially copyable; a std::string member added later must come with a

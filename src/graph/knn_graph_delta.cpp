@@ -1,0 +1,177 @@
+#include "graph/knn_graph_delta.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "util/fnv.h"
+#include "util/serde.h"
+
+namespace knnpc {
+namespace {
+
+constexpr char kDeltaMagic[4] = {'K', 'D', 'L', 'T'};
+constexpr std::uint32_t kDeltaVersion = 1;
+
+void check_same_shape(const KnnGraph& from, const KnnGraph& to) {
+  if (from.num_vertices() != to.num_vertices() || from.k() != to.k()) {
+    throw std::invalid_argument(
+        "knn_graph_delta: graph shapes differ (n " +
+        std::to_string(from.num_vertices()) + " vs " +
+        std::to_string(to.num_vertices()) + ", k " +
+        std::to_string(from.k()) + " vs " + std::to_string(to.k()) + ")");
+  }
+}
+
+/// Serialises header + rows (everything the trailing checksum covers).
+std::vector<std::byte> body_bytes(const KnnGraphDelta& delta) {
+  std::vector<std::byte> bytes;
+  std::size_t payload = 0;
+  for (const auto& [vertex, list] : delta.rows) {
+    payload += 2 * sizeof(std::uint32_t) + list.size() * sizeof(Neighbor);
+  }
+  bytes.reserve(20 + payload);
+  for (const char c : kDeltaMagic) append_record(bytes, c);
+  append_record(bytes, kDeltaVersion);
+  append_record(bytes, delta.num_vertices);
+  append_record(bytes, delta.k);
+  append_record(bytes, static_cast<std::uint32_t>(delta.rows.size()));
+  for (const auto& [vertex, list] : delta.rows) {
+    append_record(bytes, vertex);
+    append_record(bytes, static_cast<std::uint32_t>(list.size()));
+    for (const Neighbor& n : list) {
+      append_record(bytes, n.id);
+      append_record(bytes, n.score);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+KnnGraphDelta knn_graph_delta(const KnnGraph& from, const KnnGraph& to) {
+  check_same_shape(from, to);
+  KnnGraphDelta delta;
+  delta.num_vertices = to.num_vertices();
+  delta.k = to.k();
+  for (VertexId v = 0; v < to.num_vertices(); ++v) {
+    const auto a = from.neighbors(v);
+    const auto b = to.neighbors(v);
+    if (std::ranges::equal(a, b)) continue;
+    delta.rows.emplace_back(v, std::vector<Neighbor>(b.begin(), b.end()));
+  }
+  return delta;
+}
+
+KnnGraphDelta full_knn_graph_delta(const KnnGraph& to) {
+  KnnGraphDelta delta;
+  delta.num_vertices = to.num_vertices();
+  delta.k = to.k();
+  delta.rows.reserve(to.num_vertices());
+  for (VertexId v = 0; v < to.num_vertices(); ++v) {
+    const auto list = to.neighbors(v);
+    delta.rows.emplace_back(v,
+                            std::vector<Neighbor>(list.begin(), list.end()));
+  }
+  return delta;
+}
+
+void apply_knn_graph_delta(KnnGraph& graph, const KnnGraphDelta& delta) {
+  if (graph.num_vertices() != delta.num_vertices ||
+      graph.k() != delta.k) {
+    throw std::invalid_argument(
+        "apply_knn_graph_delta: delta shape (n=" +
+        std::to_string(delta.num_vertices) + ", k=" +
+        std::to_string(delta.k) + ") does not match the graph (n=" +
+        std::to_string(graph.num_vertices()) + ", k=" +
+        std::to_string(graph.k()) + ")");
+  }
+  for (const auto& [vertex, list] : delta.rows) {
+    if (vertex >= graph.num_vertices()) {
+      throw std::invalid_argument(
+          "apply_knn_graph_delta: row vertex out of range");
+    }
+    graph.set_neighbors(vertex, list);
+  }
+}
+
+std::vector<std::byte> knn_graph_delta_to_bytes(const KnnGraphDelta& delta) {
+  std::vector<std::byte> bytes = body_bytes(delta);
+  append_record(bytes, fnv1a_bytes(bytes));
+  return bytes;
+}
+
+KnnGraphDelta knn_graph_delta_from_bytes(std::span<const std::byte> bytes) {
+  std::size_t offset = 0;
+  auto fail = [](const std::string& what) -> std::runtime_error {
+    return std::runtime_error("knn_graph_delta_from_bytes: " + what);
+  };
+  auto read = [&]<typename T>(T& out) {
+    if (!read_record(bytes, offset, out)) throw fail("truncated delta");
+  };
+  char magic[4];
+  for (char& c : magic) read(c);
+  if (std::memcmp(magic, kDeltaMagic, sizeof(kDeltaMagic)) != 0) {
+    throw fail("bad magic");
+  }
+  std::uint32_t version = 0;
+  read(version);
+  if (version != kDeltaVersion) {
+    throw fail("unsupported version " + std::to_string(version));
+  }
+  KnnGraphDelta delta;
+  read(delta.num_vertices);
+  read(delta.k);
+  std::uint32_t rows = 0;
+  read(rows);
+  if (rows > delta.num_vertices) throw fail("row count exceeds n");
+  // Each row takes at least 8 bytes — reject a corrupt count before it
+  // can drive the reserve below.
+  if (bytes.size() < offset || rows > (bytes.size() - offset) / 8) {
+    throw fail("row count exceeds input size");
+  }
+  delta.rows.reserve(rows);
+  VertexId prev = 0;
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    VertexId vertex = 0;
+    std::uint32_t count = 0;
+    read(vertex);
+    read(count);
+    if (vertex >= delta.num_vertices) throw fail("row vertex out of range");
+    if (i > 0 && vertex <= prev) throw fail("rows not strictly ascending");
+    prev = vertex;
+    if (count > delta.k) throw fail("neighbour count exceeds k");
+    // k itself came from the (untrusted) header, so bound the count by
+    // the bytes actually present before it drives the reserve — corrupt
+    // input must be a typed failure, never a multi-gigabyte allocation.
+    if (count > (bytes.size() - offset) / sizeof(Neighbor)) {
+      throw fail("neighbour count exceeds input size");
+    }
+    std::vector<Neighbor> list;
+    list.reserve(count);
+    for (std::uint32_t j = 0; j < count; ++j) {
+      Neighbor n;
+      read(n.id);
+      read(n.score);
+      if (n.id >= delta.num_vertices) {
+        throw fail("neighbour id out of range");
+      }
+      list.push_back(n);
+    }
+    delta.rows.emplace_back(vertex, std::move(list));
+  }
+  std::uint64_t stored = 0;
+  read(stored);
+  if (offset != bytes.size()) throw fail("trailing bytes");
+  const std::uint64_t actual =
+      fnv1a_bytes(bytes.subspan(0, bytes.size() - 8));
+  if (stored != actual) throw fail("checksum mismatch");
+  return delta;
+}
+
+std::uint64_t knn_graph_delta_checksum(const KnnGraphDelta& delta) {
+  return fnv1a_bytes(body_bytes(delta));
+}
+
+}  // namespace knnpc

@@ -1,0 +1,71 @@
+// Row-level deltas between two KNN graphs G_a -> G_b.
+//
+// The persistent-worker protocol (core/shard_driver.h) keeps each worker
+// process's copy of G(t) in sync across iterations by shipping only the
+// rows that changed since the worker's last snapshot — on a converging
+// KNN graph that is `change_rate * n` rows instead of all n, which is the
+// point of keeping workers alive. A delta with every row present doubles
+// as the full-snapshot resync after a worker respawn.
+//
+// Serialised format ("KDLT", little endian, util/serde.h layout):
+//   magic "KDLT" (4 bytes), u32 version, u32 n, u32 k, u32 row count,
+//   then per row (ascending vertex order): u32 vertex, u32 count,
+//   count x {u32 id, f32 score}, and finally the u64 FNV-1a checksum of
+//   everything before it.
+// The serialisation is checksum-stable: the same delta always produces
+// the same bytes (rows are kept sorted by construction), so the trailing
+// checksum both detects corruption and lets two sides compare deltas
+// without exchanging them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/knn_graph.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+struct KnnGraphDelta {
+  /// Vertex count and k of BOTH endpoint graphs (a delta never resizes).
+  VertexId num_vertices = 0;
+  std::uint32_t k = 0;
+  /// (vertex, its complete new neighbour list), ascending vertex order.
+  std::vector<std::pair<VertexId, std::vector<Neighbor>>> rows;
+
+  [[nodiscard]] bool empty() const noexcept { return rows.empty(); }
+};
+
+/// Rows whose neighbour lists differ between `from` and `to` (each row
+/// carries `to`'s complete list). Graph shapes must match; throws
+/// std::invalid_argument otherwise. delta(G, G) is empty — the fast path
+/// costs one row-compare pass and no allocations.
+KnnGraphDelta knn_graph_delta(const KnnGraph& from, const KnnGraph& to);
+
+/// Every row of `to` as a delta — the full-snapshot resync payload.
+/// apply()ing it reproduces `to` from ANY same-shape base graph.
+KnnGraphDelta full_knn_graph_delta(const KnnGraph& to);
+
+/// Replaces the listed rows in `graph`. Invariant (tested): for same-shape
+/// graphs, apply(knn_graph_delta(a, b), a) == b bit-for-bit. Throws
+/// std::invalid_argument on shape mismatch or out-of-range vertices.
+void apply_knn_graph_delta(KnnGraph& graph, const KnnGraphDelta& delta);
+
+/// Serialises to the "KDLT" byte format documented above.
+std::vector<std::byte> knn_graph_delta_to_bytes(const KnnGraphDelta& delta);
+
+/// Parses "KDLT" bytes. Throws std::runtime_error on bad magic/version,
+/// truncation, trailing bytes, unsorted or out-of-range rows, neighbour
+/// counts above k, or a checksum mismatch — corrupt input is always a
+/// typed failure, never a silently wrong graph.
+KnnGraphDelta knn_graph_delta_from_bytes(std::span<const std::byte> bytes);
+
+/// FNV-1a checksum over the serialised header + rows (the value stored in
+/// the trailing 8 bytes of the byte format). Equal deltas have equal
+/// checksums; stable across serialise/parse round-trips.
+std::uint64_t knn_graph_delta_checksum(const KnnGraphDelta& delta);
+
+}  // namespace knnpc

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "storage/block_file.h"
+#include "util/fnv.h"
 #include "util/serde.h"
 
 namespace knnpc {
@@ -102,8 +103,7 @@ KnnGraph load_knn_graph_file(const std::filesystem::path& path) {
   return load_knn_graph(in);
 }
 
-void save_shard_result_file(const std::filesystem::path& path,
-                            const ShardResult& result) {
+std::vector<std::byte> shard_result_to_bytes(const ShardResult& result) {
   std::vector<std::byte> bytes;
   bytes.reserve(40 + result.entries.size() * (8 + result.k * 8));
   for (const char c : kShardMagic) append_record(bytes, c);
@@ -121,17 +121,21 @@ void save_shard_result_file(const std::filesystem::path& path,
       append_record(bytes, n.score);
     }
   }
-  IoCounters counters;  // write_file is the atomic (tmp + rename) primitive
-  write_file(path, bytes, counters);
+  return bytes;
 }
 
-ShardResult load_shard_result_file(const std::filesystem::path& path) {
-  IoCounters counters;
-  const std::vector<std::byte> bytes = read_file(path, counters);
+void save_shard_result_file(const std::filesystem::path& path,
+                            const ShardResult& result) {
+  IoCounters counters;  // write_file is the atomic (tmp + rename) primitive
+  write_file(path, shard_result_to_bytes(result), counters);
+}
+
+ShardResult shard_result_from_bytes(std::span<const std::byte> bytes,
+                                    const std::string& context) {
   std::size_t offset = 0;
   auto fail = [&](const std::string& what) -> std::runtime_error {
-    return std::runtime_error("load_shard_result_file: " + what + " in " +
-                              path.string());
+    return std::runtime_error("shard_result_from_bytes: " + what + " in " +
+                              context);
   };
   auto read = [&]<typename T>(T& out) {
     if (!read_record(bytes, offset, out)) throw fail("truncated result");
@@ -184,16 +188,16 @@ ShardResult load_shard_result_file(const std::filesystem::path& path) {
   return result;
 }
 
+ShardResult load_shard_result_file(const std::filesystem::path& path) {
+  IoCounters counters;
+  const std::vector<std::byte> bytes = read_file(path, counters);
+  return shard_result_from_bytes(bytes, path.string());
+}
+
 std::uint64_t knn_graph_checksum(const KnnGraph& graph) {
   // FNV-1a over the checkpoint serialisation fields, in file order.
-  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
-  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
-  std::uint64_t h = kOffset;
-  auto mix = [&](std::uint64_t value) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h = (h ^ ((value >> (8 * byte)) & 0xffu)) * kPrime;
-    }
-  };
+  std::uint64_t h = kFnv1aOffset;
+  auto mix = [&](std::uint64_t value) { h = fnv1a_mix(h, value); };
   mix(graph.num_vertices());
   mix(graph.k());
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {

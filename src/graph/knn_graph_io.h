@@ -17,9 +17,12 @@
 // to merge (core/shard_driver.h's no-partial-merge contract).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <filesystem>
 #include <iosfwd>
+#include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -58,6 +61,16 @@ void save_shard_result_file(const std::filesystem::path& path,
 /// out-of-range user / neighbour ids (a worker must never smuggle a
 /// corrupt result past the driver).
 ShardResult load_shard_result_file(const std::filesystem::path& path);
+
+/// The "KSHR" serialisation as bytes — the persistent-worker protocol
+/// ships ShardResults inline over the IPC channel instead of through
+/// result files; both carry exactly these bytes.
+std::vector<std::byte> shard_result_to_bytes(const ShardResult& result);
+
+/// Parses "KSHR" bytes with the same validation as the file loader;
+/// `context` names the source in error messages (a path, a worker id).
+ShardResult shard_result_from_bytes(std::span<const std::byte> bytes,
+                                    const std::string& context);
 
 /// Order-sensitive 64-bit checksum over (n, k, every vertex's neighbour
 /// list: id + score bits). Two graphs have equal checksums iff their

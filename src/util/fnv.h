@@ -1,0 +1,37 @@
+// FNV-1a, the library's one checksum primitive.
+//
+// Both graph checksums — the whole-graph `knn_graph_checksum`
+// (graph/knn_graph_io.h, pinned by the golden corpus) and the delta
+// trailer (graph/knn_graph_delta.h) — fold through these exact
+// constants; keeping the loop in one place is what keeps their
+// semantics from silently diverging.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace knnpc {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// Folds the 8 little-endian bytes of `value` into `h`.
+constexpr std::uint64_t fnv1a_mix(std::uint64_t h,
+                                  std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h = (h ^ ((value >> (8 * byte)) & 0xffu)) * kFnv1aPrime;
+  }
+  return h;
+}
+
+/// FNV-1a over a raw byte span.
+inline std::uint64_t fnv1a_bytes(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t h = kFnv1aOffset;
+  for (const std::byte b : bytes) {
+    h = (h ^ static_cast<std::uint64_t>(b)) * kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,246 @@
+#include "util/ipc_channel.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+namespace knnpc {
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x4350494bu;  // "KIPC" little-endian
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint32_t type = 0;
+  std::uint32_t length = 0;
+};
+static_assert(sizeof(FrameHeader) == 12);
+
+std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[noreturn]] void throw_errno(IpcErrorKind kind, const char* what) {
+  throw IpcError(kind, std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Waits for `fd` to become readable before `deadline_ns` (-1 = forever).
+/// Throws Timeout when the deadline passes, SysError on poll failure.
+void wait_readable(int fd, std::int64_t deadline_ns) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline_ns >= 0) {
+      const std::int64_t remaining_ns = deadline_ns - monotonic_ns();
+      // An expired deadline still polls once with timeout 0: data already
+      // buffered in the pipe must be drained, not reported as a timeout
+      // (the peer delivered in time even if the caller got here late).
+      timeout_ms = remaining_ns <= 0
+                       ? 0
+                       : static_cast<int>((remaining_ns + 999'999) /
+                                          1'000'000);
+    }
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r > 0) return;  // readable, error or hangup: read() will tell
+    if (r == 0) {
+      if (deadline_ns < 0) continue;  // spurious; loop re-derives timeout
+      throw IpcError(IpcErrorKind::Timeout,
+                     "no complete frame before the deadline");
+    }
+    if (errno == EINTR) continue;
+    throw_errno(IpcErrorKind::SysError, "poll");
+  }
+}
+
+}  // namespace
+
+const char* ipc_error_kind_name(IpcErrorKind kind) noexcept {
+  switch (kind) {
+    case IpcErrorKind::Eof:
+      return "eof";
+    case IpcErrorKind::TruncatedFrame:
+      return "truncated-frame";
+    case IpcErrorKind::BadMagic:
+      return "bad-magic";
+    case IpcErrorKind::OversizedFrame:
+      return "oversized-frame";
+    case IpcErrorKind::Timeout:
+      return "timeout";
+    case IpcErrorKind::SysError:
+      return "sys-error";
+  }
+  return "unknown";
+}
+
+IpcChannel::IpcChannel(int read_fd, int write_fd,
+                       std::uint32_t max_frame_bytes)
+    : read_fd_(read_fd), write_fd_(write_fd),
+      max_frame_bytes_(max_frame_bytes) {
+  // A peer that died mid-conversation must surface as EPIPE from write(),
+  // not as a process-killing SIGPIPE. Installing SIG_IGN once is the
+  // standard middleware move; done lazily here so programs that never use
+  // IPC keep their default disposition.
+  static const bool sigpipe_ignored = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)sigpipe_ignored;
+}
+
+IpcChannel::IpcChannel(IpcChannel&& other) noexcept
+    : read_fd_(std::exchange(other.read_fd_, -1)),
+      write_fd_(std::exchange(other.write_fd_, -1)),
+      max_frame_bytes_(other.max_frame_bytes_) {}
+
+IpcChannel& IpcChannel::operator=(IpcChannel&& other) noexcept {
+  if (this != &other) {
+    close_read();
+    close_write();
+    read_fd_ = std::exchange(other.read_fd_, -1);
+    write_fd_ = std::exchange(other.write_fd_, -1);
+    max_frame_bytes_ = other.max_frame_bytes_;
+  }
+  return *this;
+}
+
+IpcChannel::~IpcChannel() {
+  close_read();
+  close_write();
+}
+
+void IpcChannel::close_read() noexcept {
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+}
+
+void IpcChannel::close_write() noexcept {
+  if (write_fd_ >= 0) {
+    ::close(write_fd_);
+    write_fd_ = -1;
+  }
+}
+
+void IpcChannel::send(std::uint32_t type, std::span<const std::byte> payload) {
+  if (write_fd_ < 0) {
+    throw IpcError(IpcErrorKind::SysError, "send on a read-only channel");
+  }
+  if (payload.size() > max_frame_bytes_) {
+    throw IpcError(IpcErrorKind::OversizedFrame,
+                   "refusing to send a " + std::to_string(payload.size()) +
+                       "-byte payload (max " +
+                       std::to_string(max_frame_bytes_) + ")");
+  }
+  FrameHeader header;
+  header.type = type;
+  header.length = static_cast<std::uint32_t>(payload.size());
+
+  // One gather write per chunk attempt: a frame larger than the pipe
+  // buffer legitimately lands in several short writes, so loop until
+  // every byte of header + payload is out.
+  const std::byte* chunks[2] = {reinterpret_cast<const std::byte*>(&header),
+                                payload.data()};
+  std::size_t sizes[2] = {sizeof(header), payload.size()};
+  for (int part = 0; part < 2; ++part) {
+    const std::byte* data = chunks[part];
+    std::size_t remaining = sizes[part];
+    while (remaining > 0) {
+      const ssize_t written = ::write(write_fd_, data, remaining);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        throw_errno(IpcErrorKind::SysError, "write");
+      }
+      data += written;
+      remaining -= static_cast<std::size_t>(written);
+    }
+  }
+}
+
+void IpcChannel::read_exact(std::byte* out, std::size_t size,
+                            std::int64_t deadline_ns, bool header) {
+  std::size_t have = 0;
+  while (have < size) {
+    wait_readable(read_fd_, deadline_ns);
+    const ssize_t got = ::read(read_fd_, out + have, size - have);
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      throw_errno(IpcErrorKind::SysError, "read");
+    }
+    if (got == 0) {
+      if (header && have == 0) {
+        throw IpcError(IpcErrorKind::Eof, "peer closed the channel");
+      }
+      throw IpcError(IpcErrorKind::TruncatedFrame,
+                     "EOF after " + std::to_string(have) + " of " +
+                         std::to_string(size) + " bytes" +
+                         (header ? " of the frame header" : " of the payload"));
+    }
+    have += static_cast<std::size_t>(got);
+  }
+}
+
+IpcFrame IpcChannel::recv(double timeout_s) {
+  if (read_fd_ < 0) {
+    throw IpcError(IpcErrorKind::SysError, "recv on a write-only channel");
+  }
+  const std::int64_t deadline_ns =
+      timeout_s < 0.0
+          ? -1
+          : monotonic_ns() + static_cast<std::int64_t>(timeout_s * 1e9);
+  FrameHeader header;
+  read_exact(reinterpret_cast<std::byte*>(&header), sizeof(header),
+             deadline_ns, /*header=*/true);
+  if (header.magic != kFrameMagic) {
+    throw IpcError(IpcErrorKind::BadMagic,
+                   "frame header starts with unexpected bytes");
+  }
+  // Bound BEFORE the allocation: a corrupt length prefix must not drive
+  // the buffer size.
+  if (header.length > max_frame_bytes_) {
+    throw IpcError(IpcErrorKind::OversizedFrame,
+                   "length prefix claims " + std::to_string(header.length) +
+                       " bytes (max " + std::to_string(max_frame_bytes_) +
+                       ")");
+  }
+  IpcFrame frame;
+  frame.type = header.type;
+  frame.payload.resize(header.length);
+  if (header.length > 0) {
+    read_exact(frame.payload.data(), frame.payload.size(), deadline_ns,
+               /*header=*/false);
+  }
+  return frame;
+}
+
+IpcChannelPair make_ipc_channel_pair(std::uint32_t max_frame_bytes) {
+  int to_child[2];   // parent writes -> child stdin
+  int to_parent[2];  // child stdout -> parent reads
+  if (::pipe2(to_child, O_CLOEXEC) != 0) {
+    throw_errno(IpcErrorKind::SysError, "pipe2");
+  }
+  if (::pipe2(to_parent, O_CLOEXEC) != 0) {
+    const int err = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    errno = err;
+    throw_errno(IpcErrorKind::SysError, "pipe2");
+  }
+  IpcChannelPair pair;
+  pair.parent = IpcChannel(to_parent[0], to_child[1], max_frame_bytes);
+  pair.child_read_fd = to_child[0];
+  pair.child_write_fd = to_parent[1];
+  return pair;
+}
+
+}  // namespace knnpc

@@ -1,0 +1,156 @@
+// Length-prefixed binary framing over POSIX pipes — the persistent-worker
+// command channel (core/shard_driver.h, ShardWorkerMode::Persistent).
+//
+// The driver keeps S worker processes alive across iterations and drives
+// them through a strict request/reply protocol: every message is one
+// frame, every frame is
+//
+//   u32 magic "KIPC" | u32 type | u32 payload length | payload bytes
+//
+// on a byte pipe. This header owns exactly the framing problems pipes
+// create — short reads and writes straddling the pipe buffer, EOF in the
+// middle of a frame, garbage where a header should be, a peer that stops
+// responding — and turns every one of them into a *typed* error
+// (IpcError) instead of a hang, a partial read or undefined behaviour.
+// ipc_channel_test is the protocol-conformance suite: malformed input of
+// any shape must produce an IpcError, never a hang or UB.
+//
+// Nothing here knows about shards or waves; the command vocabulary lives
+// with the shard driver.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace knnpc {
+
+/// Why an IPC operation failed. Conformance tests assert on the kind, so
+/// callers can distinguish "peer exited cleanly" (Eof at a frame
+/// boundary) from "peer died mid-message" (TruncatedFrame) from "peer is
+/// wedged" (Timeout).
+enum class IpcErrorKind {
+  /// Clean EOF exactly between frames — the peer closed its write end.
+  Eof,
+  /// EOF after a partial header or partial payload.
+  TruncatedFrame,
+  /// The 4 bytes where "KIPC" belongs hold something else.
+  BadMagic,
+  /// The length prefix exceeds the channel's max_frame_bytes bound. The
+  /// payload is never allocated, so a corrupt length cannot drive a
+  /// multi-gigabyte allocation.
+  OversizedFrame,
+  /// The deadline passed before a complete frame arrived.
+  Timeout,
+  /// An underlying syscall failed (errno text in the message).
+  SysError,
+};
+
+/// Human-readable kind name ("eof", "truncated-frame", ...).
+const char* ipc_error_kind_name(IpcErrorKind kind) noexcept;
+
+class IpcError : public std::runtime_error {
+ public:
+  IpcError(IpcErrorKind kind, const std::string& what)
+      : std::runtime_error(std::string(ipc_error_kind_name(kind)) + ": " +
+                           what),
+        kind_(kind) {}
+
+  [[nodiscard]] IpcErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  IpcErrorKind kind_;
+};
+
+/// One decoded frame.
+struct IpcFrame {
+  std::uint32_t type = 0;
+  std::vector<std::byte> payload;
+};
+
+/// One end of a bidirectional framed channel over two pipe fds.
+///
+/// Thread-safety: single-owner — send()/recv() must not be called
+/// concurrently on the same instance. Distinct channels are independent
+/// (the shard driver owns one per worker).
+///
+/// Ownership: the channel owns both fds and closes them on destruction.
+/// Construction ignores SIGPIPE process-wide (once): a peer that died
+/// must surface as an EPIPE SysError from send(), not kill the driver.
+class IpcChannel {
+ public:
+  /// Default bound on a single frame's payload. Generous — a ShardResult
+  /// for tens of millions of users fits — while still rejecting a corrupt
+  /// length prefix long before it can drive an absurd allocation.
+  static constexpr std::uint32_t kDefaultMaxFrameBytes = 1u << 30;
+
+  IpcChannel() = default;
+  /// Takes ownership of `read_fd` and `write_fd` (either may be -1 for a
+  /// half-open channel; using the missing direction throws SysError).
+  IpcChannel(int read_fd, int write_fd,
+             std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  IpcChannel(IpcChannel&& other) noexcept;
+  IpcChannel& operator=(IpcChannel&& other) noexcept;
+  IpcChannel(const IpcChannel&) = delete;
+  IpcChannel& operator=(const IpcChannel&) = delete;
+  ~IpcChannel();
+
+  [[nodiscard]] bool valid() const noexcept {
+    return read_fd_ >= 0 || write_fd_ >= 0;
+  }
+  [[nodiscard]] int read_fd() const noexcept { return read_fd_; }
+  [[nodiscard]] int write_fd() const noexcept { return write_fd_; }
+
+  /// Writes one complete frame, looping over short writes and EINTR (a
+  /// payload larger than the pipe buffer takes several write() calls).
+  /// Throws IpcError{SysError} on write failure — including EPIPE when
+  /// the peer is gone — and IpcError{OversizedFrame} when the payload
+  /// exceeds max_frame_bytes (the peer would be required to reject it).
+  void send(std::uint32_t type, std::span<const std::byte> payload);
+
+  /// Reads one complete frame. `timeout_s` < 0 blocks forever; otherwise
+  /// the whole frame (header and payload) must arrive before the
+  /// deadline or IpcError{Timeout} is thrown — the caller decides whether
+  /// that means a wedged peer. All malformed-input cases throw the typed
+  /// errors documented on IpcErrorKind; none of them hang, over-read or
+  /// allocate from an untrusted length.
+  IpcFrame recv(double timeout_s = -1.0);
+
+  /// Closes one direction early (recv on the peer then sees clean Eof).
+  void close_read() noexcept;
+  void close_write() noexcept;
+
+ private:
+  /// Reads exactly `size` bytes before `deadline_ns` (monotonic; -1 =
+  /// none). `header_done` selects the truncation kind for a mid-buffer
+  /// EOF; an EOF with zero bytes read of the *header* is a clean Eof.
+  void read_exact(std::byte* out, std::size_t size, std::int64_t deadline_ns,
+                  bool header);
+
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+  std::uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+/// A connected pair of unidirectional pipes wrapped as the two ends of a
+/// parent/child channel: the parent keeps `parent`, the child ends are
+/// passed as the child's stdin/stdout (util/subprocess's stdio wiring).
+/// All four fds are O_CLOEXEC so unrelated children never inherit them;
+/// dup2() onto fd 0/1 in the spawned child clears the flag on the copies.
+struct IpcChannelPair {
+  IpcChannel parent;
+  /// Child's read end (its stdin) and write end (its stdout). The
+  /// Subprocess stdio constructor closes them in the parent after fork.
+  int child_read_fd = -1;
+  int child_write_fd = -1;
+};
+
+/// Creates the two pipes. Throws IpcError{SysError} when pipe2 fails.
+IpcChannelPair make_ipc_channel_pair(
+    std::uint32_t max_frame_bytes = IpcChannel::kDefaultMaxFrameBytes);
+
+}  // namespace knnpc

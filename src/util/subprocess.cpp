@@ -33,7 +33,21 @@ std::string SubprocessStatus::describe() const {
 }
 
 Subprocess::Subprocess(std::vector<std::string> argv)
+    : Subprocess(std::move(argv), -1, -1) {}
+
+Subprocess::Subprocess(std::vector<std::string> argv, int child_stdin_fd,
+                       int child_stdout_fd)
     : argv_(std::move(argv)) {
+  // The child fds are owned by this constructor: close them in the parent
+  // on every exit path (the child's dup2 copies survive the close).
+  struct FdGuard {
+    int fds[2];
+    ~FdGuard() {
+      for (const int fd : fds) {
+        if (fd >= 0) ::close(fd);
+      }
+    }
+  } guard{{child_stdin_fd, child_stdout_fd}};
   if (argv_.empty()) {
     throw std::invalid_argument("Subprocess: empty argv");
   }
@@ -72,6 +86,29 @@ Subprocess::Subprocess(std::vector<std::string> argv)
     ::setpgid(0, 0);
     ::prctl(PR_SET_PDEATHSIG, SIGKILL);
     if (::getppid() != parent) _exit(127);  // parent died before prctl
+    // Stdio wiring: dup2 clears O_CLOEXEC on the fd-0/1 copies, so pipe
+    // ends created CLOEXEC (never leaked to unrelated children) still
+    // survive the exec here. If a pipe end itself landed on fd 0-2 (the
+    // parent ran with a std stream closed), lift it above 2 first:
+    // dup2(fd, fd) would be a no-op that leaves O_CLOEXEC set, and the
+    // stdin dup2 could clobber a stdout fd sitting at 0/1. F_DUPFD_CLOEXEC
+    // keeps the lifted copy from leaking past exec (async-signal-safe).
+    int stdin_src = child_stdin_fd;
+    int stdout_src = child_stdout_fd;
+    if (stdin_src >= 0 && stdin_src <= 2) {
+      stdin_src = ::fcntl(stdin_src, F_DUPFD_CLOEXEC, 3);
+      if (stdin_src < 0) _exit(127);
+    }
+    if (stdout_src >= 0 && stdout_src <= 2) {
+      stdout_src = ::fcntl(stdout_src, F_DUPFD_CLOEXEC, 3);
+      if (stdout_src < 0) _exit(127);
+    }
+    if (stdin_src >= 0 && ::dup2(stdin_src, STDIN_FILENO) < 0) {
+      _exit(127);
+    }
+    if (stdout_src >= 0 && ::dup2(stdout_src, STDOUT_FILENO) < 0) {
+      _exit(127);
+    }
     ::execv(cargv[0], cargv.data());
     const int err = errno;
     [[maybe_unused]] const ssize_t written =

@@ -60,6 +60,15 @@ class Subprocess {
   /// executable does not exist).
   explicit Subprocess(std::vector<std::string> argv);
 
+  /// Same, with the child's stdin/stdout redirected: `child_stdin_fd` is
+  /// dup2()'d onto fd 0 and `child_stdout_fd` onto fd 1 before exec (-1
+  /// leaves that stream inherited). Both fds are owned by this call and
+  /// closed in the parent on every path — pass the child ends of pipes
+  /// (e.g. IpcChannelPair's) and keep the parent ends. stderr is always
+  /// inherited so worker diagnostics reach the supervisor's log.
+  Subprocess(std::vector<std::string> argv, int child_stdin_fd,
+             int child_stdout_fd);
+
   Subprocess(Subprocess&& other) noexcept;
   Subprocess& operator=(Subprocess&& other) noexcept;
   Subprocess(const Subprocess&) = delete;

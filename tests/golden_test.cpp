@@ -19,10 +19,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/churn.h"
 #include "core/engine.h"
 #include "core/shard_driver.h"
 #include "graph/knn_graph_io.h"
@@ -108,9 +110,52 @@ EngineConfig golden_config(const GoldenRow& row) {
   return config;
 }
 
+/// Rows named "churn-*" run under a scripted multi-iteration profile
+/// churn (core/churn.h) whose generator mirrors golden_profiles — the
+/// dynamic-profiles regime persistent workers exist for. The driver's
+/// knobs here are part of the pinned contract, like the generator's.
+bool is_churn_row(const GoldenRow& row) {
+  return row.name.find("churn") != std::string::npos;
+}
+
+ChurnConfig golden_churn_config(const GoldenRow& row) {
+  ChurnConfig churn;
+  churn.generator.base.num_users = row.users;
+  churn.generator.base.num_items = row.items;
+  churn.generator.base.min_items = 15;
+  churn.generator.base.max_items = 25;
+  churn.generator.num_clusters = row.clusters;
+  churn.generator.in_cluster_prob = 0.9;
+  churn.seed = 1007;
+  return churn;
+}
+
 std::uint64_t run_serial(const GoldenRow& row) {
   KnnEngine engine(golden_config(row), golden_profiles(row));
-  for (std::uint32_t i = 0; i < row.iters; ++i) engine.run_iteration();
+  std::optional<ChurnDriver> churn;
+  if (is_churn_row(row)) churn.emplace(golden_churn_config(row));
+  for (std::uint32_t i = 0; i < row.iters; ++i) {
+    if (churn) churn->tick(engine);
+    engine.run_iteration();
+  }
+  return knn_graph_checksum(engine.graph());
+}
+
+/// The same row through a sharded engine in any worker mode.
+std::uint64_t run_sharded(const GoldenRow& row, std::uint32_t shards,
+                          ShardWorkerMode mode) {
+  ShardConfig shard_config;
+  shard_config.shards = shards;
+  shard_config.worker_mode = mode;
+  shard_config.worker_timeout_s = 120.0;
+  ShardedKnnEngine engine(golden_config(row), shard_config,
+                          golden_profiles(row));
+  std::optional<ChurnDriver> churn;
+  if (is_churn_row(row)) churn.emplace(golden_churn_config(row));
+  for (std::uint32_t i = 0; i < row.iters; ++i) {
+    if (churn) churn->tick(engine.update_queue(), row.users);
+    engine.run_iteration();
+  }
   return knn_graph_checksum(engine.graph());
 }
 
@@ -166,23 +211,58 @@ TEST(GoldenTest, EveryExecutionModeReproducesTheGoldenGraph) {
     EXPECT_EQ(hex(knn_graph_checksum(engine.graph())), hex(row.checksum))
         << "thread-pool execution drifted from the golden graph";
   }
-  {
-    ShardConfig shard_config;
-    shard_config.shards = 3;
-    ShardedKnnEngine engine(config, shard_config, golden_profiles(row));
-    for (std::uint32_t i = 0; i < row.iters; ++i) engine.run_iteration();
-    EXPECT_EQ(hex(knn_graph_checksum(engine.graph())), hex(row.checksum))
-        << "thread-mode sharded execution drifted from the golden graph";
+  EXPECT_EQ(hex(run_sharded(row, 3, ShardWorkerMode::Thread)),
+            hex(row.checksum))
+      << "thread-mode sharded execution drifted from the golden graph";
+  EXPECT_EQ(hex(run_sharded(row, 2, ShardWorkerMode::Process)),
+            hex(row.checksum))
+      << "process-mode sharded execution drifted from the golden graph";
+  EXPECT_EQ(hex(run_sharded(row, 3, ShardWorkerMode::Persistent)),
+            hex(row.checksum))
+      << "persistent-mode sharded execution drifted from the golden graph";
+}
+
+TEST(GoldenTest, ChurnWorkloadReplaysThroughEveryMode) {
+  // The multi-iteration churn row exercises the regime the persistent
+  // workers were built for: every mode must land on the pinned checksum
+  // after >= 5 iterations of profile updates, and persistent mode must do
+  // so for several shard counts (its delta-sync path differs per S).
+  const std::vector<GoldenRow> rows = load_rows();
+  ASSERT_FALSE(rows.empty());
+  if (std::getenv("KNNPC_UPDATE_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "corpus being regenerated; modes covered on rerun";
   }
+  const GoldenRow* churn_row = nullptr;
+  for (const GoldenRow& row : rows) {
+    if (is_churn_row(row)) churn_row = &row;
+  }
+  ASSERT_NE(churn_row, nullptr) << "golden corpus lost its churn row";
+  const GoldenRow& row = *churn_row;
+  ASSERT_GE(row.iters, 5u);
+
   {
-    ShardConfig shard_config;
-    shard_config.shards = 2;
-    shard_config.worker_mode = ShardWorkerMode::Process;
-    shard_config.worker_timeout_s = 120.0;
-    ShardedKnnEngine engine(config, shard_config, golden_profiles(row));
-    for (std::uint32_t i = 0; i < row.iters; ++i) engine.run_iteration();
+    EngineConfig threaded = golden_config(row);
+    threaded.threads = 2;
+    KnnEngine engine(threaded, golden_profiles(row));
+    ChurnDriver churn(golden_churn_config(row));
+    for (std::uint32_t i = 0; i < row.iters; ++i) {
+      churn.tick(engine);
+      engine.run_iteration();
+    }
     EXPECT_EQ(hex(knn_graph_checksum(engine.graph())), hex(row.checksum))
-        << "process-mode sharded execution drifted from the golden graph";
+        << "thread-pool execution drifted on the churn workload";
+  }
+  EXPECT_EQ(hex(run_sharded(row, 3, ShardWorkerMode::Thread)),
+            hex(row.checksum))
+      << "thread-mode sharding drifted on the churn workload";
+  EXPECT_EQ(hex(run_sharded(row, 2, ShardWorkerMode::Process)),
+            hex(row.checksum))
+      << "process-mode sharding drifted on the churn workload";
+  for (const std::uint32_t shards : {1u, 2u, 3u, 5u}) {
+    EXPECT_EQ(hex(run_sharded(row, shards, ShardWorkerMode::Persistent)),
+              hex(row.checksum))
+        << "persistent-mode sharding drifted on the churn workload at S="
+        << shards;
   }
 }
 

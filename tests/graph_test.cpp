@@ -1,16 +1,20 @@
-// Tests for graph/: edge lists, CSR digraph, KNN graph, SNAP I/O, degree
-// stats.
+// Tests for graph/: edge lists, CSR digraph, KNN graph, KNN-graph deltas,
+// SNAP I/O, degree stats.
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "graph/degree_stats.h"
 #include "graph/digraph.h"
 #include "graph/edge_list.h"
 #include "graph/generators.h"
 #include "graph/knn_graph.h"
+#include "graph/knn_graph_delta.h"
+#include "graph/knn_graph_io.h"
 #include "graph/snap_io.h"
 #include "util/rng.h"
+#include "util/serde.h"
 
 namespace knnpc {
 namespace {
@@ -264,6 +268,159 @@ TEST(DegreeStatsTest, SummaryOnStar) {
   EXPECT_EQ(s.num_edges, 20u);
   EXPECT_EQ(s.max_total_degree, 20u);  // hub: 10 out + 10 in
   EXPECT_GT(s.degree_gini, 0.4);       // extremely skewed
+}
+
+// -------------------------------------------------------- KNN-graph delta --
+
+/// Random row churn: replaces `changes` random rows of `graph` with fresh
+/// random neighbour lists (the shape of what one engine iteration does).
+void churn_rows(KnnGraph& graph, std::uint32_t changes, Rng& rng) {
+  const VertexId n = graph.num_vertices();
+  for (std::uint32_t c = 0; c < changes; ++c) {
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    std::vector<Neighbor> list;
+    for (std::uint32_t j = 0; j < graph.k(); ++j) {
+      auto d = static_cast<VertexId>(rng.next_below(n));
+      if (d == v) continue;
+      list.push_back({d, static_cast<float>(rng.next_double())});
+    }
+    graph.set_neighbors(v, std::move(list));
+  }
+}
+
+TEST(KnnGraphDeltaTest, ApplyOfDeltaReproducesTheTargetOnChurnedGraphs) {
+  Rng rng(404);
+  for (int round = 0; round < 10; ++round) {
+    const VertexId n = 40 + static_cast<VertexId>(rng.next_below(80));
+    const std::uint32_t k = 3 + static_cast<std::uint32_t>(rng.next_below(5));
+    const KnnGraph a = random_knn_graph(n, k, rng);
+    KnnGraph b = a;
+    churn_rows(b, 1 + static_cast<std::uint32_t>(rng.next_below(n)), rng);
+
+    const KnnGraphDelta delta = knn_graph_delta(a, b);
+    KnnGraph patched = a;
+    apply_knn_graph_delta(patched, delta);
+    EXPECT_EQ(knn_graph_checksum(patched), knn_graph_checksum(b))
+        << "round " << round << " (n=" << n << ", k=" << k << ")";
+    // And through the wire format.
+    const KnnGraphDelta decoded =
+        knn_graph_delta_from_bytes(knn_graph_delta_to_bytes(delta));
+    KnnGraph rewired = a;
+    apply_knn_graph_delta(rewired, decoded);
+    EXPECT_EQ(knn_graph_checksum(rewired), knn_graph_checksum(b));
+  }
+}
+
+TEST(KnnGraphDeltaTest, EmptyDeltaFastPath) {
+  Rng rng(405);
+  const KnnGraph a = random_knn_graph(50, 4, rng);
+  const KnnGraphDelta delta = knn_graph_delta(a, a);
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.rows.size(), 0u);
+
+  KnnGraph patched = a;
+  apply_knn_graph_delta(patched, delta);
+  EXPECT_EQ(knn_graph_checksum(patched), knn_graph_checksum(a));
+
+  // An empty delta's wire form is just the fixed header + checksum.
+  const auto bytes = knn_graph_delta_to_bytes(delta);
+  EXPECT_EQ(bytes.size(), 20u + 8u);
+  EXPECT_TRUE(knn_graph_delta_from_bytes(bytes).empty());
+}
+
+TEST(KnnGraphDeltaTest, FullDeltaResyncsFromAnyBase) {
+  Rng rng(406);
+  const KnnGraph target = random_knn_graph(60, 5, rng);
+  const KnnGraphDelta full = full_knn_graph_delta(target);
+  EXPECT_EQ(full.rows.size(), 60u);
+
+  KnnGraph from_empty(60, 5);
+  apply_knn_graph_delta(from_empty, full);
+  EXPECT_EQ(knn_graph_checksum(from_empty), knn_graph_checksum(target));
+
+  KnnGraph from_other = random_knn_graph(60, 5, rng);
+  apply_knn_graph_delta(from_other, full);
+  EXPECT_EQ(knn_graph_checksum(from_other), knn_graph_checksum(target));
+}
+
+TEST(KnnGraphDeltaTest, SerializationIsChecksumStable) {
+  Rng rng(407);
+  const KnnGraph a = random_knn_graph(70, 4, rng);
+  KnnGraph b = a;
+  churn_rows(b, 20, rng);
+  const KnnGraphDelta delta = knn_graph_delta(a, b);
+
+  const auto once = knn_graph_delta_to_bytes(delta);
+  const auto twice = knn_graph_delta_to_bytes(delta);
+  EXPECT_EQ(once, twice);
+
+  const KnnGraphDelta decoded = knn_graph_delta_from_bytes(once);
+  EXPECT_EQ(knn_graph_delta_to_bytes(decoded), once);
+  EXPECT_EQ(knn_graph_delta_checksum(decoded),
+            knn_graph_delta_checksum(delta));
+}
+
+TEST(KnnGraphDeltaTest, RejectsCorruptBytes) {
+  Rng rng(408);
+  const KnnGraph a = random_knn_graph(30, 3, rng);
+  KnnGraph b = a;
+  churn_rows(b, 10, rng);
+  auto bytes = knn_graph_delta_to_bytes(knn_graph_delta(a, b));
+
+  EXPECT_THROW((void)knn_graph_delta_from_bytes({}), std::runtime_error);
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 5);
+  EXPECT_THROW((void)knn_graph_delta_from_bytes(truncated),
+               std::runtime_error);
+
+  auto bad_magic = bytes;
+  bad_magic[0] = std::byte{'X'};
+  EXPECT_THROW((void)knn_graph_delta_from_bytes(bad_magic),
+               std::runtime_error);
+
+  // A flipped payload byte must trip the trailing checksum.
+  auto flipped = bytes;
+  flipped[bytes.size() / 2] ^= std::byte{0x01};
+  EXPECT_THROW((void)knn_graph_delta_from_bytes(flipped),
+               std::runtime_error);
+}
+
+TEST(KnnGraphDeltaTest, CorruptCountsCannotDriveHugeAllocations) {
+  // A hand-forged header claiming k ~= 2^32 and a row with a neighbour
+  // count just under it passes the count<=k check; the parser must still
+  // reject it from the byte budget BEFORE reserving — a typed error, not
+  // a 34 GB allocation.
+  std::vector<std::byte> evil;
+  for (const char c : {'K', 'D', 'L', 'T'}) append_record(evil, c);
+  append_record(evil, std::uint32_t{1});           // version
+  append_record(evil, std::uint32_t{10});          // n
+  append_record(evil, std::uint32_t{0xfffffff0});  // k (corrupt)
+  append_record(evil, std::uint32_t{1});           // rows
+  append_record(evil, std::uint32_t{0});           // row vertex
+  append_record(evil, std::uint32_t{0xffffffe0});  // neighbour count
+  append_record(evil, std::uint64_t{0});           // bogus checksum
+  try {
+    (void)knn_graph_delta_from_bytes(evil);
+    FAIL() << "forged delta parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("count exceeds input size"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(KnnGraphDeltaTest, RejectsShapeMismatches) {
+  Rng rng(409);
+  const KnnGraph a = random_knn_graph(20, 3, rng);
+  const KnnGraph wrong_n = random_knn_graph(21, 3, rng);
+  const KnnGraph wrong_k = random_knn_graph(20, 4, rng);
+  EXPECT_THROW((void)knn_graph_delta(a, wrong_n), std::invalid_argument);
+  EXPECT_THROW((void)knn_graph_delta(a, wrong_k), std::invalid_argument);
+
+  KnnGraph target = wrong_n;
+  EXPECT_THROW(apply_knn_graph_delta(target, full_knn_graph_delta(a)),
+               std::invalid_argument);
 }
 
 TEST(DegreeStatsTest, RegularGraphHasZeroGini) {

@@ -1,11 +1,13 @@
-// Tests for process-mode shard execution (core/shard_driver with
-// ShardWorkerMode::Process): the determinism contract across execution
-// modes — serial engine vs thread-mode vs process-mode, bit-identical for
-// any shard count — plus the fault-injection harness proving the driver's
-// supervision contract: a killed, non-zero-exiting or wedged worker is
-// deterministically re-executed once; a second failure fails the run with
-// a per-worker diagnostic; the driver never hangs and never merges a
-// failed worker's partial spools.
+// Tests for process-mode AND persistent-mode shard execution
+// (core/shard_driver with ShardWorkerMode::Process / Persistent): the
+// determinism contract across execution modes — serial engine vs
+// thread-mode vs process-mode vs persistent workers, bit-identical for
+// any shard count — plus the fault-injection harness proving both
+// supervision contracts: a killed, non-zero-exiting or wedged worker is
+// deterministically re-executed (process mode) or respawned with a
+// full-snapshot resync (persistent mode) exactly once; a second failure
+// fails the run with a per-worker diagnostic; the driver never hangs and
+// never merges a failed worker's partial output.
 //
 // This binary is re-executed by the driver as its own shard workers, so
 // it carries a custom main() that dispatches the hidden --shard-worker
@@ -17,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/churn.h"
 #include "core/engine.h"
 #include "core/shard_driver.h"
 #include "core/stats_io.h"
@@ -282,6 +285,230 @@ TEST(ShardFaultTest, RecoveredRunKeepsIteratingNormally) {
   EXPECT_EQ(knn_graph_checksum(processed.graph()), serial[1]);
 }
 
+// --------------------------------------------------- persistent workers --
+// Persistent mode re-runs the same contracts over a genuinely
+// multi-iteration, profile-churning workload: that is the regime the
+// long-lived workers (and their G(t) delta sync) exist for, and it makes
+// iteration-targeted fault injection meaningful (kill a worker that has
+// already served iterations, prove the respawn + full resync replays the
+// wave bit-identically).
+
+ShardConfig persistent_config(std::uint32_t shards,
+                              double timeout_s = 120.0) {
+  ShardConfig shard_config;
+  shard_config.shards = shards;
+  shard_config.worker_mode = ShardWorkerMode::Persistent;
+  shard_config.worker_timeout_s = timeout_s;
+  return shard_config;
+}
+
+/// Churn matching the clustered() workload generator, so drift targets
+/// land in real clusters. Same config => same update stream, whichever
+/// engine consumes it.
+ChurnConfig churn_config(VertexId n, std::uint32_t clusters) {
+  ChurnConfig churn;
+  churn.generator.base.num_users = n;
+  churn.generator.base.num_items = 400;
+  churn.generator.base.min_items = 15;
+  churn.generator.base.max_items = 25;
+  churn.generator.num_clusters = clusters;
+  churn.generator.in_cluster_prob = 0.9;
+  churn.seed = 2024;
+  return churn;
+}
+
+std::vector<std::uint64_t> serial_churn_checksums(const EngineConfig& config,
+                                                  VertexId n,
+                                                  std::uint32_t clusters,
+                                                  std::uint32_t iters) {
+  std::vector<std::uint64_t> out;
+  KnnEngine engine(config, clustered(n, clusters));
+  ChurnDriver churn(churn_config(n, clusters));
+  for (std::uint32_t i = 0; i < iters; ++i) {
+    churn.tick(engine);
+    engine.run_iteration();
+    out.push_back(knn_graph_checksum(engine.graph()));
+  }
+  return out;
+}
+
+/// Runs `iters` churned iterations through a persistent-mode sharded
+/// engine, asserting each iteration's checksum against the serial
+/// reference; returns the final iteration's stats for counter checks.
+ShardedIterationStats run_persistent_churn(
+    ShardedKnnEngine& engine, VertexId n, std::uint32_t clusters,
+    const std::vector<std::uint64_t>& serial) {
+  ChurnDriver churn(churn_config(n, clusters));
+  ShardedIterationStats last;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    churn.tick(engine.update_queue(), n);
+    last = engine.run_iteration();
+    EXPECT_EQ(knn_graph_checksum(engine.graph()), serial[i])
+        << "persistent mode diverged at iteration " << i;
+  }
+  return last;
+}
+
+class PersistentShardCountTest
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PersistentShardCountTest, ChurnWorkloadBitIdenticalToSerial) {
+  const EngineConfig config = base_config();
+  const std::vector<std::uint64_t> serial =
+      serial_churn_checksums(config, 80, 4, 5);
+
+  ShardedKnnEngine engine(config, persistent_config(GetParam()),
+                          clustered(80, 4));
+  EXPECT_EQ(engine.num_shards(), GetParam());
+  const ShardedIterationStats last =
+      run_persistent_churn(engine, 80, 4, serial);
+  // One spawn per worker for the whole 5-iteration run — the amortisation
+  // process mode cannot offer — and no resyncs without faults.
+  ASSERT_EQ(last.workers.size(), GetParam());
+  for (const ShardWorkerStats& w : last.workers) {
+    EXPECT_EQ(w.spawn_count, 1u) << "shard " << w.shard;
+    EXPECT_EQ(w.resync_count, 0u) << "shard " << w.shard;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, PersistentShardCountTest,
+                         ::testing::Values(1u, 2u, 3u, 5u));
+
+TEST(PersistentShardTest, MergedCountersMatchThreadMode) {
+  const EngineConfig config = base_config();
+  ShardConfig thread_config;
+  thread_config.shards = 3;
+  ShardedKnnEngine threaded(config, thread_config, clustered(80, 4));
+  ShardedKnnEngine persistent(config, persistent_config(3),
+                              clustered(80, 4));
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const ShardedIterationStats a = threaded.run_iteration();
+    const ShardedIterationStats b = persistent.run_iteration();
+    EXPECT_EQ(b.merged.candidate_tuples, a.merged.candidate_tuples);
+    EXPECT_EQ(b.merged.unique_tuples, a.merged.unique_tuples);
+    EXPECT_DOUBLE_EQ(b.merged.change_rate, a.merged.change_rate);
+    EXPECT_EQ(knn_graph_checksum(persistent.graph()),
+              knn_graph_checksum(threaded.graph()));
+  }
+}
+
+TEST(PersistentShardTest, SpillScoresPathBitIdentical) {
+  EngineConfig config = base_config();
+  config.spill_scores = true;
+  const std::vector<std::uint64_t> serial =
+      serial_churn_checksums(config, 80, 4, 3);
+  ShardedKnnEngine engine(config, persistent_config(3), clustered(80, 4));
+  run_persistent_churn(engine, 80, 4, serial);
+}
+
+// ------------------------------------- persistent-mode fault injection --
+
+TEST(PersistentFaultTest, ConsumerKilledMidIterationRespawnsAndResyncs) {
+  const EngineConfig config = base_config();
+  const std::vector<std::uint64_t> serial =
+      serial_churn_checksums(config, 80, 4, 5);
+
+  // Kill worker 1 inside the consume wave of iteration 2, attempt 0: the
+  // worker has served two full iterations, so the respawned process
+  // starts from nothing and must be resynced with the full G(t) snapshot
+  // before the wave replays.
+  FaultGuard fault("consume:1:kill:0:2");
+  ShardedKnnEngine engine(config, persistent_config(3), clustered(80, 4));
+  const ShardedIterationStats last =
+      run_persistent_churn(engine, 80, 4, serial);
+
+  ASSERT_EQ(last.workers.size(), 3u);
+  EXPECT_EQ(last.workers[1].spawn_count, 2u);
+  EXPECT_EQ(last.workers[1].resync_count, 1u);
+  EXPECT_EQ(last.workers[0].spawn_count, 1u);
+  EXPECT_EQ(last.workers[2].spawn_count, 1u);
+}
+
+TEST(PersistentFaultTest, ProducerExitMidIterationRecovers) {
+  EngineConfig config = base_config();
+  // Tiny buffers: the dead attempt leaves genuinely partial spool files
+  // the respawned worker must replace, not append to.
+  config.shard_buffer_bytes = 64;
+  const std::vector<std::uint64_t> serial =
+      serial_churn_checksums(config, 80, 4, 4);
+
+  FaultGuard fault("produce:2:exit:0:1");
+  ShardedKnnEngine engine(config, persistent_config(3), clustered(80, 4));
+  const ShardedIterationStats last =
+      run_persistent_churn(engine, 80, 4, serial);
+  EXPECT_EQ(last.workers[2].spawn_count, 2u);
+  EXPECT_EQ(last.workers[2].resync_count, 1u);
+}
+
+TEST(PersistentFaultTest, WedgedWorkerHitsCommandDeadlineAndRecovers) {
+  const EngineConfig config = base_config();
+  const std::vector<std::uint64_t> serial =
+      serial_churn_checksums(config, 60, 3, 3);
+
+  FaultGuard fault("consume:0:wedge:0:1");
+  ShardedKnnEngine engine(config,
+                          persistent_config(2, /*timeout_s=*/2.0),
+                          clustered(60, 3));
+  const ShardedIterationStats last =
+      run_persistent_churn(engine, 60, 3, serial);  // must not hang
+  EXPECT_EQ(last.workers[0].spawn_count, 2u);
+}
+
+TEST(PersistentFaultTest, SecondFailureThrowsDiagnosticAndLeavesGraph) {
+  const EngineConfig config = base_config();
+  const std::vector<std::uint64_t> serial =
+      serial_churn_checksums(config, 80, 4, 2);
+
+  // Every attempt of iteration 1's produce wave dies: the respawned
+  // worker is killed again, which must fail the iteration with the
+  // two-attempt history and leave G(t) exactly as iteration 0 built it.
+  FaultGuard fault("produce:1:kill:*:1");
+  ShardedKnnEngine engine(config, persistent_config(3), clustered(80, 4));
+  ChurnDriver churn(churn_config(80, 4));
+  churn.tick(engine.update_queue(), 80);
+  engine.run_iteration();
+  EXPECT_EQ(knn_graph_checksum(engine.graph()), serial[0]);
+
+  churn.tick(engine.update_queue(), 80);
+  try {
+    engine.run_iteration();
+    FAIL() << "expected the produce wave to fail after one retry";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("produce wave failed after one retry"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("attempt 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("attempt 1"), std::string::npos) << what;
+  }
+  EXPECT_EQ(knn_graph_checksum(engine.graph()), serial[0]);
+}
+
+TEST(PersistentFaultTest, RunContinuesNormallyAfterRecovery) {
+  const EngineConfig config = base_config();
+  const std::vector<std::uint64_t> serial =
+      serial_churn_checksums(config, 80, 4, 4);
+  ShardedKnnEngine engine(config, persistent_config(3), clustered(80, 4));
+  ChurnDriver churn(churn_config(80, 4));
+  {
+    FaultGuard fault("consume:2:exit:0:1");
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      churn.tick(engine.update_queue(), 80);
+      engine.run_iteration();
+      EXPECT_EQ(knn_graph_checksum(engine.graph()), serial[i]);
+    }
+  }
+  // Fault cleared: the respawned worker keeps serving delta-synced
+  // iterations like nothing happened.
+  for (std::uint32_t i = 2; i < 4; ++i) {
+    churn.tick(engine.update_queue(), 80);
+    const ShardedIterationStats stats = engine.run_iteration();
+    EXPECT_EQ(knn_graph_checksum(engine.graph()), serial[i]);
+    EXPECT_EQ(stats.workers[2].spawn_count, 2u);
+  }
+}
+
 // ---------------------------------------- on-disk format round-trips --
 
 TEST(ShardResultIoTest, RoundTripsThroughDisk) {
@@ -341,6 +568,8 @@ TEST(WorkerStatsIoTest, SidecarRoundTrips) {
   stats.spooled_tuples = 456;
   stats.produce_s = 0.25;
   stats.consume_s = 0.5;
+  stats.spawn_count = 2;
+  stats.resync_count = 1;
   stats.stats.unique_tuples = 99;
   stats.stats.io.bytes_read = 1024;
   stats.stats.sampled_recall = 0.875;
@@ -352,6 +581,8 @@ TEST(WorkerStatsIoTest, SidecarRoundTrips) {
   EXPECT_EQ(loaded.users, 123u);
   EXPECT_EQ(loaded.spooled_tuples, 456u);
   EXPECT_DOUBLE_EQ(loaded.produce_s, 0.25);
+  EXPECT_EQ(loaded.spawn_count, 2u);
+  EXPECT_EQ(loaded.resync_count, 1u);
   EXPECT_EQ(loaded.stats.unique_tuples, 99u);
   EXPECT_EQ(loaded.stats.io.bytes_read, 1024u);
   ASSERT_TRUE(loaded.stats.sampled_recall.has_value());

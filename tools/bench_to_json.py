@@ -82,24 +82,34 @@ def summarize_threads(d, out):
 def summarize_shards(d, out):
     out.append(
         "### bench_shards — sharded-driver sweep "
-        f"(n={d.get('users')}, k={d.get('k')})")
+        f"(n={d.get('users')}, k={d.get('k')}, iters={d.get('iters')})")
     out.append("")
-    out.append("| shards | threads/shard | wall s | process wall s | cpu s "
-               "| speedup | max shard wall s | identical | proc identical |")
-    out.append("|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+    out.append("| shards | threads/shard | wall s | process wall s "
+               "| persistent wall s | cpu s | speedup | max shard wall s "
+               "| identical | proc identical | persistent identical |")
+    out.append("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+
+    def optional(row, key, fmt="{:.3f}"):
+        return fmt.format(row[key]) if key in row else "-"
+
+    def optional_flag(row, key):
+        if key not in row:
+            return "-"
+        return "yes" if row[key] else "**NO**"
+
     for row in d.get("results", []):
         max_wall = max(row.get("per_shard_wall_s", [0.0]) or [0.0])
         out.append(
             "| {shards} | {threads_per_shard} | {wall_s:.3f} "
-            "| {proc_wall} | {cpu_s:.3f} | {speedup:.2f}x | {max_wall:.3f} "
-            "| {ident} | {proc_ident} |".format(
+            "| {proc_wall} | {pers_wall} | {cpu_s:.3f} | {speedup:.2f}x "
+            "| {max_wall:.3f} | {ident} | {proc_ident} | {pers_ident} "
+            "|".format(
                 max_wall=max_wall,
                 ident="yes" if row.get("identical") else "**NO**",
-                proc_wall=("{:.3f}".format(row["process_wall_s"])
-                           if "process_wall_s" in row else "-"),
-                proc_ident=("-" if "process_identical" not in row
-                            else "yes" if row["process_identical"]
-                            else "**NO**"),
+                proc_wall=optional(row, "process_wall_s"),
+                pers_wall=optional(row, "persistent_wall_s"),
+                proc_ident=optional_flag(row, "process_identical"),
+                pers_ident=optional_flag(row, "persistent_identical"),
                 **row))
     out.append("")
 

@@ -8,6 +8,7 @@
 //             --partitioner=greedy --threads=8 --device=hdd --csv
 //   knnpc_run --users=50000 --shards=4 --checkpoint --workdir=/tmp/run
 //   knnpc_run --users=50000 --shards=4 --worker-mode=process
+//   knnpc_run --users=50000 --shards=4 --iters=10 --worker-mode=persistent
 //
 // With --csv the per-iteration table is machine-readable. --shards=S runs
 // the sharded driver (core/shard_driver.h); the KNN output is
@@ -15,6 +16,9 @@
 // makes that easy to verify). --worker-mode=process promotes the shard
 // workers from threads to supervised child processes (this same binary,
 // re-executed in the hidden --shard-worker role) — same checksum again.
+// --worker-mode=persistent keeps those processes alive across iterations
+// and drives them over pipes with per-iteration deltas, amortising the
+// spawn cost on multi-iteration runs — same checksum once more.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -65,10 +69,13 @@ int main(int argc, char** argv) {
                   "degree-range | greedy)",
                   "range");
   opts.add_string("worker-mode",
-                  "how shard workers execute (thread | process)", "thread");
+                  "how shard workers execute (thread | process | "
+                  "persistent)",
+                  "thread");
   opts.add_double("worker-timeout",
-                  "process mode: seconds one worker wave may run before "
-                  "it is killed and retried (<= 0 = no deadline)",
+                  "process/persistent modes: seconds one worker wave (or "
+                  "wave command) may run before the worker is killed and "
+                  "retried (<= 0 = no deadline)",
                   600.0);
   opts.add_uint("iters", "max iterations", 15);
   opts.add_double("delta", "convergence threshold on change rate", 0.01);

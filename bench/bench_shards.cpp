@@ -82,6 +82,16 @@ int main(int argc, char** argv) {
     /// framed commands with G(t) deltas. On multi-iteration runs this
     /// should beat process_wall_s — the amortisation the mode exists for.
     double persistent_wall_s = 0.0;
+    /// Persistent-mode round-trip accounting. round_trips is the MAX
+    /// heavy commands any worker saw in any one iteration — the fused
+    /// protocol's contract is exactly 1 on a clean run (the GO barrier
+    /// frame is payload-free and uncounted). profile_reads counts
+    /// partition-profile loads, which an edges-only persistent fleet
+    /// must keep at 0; the byte counters are run totals.
+    std::uint32_t persistent_round_trips = 0;
+    std::uint64_t persistent_bytes_tx = 0;
+    std::uint64_t persistent_bytes_rx = 0;
+    std::uint64_t persistent_profile_reads = 0;
     std::vector<double> shard_wall_s;
     std::uint64_t checksum = 0;
     std::uint64_t process_checksum = 0;
@@ -132,7 +142,14 @@ int main(int argc, char** argv) {
       ShardedKnnEngine driver(config, shard_config, pinned_profiles(n));
       Timer wall;
       for (std::uint32_t i = 0; i < iters; ++i) {
-        (void)driver.run_iteration();
+        const ShardedIterationStats s = driver.run_iteration();
+        for (const ShardWorkerStats& w : s.workers) {
+          row.persistent_round_trips =
+              std::max(row.persistent_round_trips, w.round_trips);
+          row.persistent_bytes_tx += w.bytes_tx;
+          row.persistent_bytes_rx += w.bytes_rx;
+          row.persistent_profile_reads += w.profile_reads;
+        }
       }
       row.persistent_wall_s = wall.elapsed_seconds();
       row.persistent_checksum = knn_graph_checksum(driver.graph());
@@ -175,7 +192,12 @@ int main(int argc, char** argv) {
                   "\"process_identical\":%s,"
                   "\"persistent_wall_s\":%.6f,"
                   "\"persistent_checksum\":\"%016llx\","
-                  "\"persistent_identical\":%s,\"per_shard_wall_s\":[",
+                  "\"persistent_identical\":%s,"
+                  "\"persistent_round_trips\":%u,"
+                  "\"persistent_bytes_tx\":%llu,"
+                  "\"persistent_bytes_rx\":%llu,"
+                  "\"persistent_profile_reads\":%llu,"
+                  "\"per_shard_wall_s\":[",
                   i == 0 ? "" : ",", row.shards, row.threads_per_shard,
                   row.wall_s, row.cpu_s, row.phase4_s,
                   baseline / row.wall_s,
@@ -185,7 +207,12 @@ int main(int argc, char** argv) {
                   row.process_identical ? "true" : "false",
                   row.persistent_wall_s,
                   static_cast<unsigned long long>(row.persistent_checksum),
-                  row.persistent_identical ? "true" : "false");
+                  row.persistent_identical ? "true" : "false",
+                  row.persistent_round_trips,
+                  static_cast<unsigned long long>(row.persistent_bytes_tx),
+                  static_cast<unsigned long long>(row.persistent_bytes_rx),
+                  static_cast<unsigned long long>(
+                      row.persistent_profile_reads));
       for (std::size_t s = 0; s < row.shard_wall_s.size(); ++s) {
         std::printf("%s%.6f", s == 0 ? "" : ",", row.shard_wall_s[s]);
       }
@@ -209,5 +236,19 @@ int main(int argc, char** argv) {
       std::all_of(rows.begin(), rows.end(), [](const Row& r) {
         return r.identical && r.process_identical && r.persistent_identical;
       });
-  return all_identical ? 0 : 1;
+  // The one-round-trip contract: a clean persistent run sends exactly one
+  // heavy command per worker per iteration (the GO barrier is payload-
+  // free) and, with an edges-only store, never reads a partition profile.
+  const bool round_trip_contract =
+      std::all_of(rows.begin(), rows.end(), [](const Row& r) {
+        return r.persistent_round_trips == 1 &&
+               r.persistent_profile_reads == 0;
+      });
+  if (!round_trip_contract) {
+    std::fprintf(stderr,
+                 "bench_shards: persistent round-trip contract violated "
+                 "(expected 1 heavy command per worker per iteration and "
+                 "0 partition-profile reads)\n");
+  }
+  return (all_identical && round_trip_contract) ? 0 : 1;
 }

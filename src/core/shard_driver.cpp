@@ -25,8 +25,10 @@
 #include "graph/knn_graph_io.h"
 #include "partition/cost.h"
 #include "partition/partitioner.h"
+#include "partition/pair_affinity.h"
 #include "pigraph/heuristics.h"
 #include "pigraph/pi_graph.h"
+#include "profiles/profile_delta.h"
 #include "staticgraph/sharded_graph.h"
 #include "storage/partition_store.h"
 #include "storage/shard_writer.h"
@@ -243,11 +245,18 @@ struct ConsumerOutput {
 /// Phases 2b-4, consumer wave for shard `c`: dedup the spooled tuples,
 /// build this shard's PI graph + schedule, stream the shared store, keep
 /// top-K for owned users, count changes against `prev` = G(t).
+///
+/// `local_profiles` non-null redirects profile lookups to that store and
+/// streams partitions edges-only (no .prof reads) — the persistent-worker
+/// path, where profiles arrive over the command channel as KPRD deltas.
+/// The values are identical either way, so the output graph is too.
 ConsumerOutput consume_candidates(const WaveContext& ctx, std::uint32_t c,
                                   std::span<const VertexId> members,
                                   const PartitionStore& store,
                                   const KnnGraph& prev, ThreadPool* pool,
-                                  IoAccountant* io, ShardWorkerStats& worker,
+                                  IoAccountant* io,
+                                  const ProfileStore* local_profiles,
+                                  ShardWorkerStats& worker,
                                   const std::function<void()>& mid_wave_hook) {
   const EngineConfig& config = ctx.config;
   const VertexId n = ctx.assignment.num_vertices();
@@ -327,7 +336,8 @@ ConsumerOutput consume_candidates(const WaveContext& ctx, std::uint32_t c,
                                sizeof(ScoredTuple)),
                            io);
     }
-    PartitionCache cache(store, config.memory_slots);
+    PartitionCache cache(store, config.memory_slots,
+                         /*edges_only=*/local_profiles != nullptr);
     std::vector<float> scores;
     for (PairIndex idx : schedule) {
       const PiPair& pair = pi.pair(idx);
@@ -336,6 +346,7 @@ ConsumerOutput consume_candidates(const WaveContext& ctx, std::uint32_t c,
       const PartitionData& pa = cache.get(pair.a);
       const PartitionData& pb = pair.b == pair.a ? pa : cache.get(pair.b);
       auto profile_of = [&](VertexId v) -> const SparseProfile& {
+        if (local_profiles != nullptr) return local_profiles->get(v);
         if (const SparseProfile* p = pa.profile_of(v)) return *p;
         if (const SparseProfile* p = pb.profile_of(v)) return *p;
         throw std::logic_error(
@@ -373,6 +384,10 @@ ConsumerOutput consume_candidates(const WaveContext& ctx, std::uint32_t c,
     cache.flush();
     stats.partition_loads = cache.loads();
     stats.partition_unloads = cache.unloads();
+    worker.partitions_touched = pi.touched_partitions();
+    // Each full-partition load reads a .prof file; edges-only streaming
+    // (the persistent path) never does.
+    worker.profile_reads = local_profiles != nullptr ? 0 : cache.loads();
 
     ScopedAccumulator merge_timing(&stats.knn_merge_s);
     if (score_writer) {
@@ -640,47 +655,69 @@ void supervise_wave(const WaveContext& ctx, const ShardConfig& shard_config,
 }
 
 // ---------------------------------------------- persistent-worker protocol --
-// Persistent mode spawns the S workers once and drives every wave of every
-// iteration over a framed pipe channel (util/ipc_channel.h). The frame
-// vocabulary and payload layouts below are the whole protocol; both sides
-// are by construction the same binary (like the plan file), so payloads
-// use the same serde records as the on-disk formats.
+// Persistent mode spawns the S workers once and drives every iteration
+// over a framed pipe channel (util/ipc_channel.h) in ONE heavy round-trip
+// per worker. The frame vocabulary and payload layouts below are the whole
+// protocol; both sides are by construction the same binary (like the plan
+// file), so payloads use the same serde records as the on-disk formats.
 //
 // Driver -> worker commands:
-//   RUN_PRODUCE  u32 iteration, u32 attempt, u8 maps_included,
-//                [u32 n, n x u32 partition_owner, n x u32 shard_owner]
-//   RUN_CONSUME  the RUN_PRODUCE prefix, then u8 full_sync,
-//                i64 base_version, i64 new_version, and the rest of the
-//                payload is a "KDLT" knn_graph_delta: the G(t) rows that
-//                changed since `base_version` (full_sync = every row —
-//                the respawn resync path)
-//   SHUTDOWN     empty payload; the worker exits 0
+//   RUN_ITERATION  u32 iteration, u32 attempt, u8 skip_produce,
+//                  u8 maps_included,
+//                  [u32 n, n x u32 partition_owner, n x u32 shard_owner],
+//                  u8 graph_full, i64 graph_base_version,
+//                  i64 graph_new_version, u32 kdlt_len, then kdlt_len
+//                  bytes of "KDLT" knn_graph_delta (the G(t) rows that
+//                  changed since graph_base_version; graph_full = every
+//                  row — the respawn resync path),
+//                  u8 prof_full, i64 prof_base_version,
+//                  i64 prof_new_version, u32 kprd_len, then kprd_len
+//                  bytes of "KPRD" profile_delta (the users phase 5
+//                  touched; prof_full = every user).
+//                  skip_produce = the consume-phase respawn path: the
+//                  worker goes straight to the consume wave against the
+//                  dead incarnation's intact spools.
+//   GO             empty payload: the produce -> consume barrier. Sent to
+//                  each worker once every shard's PRODUCED arrived; the
+//                  worker then runs its consume wave.
+//   SHUTDOWN       empty payload; the worker exits 0
 // Worker -> driver replies:
-//   READY         u32 shard (sent once at startup, store already open)
-//   PRODUCE_DONE  raw ShardWorkerStats (spools are on disk by now)
-//   CONSUME_DONE  raw ShardWorkerStats, then "KSHR" ShardResult bytes
+//   READY          u32 shard (sent once at startup, store already open)
+//   PRODUCED       raw ShardWorkerStats, produce-wave share (spools are
+//                  on disk by now)
+//   ITERATION_DONE raw ShardWorkerStats (consume-wave share), then
+//                  "KSHR" ShardResult bytes
 //
 // Ownership maps ride along only when they changed since the last command
 // the worker saw (or after a respawn); on the default range shard
-// partitioner that is the first command only. The strict request/reply
-// discipline (a worker never writes before fully reading its command)
-// means the two pipe directions can never deadlock on full buffers.
+// partitioner that is the first command only. Both delta payloads are
+// length-prefixed because their parsers demand an exact span (trailing
+// bytes are a typed error). The strict request/reply discipline (a worker
+// never writes before fully reading its command, and writes nothing
+// between PRODUCED and the driver's GO) means the two pipe directions can
+// never deadlock on full buffers.
 
-constexpr std::uint32_t kCmdRunProduce = 1;
-constexpr std::uint32_t kCmdRunConsume = 2;
 constexpr std::uint32_t kCmdShutdown = 3;
+constexpr std::uint32_t kCmdRunIteration = 4;
+constexpr std::uint32_t kCmdGo = 5;
 constexpr std::uint32_t kRspReady = 100;
-constexpr std::uint32_t kRspProduceDone = 101;
-constexpr std::uint32_t kRspConsumeDone = 102;
+constexpr std::uint32_t kRspProduced = 103;
+constexpr std::uint32_t kRspIterationDone = 104;
+
+/// Bytes of one frame on the wire: the 12-byte header (magic, type,
+/// length) plus the payload — what the bytes_tx / bytes_rx counters count.
+std::uint64_t frame_wire_bytes(std::size_t payload_size) {
+  return 12 + static_cast<std::uint64_t>(payload_size);
+}
 
 const char* frame_type_name(std::uint32_t type) {
   switch (type) {
-    case kCmdRunProduce: return "RUN_PRODUCE";
-    case kCmdRunConsume: return "RUN_CONSUME";
     case kCmdShutdown: return "SHUTDOWN";
+    case kCmdRunIteration: return "RUN_ITERATION";
+    case kCmdGo: return "GO";
     case kRspReady: return "READY";
-    case kRspProduceDone: return "PRODUCE_DONE";
-    case kRspConsumeDone: return "CONSUME_DONE";
+    case kRspProduced: return "PRODUCED";
+    case kRspIterationDone: return "ITERATION_DONE";
   }
   return "?";
 }
@@ -705,6 +742,8 @@ struct PersistentWorker {
   bool has_maps = false;
   /// Version of G the worker holds (-1 = none / desynced).
   std::int64_t graph_version = -1;
+  /// Version of P the worker's local profile store holds (-1 = none).
+  std::int64_t profile_version = -1;
   /// Set at respawn; cleared (and counted) when the full resync ships.
   bool needs_resync = false;
   std::uint32_t spawn_count = 0;
@@ -719,6 +758,11 @@ struct PersistentRuntime {
   /// the base the next iteration's incremental delta diffs against.
   KnnGraph synced_graph;
   std::int64_t broadcast_version = -1;
+  /// Profile sync state: the version last broadcast, and the users phase
+  /// 5 has touched since (the next iteration's KPRD rows). The driver
+  /// never keeps a profile copy — the touched list IS the delta.
+  std::int64_t profile_broadcast_version = -1;
+  std::vector<VertexId> pending_profile_users;
   /// Ownership maps as last sent (maps ride commands only when changed).
   std::vector<PartitionId> sent_partition_owner;
   std::vector<PartitionId> sent_shard_owner;
@@ -741,232 +785,406 @@ void spawn_persistent_worker(PersistentWorker& worker,
   worker.ready = false;
   worker.has_maps = false;
   worker.graph_version = -1;
+  worker.profile_version = -1;
   ++worker.spawn_count;
 }
 
-enum class PersistentWave { Produce, Consume };
-
-/// Everything one wave needs to build per-worker commands.
-struct PersistentWaveInput {
-  PersistentWave wave = PersistentWave::Produce;
+/// Everything one iteration needs to build per-worker commands.
+struct PersistentIterationInput {
   std::uint32_t iteration = 0;
   const std::vector<PartitionId>* partition_owner = nullptr;
   const std::vector<PartitionId>* shard_owner = nullptr;
   /// Maps differ from PersistentRuntime::sent_* (every worker needs them).
   bool maps_changed = false;
-  /// Consume only: G(t) and the fleet's last synced base.
+  /// G(t) and the fleet's last synced base.
   const KnnGraph* graph = nullptr;
-  std::int64_t base_version = -1;
-  std::int64_t new_version = -1;
+  std::int64_t graph_base_version = -1;
+  std::int64_t graph_new_version = -1;
+  /// P(t) and the users whose profiles changed since the last broadcast
+  /// (the incremental KPRD rows; a full resync ships every user).
+  const InMemoryProfileStore* profiles = nullptr;
+  const std::vector<VertexId>* changed_users = nullptr;
+  std::int64_t profile_base_version = -1;
+  std::int64_t profile_new_version = -1;
 };
 
-struct PersistentWaveReply {
-  ShardWorkerStats stats;
-  std::vector<std::byte> result_bytes;  // consume only: "KSHR" payload
+struct PersistentIterationReply {
+  ShardWorkerStats produced;            // produce-wave share of the stats
+  ShardWorkerStats consumed;            // consume-wave share of the stats
+  std::vector<std::byte> result_bytes;  // "KSHR" payload
+  /// Channel traffic and heavy-command count for this worker this
+  /// iteration (1 RUN_ITERATION on the steady path; a respawn replay
+  /// adds one), plus the KPRD rows shipped — the driver folds these into
+  /// ShardWorkerStats.
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint32_t round_trips = 0;
+  std::uint64_t profile_rows_rx = 0;
 };
 
-/// Sends one wave's command to every worker and collects the replies
-/// under a shared deadline. Failure containment mirrors supervise_wave:
-/// a worker that dies, replies garbage, or misses the deadline is
-/// SIGKILLed and respawned exactly once — with full maps and (for the
-/// consume wave) a full-snapshot G(t) resync — and its command replays;
-/// a second failure throws with the per-worker diagnostic history. On
-/// return every shard's reply is complete; partial output can never be
-/// observed by the caller.
-std::vector<PersistentWaveReply> run_persistent_wave(
+/// Drives ONE full iteration across the persistent fleet: one heavy
+/// RUN_ITERATION command per worker carrying maps + G(t) + P(t) deltas,
+/// a PRODUCED reply per worker, one payload-free GO barrier, and an
+/// ITERATION_DONE reply per worker. Failure containment mirrors
+/// supervise_wave, per phase: a worker that dies, replies garbage, or
+/// misses the deadline during the produce phase is SIGKILLed and
+/// respawned exactly once with a full graph + profile resync, and its
+/// command replays verbatim (safe: no shard consumes before GO, so the
+/// respawn may rewrite its spools). During the consume phase the
+/// respawned worker gets a skip-produce command instead and re-runs only
+/// the consume wave against the dead incarnation's intact spools
+/// (PRODUCED is sent only after the spool sink flushed, so they are
+/// complete by construction). A second failure in the same phase throws
+/// with the per-worker diagnostic history. On return every shard's reply
+/// is complete; partial output can never be observed by the caller.
+std::vector<PersistentIterationReply> run_persistent_iteration(
     PersistentRuntime& rt, const ShardConfig& shard_config,
-    const fs::path& work_dir, const PersistentWaveInput& in,
+    const fs::path& work_dir, const PersistentIterationInput& in,
     const KnnGraph& full_base_graph) {
   using Clock = std::chrono::steady_clock;
-  const bool consume = in.wave == PersistentWave::Consume;
-  const std::uint32_t cmd = consume ? kCmdRunConsume : kCmdRunProduce;
-  const std::uint32_t expected_reply =
-      consume ? kRspConsumeDone : kRspProduceDone;
   const std::uint32_t S = static_cast<std::uint32_t>(rt.workers.size());
+  const double timeout_s = shard_config.worker_timeout_s;
 
-  // Delta payloads are memoised per wave: the incremental delta is shared
-  // by every in-sync worker, the full snapshot by every respawned one.
-  std::optional<std::vector<std::byte>> incremental_bytes;
-  std::optional<std::vector<std::byte>> full_bytes;
-  auto delta_payload = [&](bool full) -> const std::vector<std::byte>& {
+  // Delta payloads are memoised per iteration: the incremental deltas are
+  // shared by every in-sync worker, the full snapshots by every respawned
+  // one.
+  std::optional<std::vector<std::byte>> graph_incr;
+  std::optional<std::vector<std::byte>> graph_full_bytes;
+  auto graph_payload = [&](bool full) -> const std::vector<std::byte>& {
     if (full) {
-      if (!full_bytes) {
-        full_bytes = knn_graph_delta_to_bytes(full_knn_graph_delta(*in.graph));
+      if (!graph_full_bytes) {
+        graph_full_bytes =
+            knn_graph_delta_to_bytes(full_knn_graph_delta(*in.graph));
       }
-      return *full_bytes;
+      return *graph_full_bytes;
     }
-    if (!incremental_bytes) {
-      incremental_bytes = knn_graph_delta_to_bytes(
+    if (!graph_incr) {
+      graph_incr = knn_graph_delta_to_bytes(
           knn_graph_delta(full_base_graph, *in.graph));
     }
-    return *incremental_bytes;
+    return *graph_incr;
+  };
+  std::optional<std::vector<std::byte>> prof_incr;
+  std::optional<std::vector<std::byte>> prof_full_bytes;
+  std::uint64_t prof_incr_rows = 0;
+  std::uint64_t prof_full_rows = 0;
+  auto profile_payload = [&](bool full) -> const std::vector<std::byte>& {
+    if (full) {
+      if (!prof_full_bytes) {
+        const ProfileDelta delta = full_profile_delta(*in.profiles);
+        prof_full_rows = delta.rows.size();
+        prof_full_bytes = profile_delta_to_bytes(delta);
+      }
+      return *prof_full_bytes;
+    }
+    if (!prof_incr) {
+      const ProfileDelta delta =
+          profile_delta_for_users(*in.profiles, *in.changed_users);
+      prof_incr_rows = delta.rows.size();
+      prof_incr = profile_delta_to_bytes(delta);
+    }
+    return *prof_incr;
   };
 
-  std::vector<PersistentWaveReply> replies(S);
-  std::vector<std::uint32_t> pending(S);
-  for (std::uint32_t s = 0; s < S; ++s) pending[s] = s;
-  std::vector<std::string> history(S);
-  const char* wave_name = consume ? "consume" : "produce";
+  std::vector<PersistentIterationReply> replies(S);
 
-  for (std::uint32_t attempt = 0; attempt < 2; ++attempt) {
-    std::vector<std::uint32_t> failed;
-    std::vector<bool> send_ok(S, true);
-    // Record a failure for this attempt; the worker is killed and reaped
-    // so the next step (respawn or diagnostic) starts from a clean slate.
-    auto fail_worker = [&](std::uint32_t s, const std::string& why) {
-      failed.push_back(s);
-      if (!history[s].empty()) history[s] += "; ";
-      history[s] += "attempt " + std::to_string(attempt) + ": " + why;
-      rt.workers[s].proc.kill_now();
-      rt.workers[s].proc.wait();
-      rt.workers[s].channel = IpcChannel();
-    };
-
-    // Send phase: every pending worker gets its command (a dead peer
-    // surfaces as an EPIPE SysError here and is handled like any other
-    // failure — no hang, no partial wave).
-    for (const std::uint32_t s : pending) {
-      PersistentWorker& worker = rt.workers[s];
-      std::vector<std::byte> payload;
-      append_record(payload, in.iteration);
-      append_record(payload, attempt);
-      const bool include_maps = in.maps_changed || !worker.has_maps;
-      append_record(payload, static_cast<std::uint8_t>(include_maps));
-      if (include_maps) {
-        append_owner_maps(payload, *in.partition_owner, *in.shard_owner);
-      }
-      if (consume) {
-        const bool full = in.base_version < 0 ||
-                          worker.graph_version != in.base_version;
-        append_record(payload, static_cast<std::uint8_t>(full));
-        append_record(payload, in.base_version);
-        append_record(payload, in.new_version);
-        const std::vector<std::byte>& delta = delta_payload(full);
-        payload.insert(payload.end(), delta.begin(), delta.end());
-        if (full && worker.needs_resync) {
-          ++worker.resync_count;
-          worker.needs_resync = false;
-        }
-      }
-      try {
-        worker.channel.send(cmd, payload);
-      } catch (const IpcError& e) {
-        // An OversizedFrame here is the DRIVER refusing its own payload
-        // (workload too large for the frame cap) — deterministic, so a
-        // kill/respawn would only replay the refusal against a healthy
-        // worker. Abort the wave with the real cause instead.
-        if (e.kind() == IpcErrorKind::OversizedFrame) {
-          throw std::runtime_error(
-              "sharded " + std::string(wave_name) + " wave: command for "
-              "shard " + std::to_string(s) + " exceeds the IPC frame "
-              "bound (" + e.what() + "); use process mode for workloads "
-              "of this size");
-        }
-        send_ok[s] = false;
-        fail_worker(s, std::string("command send failed (") + e.what() +
-                           "; worker " + worker.proc.status().describe() +
-                           ")");
-      }
+  // The full command for one worker. Fullness is per worker and per
+  // payload: a worker whose held version is not the broadcast base (a
+  // respawn, or a survivor of an aborted iteration) gets the snapshot.
+  auto build_command = [&](std::uint32_t s, std::uint32_t attempt,
+                           bool skip_produce) {
+    PersistentWorker& worker = rt.workers[s];
+    std::vector<std::byte> payload;
+    append_record(payload, in.iteration);
+    append_record(payload, attempt);
+    append_record(payload, static_cast<std::uint8_t>(skip_produce));
+    const bool include_maps = in.maps_changed || !worker.has_maps;
+    append_record(payload, static_cast<std::uint8_t>(include_maps));
+    if (include_maps) {
+      append_owner_maps(payload, *in.partition_owner, *in.shard_owner);
     }
+    const bool graph_full = in.graph_base_version < 0 ||
+                            worker.graph_version != in.graph_base_version;
+    append_record(payload, static_cast<std::uint8_t>(graph_full));
+    append_record(payload, in.graph_base_version);
+    append_record(payload, in.graph_new_version);
+    {
+      const std::vector<std::byte>& delta = graph_payload(graph_full);
+      append_record(payload, static_cast<std::uint32_t>(delta.size()));
+      payload.insert(payload.end(), delta.begin(), delta.end());
+    }
+    const bool prof_full =
+        in.profile_base_version < 0 ||
+        worker.profile_version != in.profile_base_version;
+    append_record(payload, static_cast<std::uint8_t>(prof_full));
+    append_record(payload, in.profile_base_version);
+    append_record(payload, in.profile_new_version);
+    {
+      const std::vector<std::byte>& delta = profile_payload(prof_full);
+      append_record(payload, static_cast<std::uint32_t>(delta.size()));
+      payload.insert(payload.end(), delta.begin(), delta.end());
+    }
+    replies[s].profile_rows_rx = prof_full ? prof_full_rows : prof_incr_rows;
+    if (graph_full && prof_full && worker.needs_resync) {
+      ++worker.resync_count;
+      worker.needs_resync = false;
+    }
+    return payload;
+  };
 
-    // Collect phase. The deadline is per worker, not shared across the
-    // wave: every worker computes concurrently from the moment its
-    // command was sent, so a wedged worker early in the collection order
-    // must not eat the budget of a healthy worker whose (possibly
-    // multi-megabyte) reply is still streaming through the pipe when the
-    // driver reaches it. Worst case the wave is bounded by S deadlines.
-    const double timeout_s = shard_config.worker_timeout_s;
-    for (const std::uint32_t s : pending) {
-      if (!send_ok[s]) continue;
-      PersistentWorker& worker = rt.workers[s];
-      const auto deadline =
-          Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                             std::chrono::duration<double>(
-                                 timeout_s > 0.0 ? timeout_s : 0.0));
-      auto remaining = [&]() -> double {
-        if (timeout_s <= 0.0) return -1.0;
-        return std::max(
-            std::chrono::duration<double>(deadline - Clock::now()).count(),
-            0.0);
+  // Collect helper: one frame from worker s under its own deadline (a
+  // wedged worker early in the collection order must not eat the budget
+  // of a healthy one whose reply is still streaming), consuming the
+  // leading READY of a fresh (re)spawn first. Throws IpcError /
+  // runtime_error; the per-phase fail path takes over.
+  auto collect_reply = [&](std::uint32_t s, std::uint32_t expected_reply)
+      -> IpcFrame {
+    PersistentWorker& worker = rt.workers[s];
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               timeout_s > 0.0 ? timeout_s : 0.0));
+    auto remaining = [&]() -> double {
+      if (timeout_s <= 0.0) return -1.0;
+      return std::max(
+          std::chrono::duration<double>(deadline - Clock::now()).count(),
+          0.0);
+    };
+    if (!worker.ready) {
+      const IpcFrame hello = worker.channel.recv(remaining());
+      replies[s].bytes_rx += frame_wire_bytes(hello.payload.size());
+      std::uint32_t echoed = S;  // any invalid value
+      std::size_t offset = 0;
+      if (hello.type != kRspReady ||
+          !read_record(std::span<const std::byte>(hello.payload), offset,
+                       echoed) ||
+          echoed != s) {
+        throw std::runtime_error(std::string("expected READY, got frame ") +
+                                 frame_type_name(hello.type));
+      }
+      worker.ready = true;
+    }
+    IpcFrame frame = worker.channel.recv(remaining());
+    replies[s].bytes_rx += frame_wire_bytes(frame.payload.size());
+    if (frame.type != expected_reply) {
+      throw std::runtime_error(std::string("expected ") +
+                               frame_type_name(expected_reply) +
+                               ", got frame " + frame_type_name(frame.type));
+    }
+    return frame;
+  };
+
+  // ---- Produce phase: RUN_ITERATION out, PRODUCED back. ----------------
+  {
+    std::vector<std::uint32_t> pending(S);
+    for (std::uint32_t s = 0; s < S; ++s) pending[s] = s;
+    std::vector<std::string> history(S);
+    for (std::uint32_t attempt = 0; attempt < 2; ++attempt) {
+      std::vector<std::uint32_t> failed;
+      std::vector<bool> send_ok(S, true);
+      // Record a failure for this attempt; the worker is killed and
+      // reaped so the next step (respawn or diagnostic) starts clean.
+      auto fail_worker = [&](std::uint32_t s, const std::string& why) {
+        failed.push_back(s);
+        if (!history[s].empty()) history[s] += "; ";
+        history[s] += "attempt " + std::to_string(attempt) + ": " + why;
+        rt.workers[s].proc.kill_now();
+        rt.workers[s].proc.wait();
+        rt.workers[s].channel = IpcChannel();
       };
-      try {
-        // A fresh (re)spawned worker leads with READY; consume it first.
-        if (!worker.ready) {
-          const IpcFrame hello = worker.channel.recv(remaining());
-          std::uint32_t echoed = S;  // any invalid value
-          std::size_t offset = 0;
-          if (hello.type != kRspReady ||
-              !read_record(std::span<const std::byte>(hello.payload), offset,
-                           echoed) ||
-              echoed != s) {
+
+      // Send phase: every pending worker gets its command (a dead peer
+      // surfaces as an EPIPE SysError here and is handled like any other
+      // failure — no hang, no partial wave).
+      for (const std::uint32_t s : pending) {
+        PersistentWorker& worker = rt.workers[s];
+        const std::vector<std::byte> payload =
+            build_command(s, attempt, /*skip_produce=*/false);
+        ++replies[s].round_trips;
+        try {
+          worker.channel.send(kCmdRunIteration, payload);
+          replies[s].bytes_tx += frame_wire_bytes(payload.size());
+        } catch (const IpcError& e) {
+          // An OversizedFrame here is the DRIVER refusing its own
+          // payload (workload too large for the frame cap) —
+          // deterministic, so a kill/respawn would only replay the
+          // refusal against a healthy worker. Abort with the real cause.
+          if (e.kind() == IpcErrorKind::OversizedFrame) {
             throw std::runtime_error(
-                std::string("expected READY, got frame ") +
-                frame_type_name(hello.type));
+                "sharded produce wave: command for shard " +
+                std::to_string(s) + " exceeds the IPC frame bound (" +
+                e.what() + "); use process mode for workloads of this "
+                "size");
           }
-          worker.ready = true;
+          send_ok[s] = false;
+          fail_worker(s, std::string("command send failed (") + e.what() +
+                             "; worker " + worker.proc.status().describe() +
+                             ")");
         }
-        const IpcFrame frame = worker.channel.recv(remaining());
-        if (frame.type != expected_reply) {
-          throw std::runtime_error(std::string("expected ") +
-                                   frame_type_name(expected_reply) +
-                                   ", got frame " +
-                                   frame_type_name(frame.type));
+      }
+
+      for (const std::uint32_t s : pending) {
+        if (!send_ok[s]) continue;
+        PersistentWorker& worker = rt.workers[s];
+        try {
+          const IpcFrame frame = collect_reply(s, kRspProduced);
+          const std::span<const std::byte> payload(frame.payload);
+          std::size_t offset = 0;
+          ShardWorkerStats stats;
+          if (!read_record(payload, offset, stats) ||
+              offset != payload.size()) {
+            throw std::runtime_error("malformed PRODUCED payload");
+          }
+          replies[s].produced = stats;
+          // The worker observably holds what the command carried (it
+          // applies every delta before its produce wave starts).
+          worker.has_maps = true;
+          worker.graph_version = in.graph_new_version;
+          worker.profile_version = in.profile_new_version;
+        } catch (const IpcError& e) {
+          if (e.kind() == IpcErrorKind::Timeout) {
+            fail_worker(s, "command timed out after " +
+                               std::to_string(timeout_s) +
+                               "s (killed with SIGKILL)");
+          } else {
+            // EOF / truncation / garbage: reap first so the description
+            // carries how the process actually died.
+            rt.workers[s].proc.kill_now();
+            rt.workers[s].proc.wait();
+            fail_worker(s, std::string(e.what()) + " (worker " +
+                               rt.workers[s].proc.status().describe() + ")");
+          }
+        } catch (const std::exception& e) {
+          fail_worker(s, e.what());
         }
-        const std::span<const std::byte> payload(frame.payload);
-        std::size_t offset = 0;
-        ShardWorkerStats stats;
-        if (!read_record(payload, offset, stats) ||
-            (!consume && offset != payload.size())) {
-          throw std::runtime_error("malformed " +
-                                   std::string(frame_type_name(frame.type)) +
-                                   " payload");
+      }
+
+      if (failed.empty()) break;
+      if (attempt == 0) {
+        for (const std::uint32_t s : failed) {
+          KNNPC_LOG(Warn) << "persistent shard " << s << " produce"
+                          << " worker failed (" << history[s]
+                          << "); respawning once with a full resync";
+          spawn_persistent_worker(rt.workers[s], shard_config, work_dir, s);
+          rt.workers[s].needs_resync = true;
         }
-        replies[s].stats = stats;
-        if (consume) {
+        pending = std::move(failed);
+        continue;
+      }
+      std::string message = "sharded produce wave failed after one retry:";
+      for (const std::uint32_t s : failed) {
+        message += "\n  shard " + std::to_string(s) + ": " + history[s];
+      }
+      throw std::runtime_error(message);
+    }
+  }
+
+  // ---- Consume phase: GO out (the barrier — every shard has spooled by
+  // now), ITERATION_DONE back. A respawn replays with skip_produce
+  // instead of GO. -------------------------------------------------------
+  {
+    std::vector<std::uint32_t> pending(S);
+    for (std::uint32_t s = 0; s < S; ++s) pending[s] = s;
+    std::vector<std::string> history(S);
+    for (std::uint32_t attempt = 0; attempt < 2; ++attempt) {
+      std::vector<std::uint32_t> failed;
+      std::vector<bool> send_ok(S, true);
+      auto fail_worker = [&](std::uint32_t s, const std::string& why) {
+        failed.push_back(s);
+        if (!history[s].empty()) history[s] += "; ";
+        history[s] += "attempt " + std::to_string(attempt) + ": " + why;
+        rt.workers[s].proc.kill_now();
+        rt.workers[s].proc.wait();
+        rt.workers[s].channel = IpcChannel();
+      };
+
+      for (const std::uint32_t s : pending) {
+        PersistentWorker& worker = rt.workers[s];
+        try {
+          if (attempt == 0) {
+            worker.channel.send(kCmdGo, std::vector<std::byte>{});
+            replies[s].bytes_tx += frame_wire_bytes(0);
+          } else {
+            // The respawned worker re-runs only the consume wave: the
+            // dead incarnation's spools are complete on disk, so
+            // re-producing would be wasted (and, with other shards
+            // mid-consume, unsafe).
+            const std::vector<std::byte> payload =
+                build_command(s, attempt, /*skip_produce=*/true);
+            ++replies[s].round_trips;
+            worker.channel.send(kCmdRunIteration, payload);
+            replies[s].bytes_tx += frame_wire_bytes(payload.size());
+          }
+        } catch (const IpcError& e) {
+          if (e.kind() == IpcErrorKind::OversizedFrame) {
+            throw std::runtime_error(
+                "sharded consume wave: command for shard " +
+                std::to_string(s) + " exceeds the IPC frame bound (" +
+                e.what() + "); use process mode for workloads of this "
+                "size");
+          }
+          send_ok[s] = false;
+          fail_worker(s, std::string("command send failed (") + e.what() +
+                             "; worker " + worker.proc.status().describe() +
+                             ")");
+        }
+      }
+
+      for (const std::uint32_t s : pending) {
+        if (!send_ok[s]) continue;
+        PersistentWorker& worker = rt.workers[s];
+        try {
+          const IpcFrame frame = collect_reply(s, kRspIterationDone);
+          const std::span<const std::byte> payload(frame.payload);
+          std::size_t offset = 0;
+          ShardWorkerStats stats;
+          if (!read_record(payload, offset, stats)) {
+            throw std::runtime_error("malformed ITERATION_DONE payload");
+          }
+          replies[s].consumed = stats;
           replies[s].result_bytes.assign(payload.begin() + offset,
                                          payload.end());
+          // A skip-produce replay applied fresh deltas; recording the
+          // versions again for the steady path is harmless.
+          worker.has_maps = true;
+          worker.graph_version = in.graph_new_version;
+          worker.profile_version = in.profile_new_version;
+        } catch (const IpcError& e) {
+          if (e.kind() == IpcErrorKind::Timeout) {
+            fail_worker(s, "command timed out after " +
+                               std::to_string(timeout_s) +
+                               "s (killed with SIGKILL)");
+          } else {
+            rt.workers[s].proc.kill_now();
+            rt.workers[s].proc.wait();
+            fail_worker(s, std::string(e.what()) + " (worker " +
+                               rt.workers[s].proc.status().describe() + ")");
+          }
+        } catch (const std::exception& e) {
+          fail_worker(s, e.what());
         }
-        // The worker observably holds what the command carried.
-        worker.has_maps = true;
-        if (consume) worker.graph_version = in.new_version;
-      } catch (const IpcError& e) {
-        if (e.kind() == IpcErrorKind::Timeout) {
-          fail_worker(s, "command timed out after " +
-                             std::to_string(timeout_s) +
-                             "s (killed with SIGKILL)");
-        } else {
-          // EOF / truncation / garbage: reap first so the description
-          // carries how the process actually died.
-          rt.workers[s].proc.kill_now();
-          rt.workers[s].proc.wait();
-          fail_worker(s, std::string(e.what()) + " (worker " +
-                             rt.workers[s].proc.status().describe() + ")");
-        }
-      } catch (const std::exception& e) {
-        fail_worker(s, e.what());
       }
-    }
 
-    if (failed.empty()) return replies;
-    if (attempt == 0) {
-      for (const std::uint32_t s : failed) {
-        KNNPC_LOG(Warn) << "persistent shard " << s << " " << wave_name
-                        << " worker failed (" << history[s]
-                        << "); respawning once with a full resync";
-        spawn_persistent_worker(rt.workers[s], shard_config, work_dir, s);
-        rt.workers[s].needs_resync = true;
+      if (failed.empty()) break;
+      if (attempt == 0) {
+        for (const std::uint32_t s : failed) {
+          KNNPC_LOG(Warn) << "persistent shard " << s << " consume"
+                          << " worker failed (" << history[s]
+                          << "); respawning once with a full resync";
+          spawn_persistent_worker(rt.workers[s], shard_config, work_dir, s);
+          rt.workers[s].needs_resync = true;
+        }
+        pending = std::move(failed);
+        continue;
       }
-      pending = std::move(failed);
-      continue;
+      std::string message = "sharded consume wave failed after one retry:";
+      for (const std::uint32_t s : failed) {
+        message += "\n  shard " + std::to_string(s) + ": " + history[s];
+      }
+      throw std::runtime_error(message);
     }
-    std::string message = "sharded " + std::string(wave_name) +
-                          " wave failed after one retry:";
-    for (const std::uint32_t s : failed) {
-      message += "\n  shard " + std::to_string(s) + ": " + history[s];
-    }
-    throw std::runtime_error(message);
   }
-  return replies;  // unreachable; the loop returns or throws
+  return replies;
 }
 
 }  // namespace
@@ -1026,7 +1244,7 @@ int shard_worker_main(const fs::path& plan_file, const std::string& wave,
     }
     ConsumerOutput out =
         consume_candidates(ctx, shard, members, store, prev, pool.get(), &io,
-                           worker, fault_hook);
+                           /*local_profiles=*/nullptr, worker, fault_hook);
     ShardResult result;
     result.shard = shard;
     result.num_vertices = assignment.num_vertices();
@@ -1088,6 +1306,8 @@ int persistent_shard_worker_main(const fs::path& plan_file,
   std::vector<VertexId> members;
   KnnGraph graph;  // this worker's copy of G(t)
   std::int64_t graph_version = -1;
+  InMemoryProfileStore local_profiles;  // this worker's copy of P(t)
+  std::int64_t profile_version = -1;
 
   {
     std::vector<std::byte> hello;
@@ -1106,11 +1326,10 @@ int persistent_shard_worker_main(const fs::path& plan_file,
       throw;
     }
     if (frame.type == kCmdShutdown) return 0;
-    if (frame.type != kCmdRunProduce && frame.type != kCmdRunConsume) {
+    if (frame.type != kCmdRunIteration) {
       throw std::runtime_error(std::string("unexpected command frame ") +
                                frame_type_name(frame.type));
     }
-    const bool consume = frame.type == kCmdRunConsume;
     const std::span<const std::byte> payload(frame.payload);
     std::size_t offset = 0;
     auto read = [&]<typename T>(T& out) {
@@ -1121,9 +1340,11 @@ int persistent_shard_worker_main(const fs::path& plan_file,
     };
     std::uint32_t iteration = 0;
     std::uint32_t attempt = 0;
+    std::uint8_t skip_produce = 0;
     std::uint8_t maps_included = 0;
     read(iteration);
     read(attempt);
+    read(skip_produce);
     read(maps_included);
     if (maps_included != 0) {
       std::uint32_t n = 0;
@@ -1139,27 +1360,95 @@ int persistent_shard_worker_main(const fs::path& plan_file,
     if (!assignment || !shard_owner) {
       throw std::runtime_error("command arrived before any ownership maps");
     }
+
+    // Sync this worker's G(t) from its (length-prefixed) delta. The delta
+    // parsers demand an exact span, hence the explicit length.
+    {
+      std::uint8_t full_sync = 0;
+      std::int64_t base_version = -1;
+      std::int64_t new_version = -1;
+      std::uint32_t delta_len = 0;
+      read(full_sync);
+      read(base_version);
+      read(new_version);
+      read(delta_len);
+      if (delta_len > payload.size() - offset) {
+        throw std::runtime_error("truncated RUN_ITERATION payload");
+      }
+      const KnnGraphDelta delta =
+          knn_graph_delta_from_bytes(payload.subspan(offset, delta_len));
+      offset += delta_len;
+      if (full_sync != 0) {
+        graph = KnnGraph(delta.num_vertices, delta.k);
+      } else if (graph_version != base_version) {
+        throw std::runtime_error(
+            "incremental G(t) delta against version " +
+            std::to_string(base_version) + " but this worker holds " +
+            std::to_string(graph_version));
+      }
+      apply_knn_graph_delta(graph, delta);
+      graph_version = new_version;
+      if (graph.num_vertices() != assignment->num_vertices()) {
+        throw std::runtime_error(
+            "synced G(t) vertex count does not match the ownership maps");
+      }
+    }
+
+    // Sync this worker's P(t) the same way. After iteration 0 only the
+    // changed rows travel; the shared store's .prof files are never read
+    // (the driver does not even write them in persistent mode).
+    {
+      std::uint8_t full_sync = 0;
+      std::int64_t base_version = -1;
+      std::int64_t new_version = -1;
+      std::uint32_t delta_len = 0;
+      read(full_sync);
+      read(base_version);
+      read(new_version);
+      read(delta_len);
+      if (delta_len > payload.size() - offset) {
+        throw std::runtime_error("truncated RUN_ITERATION payload");
+      }
+      const ProfileDelta delta =
+          profile_delta_from_bytes(payload.subspan(offset, delta_len));
+      offset += delta_len;
+      if (full_sync != 0) {
+        local_profiles =
+            InMemoryProfileStore(std::vector<SparseProfile>(delta.num_users));
+      } else if (profile_version != base_version) {
+        throw std::runtime_error(
+            "incremental P(t) delta against version " +
+            std::to_string(base_version) + " but this worker holds " +
+            std::to_string(profile_version));
+      }
+      apply_profile_delta(local_profiles, delta);
+      profile_version = new_version;
+    }
+    if (offset != payload.size()) {
+      throw std::runtime_error("trailing bytes in RUN_ITERATION payload");
+    }
+
     const WaveContext ctx{config,      iteration,
                           plan.shards, plan.threads_per_shard,
                           *assignment, *shard_owner,
                           work_dir};
 
-    ShardWorkerStats worker;
-    worker.shard = shard;
-    worker.users = static_cast<VertexId>(members.size());
-    worker.stats.iteration = iteration;
-    worker.stats.threads_used = plan.threads_per_shard;
-    IoAccountant io(config.io_model);
-    // The held store's accountant runs for the whole process lifetime;
-    // this command's share is the delta across it.
-    const IoCounters store_io_before = store.io().counters();
-    const double store_us_before = store.io().modeled_us();
-    const char* wave_name = consume ? "consume" : "produce";
-    const auto fault_hook = [&] {
-      maybe_inject_fault(wave_name, shard, attempt, iteration);
-    };
-
-    if (!consume) {
+    if (skip_produce == 0) {
+      // Produce phase: spool, report PRODUCED, then hold at the barrier
+      // until every other shard has spooled too.
+      ShardWorkerStats worker;
+      worker.shard = shard;
+      worker.users = static_cast<VertexId>(members.size());
+      worker.stats.iteration = iteration;
+      worker.stats.threads_used = plan.threads_per_shard;
+      IoAccountant io(config.io_model);
+      // The held store's accountant runs for the whole process lifetime;
+      // this phase's share is the delta across it.
+      const IoCounters store_io_before = store.io().counters();
+      const double store_us_before = store.io().modeled_us();
+      const auto fault_hook = [&] {
+        maybe_inject_fault("produce", shard, attempt, iteration);
+      };
       RecordShardWriter<Tuple> sink(
           spools_dir(work_dir), routed_producer_stem(kSpoolStem, shard),
           plan.shards,
@@ -1175,37 +1464,39 @@ int persistent_shard_worker_main(const fs::path& plan_file,
           io.modeled_us() + (store.io().modeled_us() - store_us_before);
       std::vector<std::byte> reply;
       append_record(reply, worker);
-      channel.send(kRspProduceDone, reply);
-      continue;
+      channel.send(kRspProduced, reply);
+
+      IpcFrame go;
+      try {
+        go = channel.recv();
+      } catch (const IpcError& e) {
+        // A driver tearing the fleet down mid-iteration (another shard
+        // failed twice) drops its end; that is an orderly exit here too.
+        if (e.kind() == IpcErrorKind::Eof) return 0;
+        throw;
+      }
+      if (go.type == kCmdShutdown) return 0;
+      if (go.type != kCmdGo) {
+        throw std::runtime_error(std::string("expected GO, got frame ") +
+                                 frame_type_name(go.type));
+      }
     }
 
-    // Consume: sync this worker's G(t) from the delta, then run the wave.
-    std::uint8_t full_sync = 0;
-    std::int64_t base_version = -1;
-    std::int64_t new_version = -1;
-    read(full_sync);
-    read(base_version);
-    read(new_version);
-    const KnnGraphDelta delta =
-        knn_graph_delta_from_bytes(payload.subspan(offset));
-    if (full_sync != 0) {
-      graph = KnnGraph(delta.num_vertices, delta.k);
-    } else if (graph_version != base_version) {
-      throw std::runtime_error(
-          "incremental G(t) delta against version " +
-          std::to_string(base_version) + " but this worker holds " +
-          std::to_string(graph_version));
-    }
-    apply_knn_graph_delta(graph, delta);
-    graph_version = new_version;
-    if (graph.num_vertices() != assignment->num_vertices()) {
-      throw std::runtime_error(
-          "synced G(t) vertex count does not match the ownership maps");
-    }
-
+    // Consume phase, against this worker's synced G(t) and P(t).
+    ShardWorkerStats worker;
+    worker.shard = shard;
+    worker.users = static_cast<VertexId>(members.size());
+    worker.stats.iteration = iteration;
+    worker.stats.threads_used = plan.threads_per_shard;
+    IoAccountant io(config.io_model);
+    const IoCounters store_io_before = store.io().counters();
+    const double store_us_before = store.io().modeled_us();
+    const auto fault_hook = [&] {
+      maybe_inject_fault("consume", shard, attempt, iteration);
+    };
     ConsumerOutput out =
         consume_candidates(ctx, shard, members, store, graph, pool.get(),
-                           &io, worker, fault_hook);
+                           &io, &local_profiles, worker, fault_hook);
     ShardResult result;
     result.shard = shard;
     result.num_vertices = assignment->num_vertices();
@@ -1225,7 +1516,7 @@ int persistent_shard_worker_main(const fs::path& plan_file,
     append_record(reply, worker);
     const std::vector<std::byte> result_bytes = shard_result_to_bytes(result);
     reply.insert(reply.end(), result_bytes.begin(), result_bytes.end());
-    channel.send(kRspConsumeDone, reply);
+    channel.send(kRspIterationDone, reply);
   }
 } catch (const std::exception& e) {
   std::fprintf(stderr, "persistent shard_worker (shard %u): %s\n", shard,
@@ -1415,6 +1706,8 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
   const VertexId n = profiles_.num_users();
   const PartitionId m = config_.num_partitions;
   const std::uint32_t S = impl_->shards;
+  const bool persistent =
+      shard_config_.worker_mode == ShardWorkerMode::Persistent;
   PartitionStore store(impl_->work_dir / "partitions", config_.io_model,
                        config_.storage_mode);
 
@@ -1439,9 +1732,21 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
       assignment = make_partitioner(config_.partitioner)->assign(digraph, m);
       impl_->last_assignment = assignment;
     }
-    shard_owner =
-        make_partitioner(shard_config_.shard_partitioner)->assign(digraph, S);
-    store.write_all(edge_list, assignment, profiles_);
+    if (shard_config_.shard_partitioner == "pair-affinity") {
+      // Align shards with the partition map so each consumer's schedule
+      // touches only its own partition group (~S-fold fewer loads). Built
+      // here, not via make_partitioner: the split is derived from the
+      // phase-1 assignment, which a Partitioner never sees.
+      shard_owner = pair_affinity_shard_split(assignment, S);
+    } else {
+      shard_owner =
+          make_partitioner(shard_config_.shard_partitioner)->assign(digraph, S);
+    }
+    // Persistent workers hold P(t) locally (synced over the channel), so
+    // their store carries edges only — no .prof files are ever written,
+    // and partition-profile reads stay at zero from iteration 0.
+    store.write_all(edge_list, assignment, profiles_,
+                    /*include_profiles=*/!persistent);
     if (config_.record_partition_cost) {
       partition_cost_total = partition_cost(digraph, assignment).total;
     }
@@ -1520,6 +1825,12 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
     supervise_wave(ctx, shard_config_, "produce");
     supervise_wave(ctx, shard_config_, "consume");
 
+    // Process-mode "wire" traffic is the file handoff: the plan and the
+    // G(t) snapshot in, the sidecars and result out; the two process
+    // spawns per shard play the role of heavy round trips.
+    const std::uint64_t handoff_in =
+        fs::file_size(plan_file_path(impl_->work_dir)) +
+        fs::file_size(prev_graph_path(impl_->work_dir));
     for (std::uint32_t s = 0; s < S; ++s) {
       const ShardWorkerStats produced =
           load_worker_stats_file(sidecar_path(impl_->work_dir, "produce", s));
@@ -1532,6 +1843,14 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
       worker.produce_s = produced.produce_s;
       worker.consume_s = consumed.consume_s;
       worker.spooled_tuples = consumed.spooled_tuples;
+      worker.round_trips = 2;
+      worker.bytes_tx = handoff_in;
+      worker.bytes_rx =
+          fs::file_size(sidecar_path(impl_->work_dir, "produce", s)) +
+          fs::file_size(sidecar_path(impl_->work_dir, "consume", s)) +
+          fs::file_size(result_file_path(impl_->work_dir, s));
+      worker.partitions_touched = consumed.partitions_touched;
+      worker.profile_reads = consumed.profile_reads;
 
       fold_result(s,
                   load_shard_result_file(result_file_path(impl_->work_dir, s)));
@@ -1563,22 +1882,12 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
     const bool maps_changed = part_owner != rt.sent_partition_owner ||
                               sh_owner != rt.sent_shard_owner;
 
-    PersistentWaveInput wave_in;
-    wave_in.wave = PersistentWave::Produce;
-    wave_in.iteration = iteration_;
-    wave_in.partition_owner = &part_owner;
-    wave_in.shard_owner = &sh_owner;
-    wave_in.maps_changed = maps_changed;
-    const std::vector<PersistentWaveReply> produced = run_persistent_wave(
-        rt, shard_config_, impl_->work_dir, wave_in, rt.synced_graph);
-
-    wave_in.wave = PersistentWave::Consume;
-    // Every worker confirmed the maps when its PRODUCE_DONE was
-    // collected, so the consume wave never re-ships them wholesale —
-    // only a worker respawned between the waves (has_maps reset) gets
-    // them again.
-    wave_in.maps_changed = false;
-    wave_in.graph = &graph_;
+    PersistentIterationInput in;
+    in.iteration = iteration_;
+    in.partition_owner = &part_owner;
+    in.shard_owner = &sh_owner;
+    in.maps_changed = maps_changed;
+    in.graph = &graph_;
     // An incremental delta needs a same-shape base the fleet actually
     // holds; set_initial_graph() after iterations (or a k change) voids
     // that, in which case everyone gets the full snapshot.
@@ -1586,31 +1895,48 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
         rt.broadcast_version >= 0 &&
         rt.synced_graph.num_vertices() == graph_.num_vertices() &&
         rt.synced_graph.k() == graph_.k();
-    wave_in.base_version = base_usable ? rt.broadcast_version : -1;
-    wave_in.new_version = rt.broadcast_version + 1;
-    const std::vector<PersistentWaveReply> consumed = run_persistent_wave(
-        rt, shard_config_, impl_->work_dir, wave_in, rt.synced_graph);
+    in.graph_base_version = base_usable ? rt.broadcast_version : -1;
+    in.graph_new_version = rt.broadcast_version + 1;
+    in.profiles = &profiles_;
+    // P(t) changes only through phase 5's queue, whose touched users
+    // accumulate in pending_profile_users — that list IS the delta.
+    in.changed_users = &rt.pending_profile_users;
+    in.profile_base_version = rt.profile_broadcast_version;
+    in.profile_new_version = rt.profile_broadcast_version + 1;
+
+    const std::vector<PersistentIterationReply> replies =
+        run_persistent_iteration(rt, shard_config_, impl_->work_dir, in,
+                                 rt.synced_graph);
 
     rt.synced_graph = graph_;
-    rt.broadcast_version = wave_in.new_version;
+    rt.broadcast_version = in.graph_new_version;
+    rt.profile_broadcast_version = in.profile_new_version;
+    rt.pending_profile_users.clear();
     rt.sent_partition_owner = std::move(part_owner);
     rt.sent_shard_owner = std::move(sh_owner);
 
     for (std::uint32_t s = 0; s < S; ++s) {
+      const PersistentIterationReply& r = replies[s];
       ShardWorkerStats& worker = out.workers[s];
-      worker.stats = sum_iteration_stats(
-          {produced[s].stats.stats, consumed[s].stats.stats});
+      worker.stats =
+          sum_iteration_stats({r.produced.stats, r.consumed.stats});
       worker.stats.iteration = iteration_;
       worker.stats.threads_used = impl_->threads_per_shard;
-      worker.produce_s = produced[s].stats.produce_s;
-      worker.consume_s = consumed[s].stats.consume_s;
-      worker.spooled_tuples = consumed[s].stats.spooled_tuples;
+      worker.produce_s = r.produced.produce_s;
+      worker.consume_s = r.consumed.consume_s;
+      worker.spooled_tuples = r.consumed.spooled_tuples;
       worker.spawn_count = rt.workers[s].spawn_count;
       worker.resync_count = rt.workers[s].resync_count;
+      worker.bytes_tx = r.bytes_tx;
+      worker.bytes_rx = r.bytes_rx;
+      worker.round_trips = r.round_trips;
+      worker.partitions_touched = r.consumed.partitions_touched;
+      worker.profile_reads = r.consumed.profile_reads;
+      worker.profile_rows_rx = r.profile_rows_rx;
       fold_result(s, shard_result_from_bytes(
-                         consumed[s].result_bytes,
+                         r.result_bytes,
                          "persistent worker " + std::to_string(s) +
-                             "'s CONSUME_DONE reply"));
+                             "'s ITERATION_DONE reply"));
     }
   } else {
     // ---- Thread mode: one producer and one consumer thread per shard.
@@ -1658,7 +1984,8 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
     run_wave([&](std::uint32_t c) {
       ConsumerOutput consumer_out = consume_candidates(
           ctx, c, shard_members[c], store, graph_, impl_->pools[c].get(),
-          worker_io[c].get(), out.workers[c], /*mid_wave_hook=*/{});
+          worker_io[c].get(), /*local_profiles=*/nullptr, out.workers[c],
+          /*mid_wave_hook=*/{});
       change_counts[c] = consumer_out.changed;
       output.set_shard(c, std::move(consumer_out.next));
     });
@@ -1702,7 +2029,11 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
   // ---- Phase 5 (driver): apply queued profile updates.
   {
     ScopedAccumulator timing(&merged.timings.update_s);
-    merged.profile_updates_applied = queue_.apply_to(profiles_);
+    // Persistent mode records which users phase 5 touches: that list is
+    // next iteration's P(t) delta over the worker channels.
+    merged.profile_updates_applied = queue_.apply_to(
+        profiles_,
+        persistent ? &impl_->persistent.pending_profile_users : nullptr);
   }
 
   if (config_.checkpoint) {

@@ -81,18 +81,26 @@ enum class ShardWorkerMode {
   /// S worker processes spawned ONCE per run and kept alive across
   /// iterations: each worker opens the shared partition store once and
   /// is then driven through a length-prefixed command protocol over
-  /// pipes (util/ipc_channel.h) — RUN_PRODUCE / RUN_CONSUME commands
-  /// carry the per-iteration deltas (ownership maps only when they
-  /// changed, G(t) as a changed-rows knn_graph_delta) instead of a full
-  /// plan + snapshot per wave, and workers reply with their
-  /// ShardWorkerStats / ShardResult inline. Amortises the per-wave
-  /// fork+execv, plan write, snapshot write and store re-open that
-  /// Process mode pays. Supervision: a worker that dies, replies
-  /// garbage, or exceeds `worker_timeout_s` on one command is SIGKILLed
-  /// and respawned exactly once with a full-snapshot resync, and the
-  /// wave command replays deterministically; a second failure in the
-  /// same wave throws with per-worker diagnostics and leaves G(t)
-  /// untouched. Output stays bit-identical to every other mode.
+  /// pipes (util/ipc_channel.h). One heavy RUN_ITERATION command per
+  /// iteration carries every per-iteration delta at once — ownership
+  /// maps only when they changed, G(t) as a changed-rows
+  /// knn_graph_delta, P(t) as a changed-users profile_delta — the
+  /// worker runs its produce wave, replies with a lightweight PRODUCED
+  /// frame, and the driver releases the produce -> consume barrier with
+  /// a payload-free GO once every shard has spooled; the consume wave
+  /// then replies ITERATION_DONE with stats + ShardResult inline.
+  /// Because profiles sync over the channel, persistent workers stream
+  /// partitions edges-only: the shared store never writes or serves
+  /// .prof files in this mode. Amortises the per-wave fork+execv, plan
+  /// write, snapshot write and store re-open that Process mode pays.
+  /// Supervision: a worker that dies, replies garbage, or exceeds
+  /// `worker_timeout_s` on one command is SIGKILLed and respawned
+  /// exactly once with a full graph + profile resync, and the wave
+  /// replays deterministically (a consume-phase respawn re-runs only
+  /// the consume body against the dead incarnation's intact spools); a
+  /// second failure in the same wave throws with per-worker diagnostics
+  /// and leaves G(t) untouched. Output stays bit-identical to every
+  /// other mode.
   Persistent,
 };
 
@@ -107,8 +115,12 @@ struct ShardConfig {
   /// the serial pipeline run through the driver's machinery.
   std::uint32_t shards = 0;
   /// How the user universe is split into shards: "range" | "hash" |
-  /// "degree-range" | "greedy" (any src/partition strategy). The output
-  /// graph does not depend on this choice — only load balance does.
+  /// "degree-range" | "greedy" (any src/partition strategy), or
+  /// "pair-affinity" — shard(u) = group of u's partition, with the m
+  /// partitions grouped into S contiguous balanced groups
+  /// (partition/pair_affinity.h), so each consumer's phase-4 schedule
+  /// touches ~m/S partitions instead of all m. The output graph does not
+  /// depend on this choice — only load balance and partition reads do.
   std::string shard_partitioner = "range";
   /// Thread workers (default), per-wave processes, or long-lived
   /// processes driven over pipes.
@@ -143,6 +155,27 @@ struct ShardWorkerStats {
   /// in numbers.
   std::uint32_t spawn_count = 0;
   std::uint32_t resync_count = 0;
+  /// Command-channel traffic to / from this worker this iteration,
+  /// including frame headers (persistent mode). Process mode counts the
+  /// file bytes the driver ships to and collects from the worker (plan +
+  /// G(t) snapshot in, sidecars + ShardResult out); zero in thread mode.
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  /// Heavy command round-trips this iteration: RUN_ITERATION commands in
+  /// persistent mode (1 on the steady path; the payload-free GO barrier
+  /// is not counted), 2 in process mode (one process per wave).
+  std::uint32_t round_trips = 0;
+  /// Partitions this worker's phase-4 schedule actually streamed (pair
+  /// incidence of its PI graph) — ~m/S under the pair-affinity split.
+  std::uint32_t partitions_touched = 0;
+  /// Full-partition (.prof-bearing) loads this worker's phase-4 cache
+  /// issued this iteration. Persistent workers stream edges-only and
+  /// sync profiles over the channel, so this is 0 there from iteration 0.
+  std::uint64_t profile_reads = 0;
+  /// KPRD profile-delta rows shipped to this worker this iteration
+  /// (persistent mode): the churned users on the steady path, all n on a
+  /// respawn resync — how tests pin "a resync carries a full snapshot".
+  std::uint64_t profile_rows_rx = 0;
   /// This worker's share of the merged counters (sum_iteration_stats
   /// folds these into ShardedIterationStats::merged).
   IterationStats stats;
@@ -234,12 +267,17 @@ int shard_worker_main(const std::filesystem::path& plan_file,
 
 /// Entry point of one PERSISTENT worker (--wave=serve): loads the static
 /// plan, opens the shared partition store and thread pool once, sends a
-/// READY frame on stdout and then serves RUN_PRODUCE / RUN_CONSUME /
-/// SHUTDOWN commands from stdin until shutdown or EOF (both exit 0).
-/// Wave bodies, spool layout and fault injection are shared with the
-/// per-wave worker; only the transport differs. Protocol errors are
-/// reported on stderr and become a non-zero exit — the driver's respawn
-/// path takes over from there.
+/// READY frame on stdout and then serves RUN_ITERATION / SHUTDOWN
+/// commands from stdin until shutdown or EOF (both exit 0). Each
+/// RUN_ITERATION applies the shipped ownership / graph / profile deltas,
+/// runs the produce wave, replies PRODUCED, waits for the driver's GO
+/// barrier and runs the consume wave against its worker-local profile
+/// store, replying ITERATION_DONE (a skip-produce command — the
+/// consume-phase respawn path — goes straight to the consume body). Wave
+/// bodies, spool layout and fault injection are shared with the per-wave
+/// worker; only the transport differs. Protocol errors are reported on
+/// stderr and become a non-zero exit — the driver's respawn path takes
+/// over from there.
 int persistent_shard_worker_main(const std::filesystem::path& plan_file,
                                  std::uint32_t shard);
 

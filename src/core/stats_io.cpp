@@ -63,7 +63,9 @@ constexpr char kStatsMagic[4] = {'K', 'W', 'S', 'T'};
 // v2: ShardWorkerStats grew the persistent-mode spawn_count/resync_count
 // counters. The version gate (not just the size check) is what turns a
 // stale sidecar from an older binary into a typed error.
-constexpr std::uint32_t kStatsVersion = 2;
+// v3: round-trip accounting — bytes_tx/bytes_rx/round_trips plus the
+// partitions_touched/profile_reads/profile_rows_rx data-movement counters.
+constexpr std::uint32_t kStatsVersion = 3;
 
 // The raw-record sidecar only works while the stats structs stay
 // trivially copyable; a std::string member added later must come with a

@@ -1,0 +1,57 @@
+#include "partition/pair_affinity.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace knnpc {
+
+PartitionAssignment pair_affinity_shard_split(
+    const PartitionAssignment& partitions, PartitionId shards) {
+  if (shards == 0) {
+    throw std::invalid_argument(
+        "pair_affinity_shard_split: shards must be > 0");
+  }
+  if (!partitions.fully_assigned()) {
+    throw std::invalid_argument(
+        "pair_affinity_shard_split: partition assignment incomplete");
+  }
+  const PartitionId m = partitions.num_partitions();
+  const VertexId n = partitions.num_vertices();
+
+  // Group the m partitions into `shards` contiguous groups with balanced
+  // user counts (weight 1 per partition when the store is empty, so the
+  // grouping stays total). With shards >= m each partition is its own
+  // group.
+  std::vector<PartitionId> group(m, 0);
+  if (shards >= m) {
+    for (PartitionId p = 0; p < m; ++p) group[p] = p;
+  } else {
+    const std::vector<std::size_t> sizes = partitions.sizes();
+    std::uint64_t total = 0;
+    for (const std::size_t s : sizes) total += s;
+    const bool by_count = total == 0;
+    if (by_count) total = m;
+    PartitionId g = 0;
+    std::uint64_t cum = 0;
+    for (PartitionId p = 0; p < m; ++p) {
+      group[p] = g;
+      cum += by_count ? 1 : sizes[p];
+      const PartitionId remaining_parts = m - p - 1;
+      const PartitionId remaining_groups = shards - g - 1;
+      if (g + 1 < shards &&
+          (cum * shards >= total * (g + 1) ||
+           remaining_parts == remaining_groups)) {
+        ++g;
+      }
+    }
+  }
+
+  std::vector<PartitionId> owner(n, kInvalidPartition);
+  for (VertexId u = 0; u < n; ++u) {
+    owner[u] = group[partitions.owner(u)];
+  }
+  return PartitionAssignment(std::move(owner), shards);
+}
+
+}  // namespace knnpc

@@ -1,0 +1,33 @@
+// Pair-affinity shard split: align the user -> shard map with the
+// user -> partition map.
+//
+// The sharded driver (core/shard_driver.h) splits consumers by a second,
+// independent partitioner over the users. With an arbitrary split, each
+// consumer's tuples reach into almost every partition, so every worker
+// streams nearly all m partitions through its phase-4 cache. Grouping the
+// m partitions into S contiguous groups and assigning each user to the
+// group of its own partition concentrates a consumer's tuple endpoints in
+// its partition group: its PI graph — and therefore its schedule and its
+// partition reads — shrinks by roughly a factor of S.
+//
+// The split changes only which worker scores which users, never the
+// scores: the merged G(t+1) stays bit-identical to the serial engine (the
+// driver's split-independence contract).
+#pragma once
+
+#include "partition/assignment.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+/// Groups the partitions of `partitions` into `shards` contiguous,
+/// user-count-balanced groups and returns the induced user -> shard
+/// assignment: shard(u) = group(partition_owner(u)). Deterministic in its
+/// inputs. When shards >= num_partitions, group(p) == p (surplus shards
+/// own no users — the driver tolerates empty consumers). Throws
+/// std::invalid_argument when `shards` is 0 or `partitions` is not fully
+/// assigned.
+PartitionAssignment pair_affinity_shard_split(
+    const PartitionAssignment& partitions, PartitionId shards);
+
+}  // namespace knnpc

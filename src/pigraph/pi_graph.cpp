@@ -79,6 +79,15 @@ std::size_t PiGraph::degree(PartitionId p) const {
   return incident(p).size();
 }
 
+PartitionId PiGraph::touched_partitions() const {
+  if (!finalized_) throw std::logic_error("PiGraph: finalize() first");
+  PartitionId touched = 0;
+  for (PartitionId p = 0; p < m_; ++p) {
+    if (adj_offsets_[p + 1] > adj_offsets_[p]) ++touched;
+  }
+  return touched;
+}
+
 std::uint64_t PiGraph::total_tuples() const noexcept {
   std::uint64_t total = 0;
   for (const PiPair& p : pairs_) total += p.tuples;

@@ -61,6 +61,13 @@ class PiGraph {
   /// Total tuples across all pairs.
   [[nodiscard]] std::uint64_t total_tuples() const noexcept;
 
+  /// Number of partitions incident to at least one pair — the partitions a
+  /// phase-4 schedule over this PI graph actually streams. Under the
+  /// pair-affinity shard split each worker's PI graph touches roughly m/S
+  /// of the m partitions; this is the counter that shows it. finalize()
+  /// required.
+  [[nodiscard]] PartitionId touched_partitions() const;
+
   /// Interprets a vertex-level graph as a PI graph (Table 1's methodology:
   /// "if the PI graph structure were to resemble these networks"). Every
   /// directed edge becomes a pair with one tuple; mutual edges merge.

@@ -1,0 +1,194 @@
+#include "profiles/profile_delta.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "util/fnv.h"
+#include "util/serde.h"
+
+namespace knnpc {
+namespace {
+
+constexpr char kDeltaMagic[4] = {'K', 'P', 'R', 'D'};
+constexpr std::uint32_t kDeltaVersion = 1;
+
+void check_same_size(const ProfileStore& from, const ProfileStore& to) {
+  if (from.num_users() != to.num_users()) {
+    throw std::invalid_argument(
+        "profile_delta: store sizes differ (" +
+        std::to_string(from.num_users()) + " vs " +
+        std::to_string(to.num_users()) + " users)");
+  }
+}
+
+/// Serialises header + rows (everything the trailing checksum covers).
+std::vector<std::byte> body_bytes(const ProfileDelta& delta) {
+  std::vector<std::byte> bytes;
+  std::size_t payload = 0;
+  for (const auto& [user, profile] : delta.rows) {
+    payload +=
+        2 * sizeof(std::uint32_t) + profile.size() * sizeof(ProfileEntry);
+  }
+  bytes.reserve(16 + payload);
+  for (const char c : kDeltaMagic) append_record(bytes, c);
+  append_record(bytes, kDeltaVersion);
+  append_record(bytes, delta.num_users);
+  append_record(bytes, static_cast<std::uint32_t>(delta.rows.size()));
+  for (const auto& [user, profile] : delta.rows) {
+    append_record(bytes, user);
+    append_record(bytes, static_cast<std::uint32_t>(profile.size()));
+    for (const ProfileEntry& e : profile.entries()) {
+      append_record(bytes, e.item);
+      append_record(bytes, e.weight);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+ProfileDelta profile_delta(const ProfileStore& from, const ProfileStore& to) {
+  check_same_size(from, to);
+  ProfileDelta delta;
+  delta.num_users = to.num_users();
+  for (VertexId u = 0; u < to.num_users(); ++u) {
+    const SparseProfile& b = to.get(u);
+    if (from.get(u) == b) continue;
+    delta.rows.emplace_back(u, b);
+  }
+  return delta;
+}
+
+ProfileDelta full_profile_delta(const ProfileStore& to) {
+  ProfileDelta delta;
+  delta.num_users = to.num_users();
+  delta.rows.reserve(to.num_users());
+  for (VertexId u = 0; u < to.num_users(); ++u) {
+    delta.rows.emplace_back(u, to.get(u));
+  }
+  return delta;
+}
+
+ProfileDelta profile_delta_for_users(const ProfileStore& to,
+                                     std::span<const VertexId> users) {
+  std::vector<VertexId> sorted(users.begin(), users.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  ProfileDelta delta;
+  delta.num_users = to.num_users();
+  delta.rows.reserve(sorted.size());
+  for (const VertexId u : sorted) {
+    if (u >= to.num_users()) {
+      throw std::invalid_argument(
+          "profile_delta_for_users: user " + std::to_string(u) +
+          " out of range (store holds " + std::to_string(to.num_users()) +
+          ")");
+    }
+    delta.rows.emplace_back(u, to.get(u));
+  }
+  return delta;
+}
+
+void apply_profile_delta(InMemoryProfileStore& store,
+                         const ProfileDelta& delta) {
+  if (store.num_users() != delta.num_users) {
+    throw std::invalid_argument(
+        "apply_profile_delta: delta size (" +
+        std::to_string(delta.num_users) +
+        " users) does not match the store (" +
+        std::to_string(store.num_users()) + ")");
+  }
+  for (const auto& [user, profile] : delta.rows) {
+    if (user >= store.num_users()) {
+      throw std::invalid_argument(
+          "apply_profile_delta: row user out of range");
+    }
+    store.set(user, profile);
+  }
+}
+
+std::vector<std::byte> profile_delta_to_bytes(const ProfileDelta& delta) {
+  std::vector<std::byte> bytes = body_bytes(delta);
+  append_record(bytes, fnv1a_bytes(bytes));
+  return bytes;
+}
+
+ProfileDelta profile_delta_from_bytes(std::span<const std::byte> bytes) {
+  std::size_t offset = 0;
+  auto fail = [](const std::string& what) -> std::runtime_error {
+    return std::runtime_error("profile_delta_from_bytes: " + what);
+  };
+  auto read = [&]<typename T>(T& out) {
+    if (!read_record(bytes, offset, out)) throw fail("truncated delta");
+  };
+  char magic[4];
+  for (char& c : magic) read(c);
+  if (std::memcmp(magic, kDeltaMagic, sizeof(kDeltaMagic)) != 0) {
+    throw fail("bad magic");
+  }
+  std::uint32_t version = 0;
+  read(version);
+  if (version != kDeltaVersion) {
+    throw fail("unsupported version " + std::to_string(version));
+  }
+  ProfileDelta delta;
+  read(delta.num_users);
+  std::uint32_t rows = 0;
+  read(rows);
+  if (rows > delta.num_users) throw fail("row count exceeds user count");
+  // Each row takes at least 8 bytes — reject a corrupt count before it
+  // can drive the reserve below.
+  if (bytes.size() < offset || rows > (bytes.size() - offset) / 8) {
+    throw fail("row count exceeds input size");
+  }
+  delta.rows.reserve(rows);
+  VertexId prev = 0;
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    VertexId user = 0;
+    std::uint32_t count = 0;
+    read(user);
+    read(count);
+    if (user >= delta.num_users) throw fail("row user out of range");
+    if (i > 0 && user <= prev) throw fail("rows not strictly ascending");
+    prev = user;
+    // The count is untrusted: bound it by the bytes actually present
+    // before it drives the reserve — corrupt input must be a typed
+    // failure, never a multi-gigabyte allocation.
+    if (count > (bytes.size() - offset) / sizeof(ProfileEntry)) {
+      throw fail("entry count exceeds input size");
+    }
+    std::vector<ProfileEntry> entries;
+    entries.reserve(count);
+    ItemId prev_item = 0;
+    for (std::uint32_t j = 0; j < count; ++j) {
+      ProfileEntry e;
+      read(e.item);
+      read(e.weight);
+      // The SparseProfile invariant (sorted-unique, no zero weights) is
+      // part of the wire contract: anything else would re-serialise to
+      // different bytes and break checksum stability.
+      if (j > 0 && e.item <= prev_item) {
+        throw fail("entries not strictly ascending");
+      }
+      prev_item = e.item;
+      if (e.weight == 0.0f) throw fail("zero-weight entry");
+      entries.push_back(e);
+    }
+    delta.rows.emplace_back(user, SparseProfile(std::move(entries)));
+  }
+  std::uint64_t stored = 0;
+  read(stored);
+  if (offset != bytes.size()) throw fail("trailing bytes");
+  const std::uint64_t actual =
+      fnv1a_bytes(bytes.subspan(0, bytes.size() - 8));
+  if (stored != actual) throw fail("checksum mismatch");
+  return delta;
+}
+
+std::uint64_t profile_delta_checksum(const ProfileDelta& delta) {
+  return fnv1a_bytes(body_bytes(delta));
+}
+
+}  // namespace knnpc

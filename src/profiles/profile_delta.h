@@ -1,0 +1,83 @@
+// Row-level deltas between two profile sets P_a -> P_b.
+//
+// The persistent-worker protocol (core/shard_driver.h) keeps each worker
+// process's copy of P(t) in sync across iterations by shipping only the
+// users phase 5 actually touched — on a churn workload that is a handful
+// of rows per iteration instead of all n, and it is what lets persistent
+// workers stop re-reading partition profile files from the shared store
+// after the first sync. A delta with every row present doubles as the
+// full-snapshot resync after a worker respawn.
+//
+// Serialised format ("KPRD", little endian, util/serde.h layout):
+//   magic "KPRD" (4 bytes), u32 version, u32 num_users, u32 row count,
+//   then per row (ascending user order): u32 user, u32 entry count,
+//   count x {u32 item, f32 weight} (ascending item order, no zero
+//   weights), and finally the u64 FNV-1a checksum of everything before
+//   it.
+// The serialisation is checksum-stable: the same delta always produces
+// the same bytes (rows and entries are sorted by construction), so the
+// trailing checksum both detects corruption and lets two sides compare
+// deltas without exchanging them. This mirrors graph/knn_graph_delta
+// ("KDLT") — the two formats are the complete iteration-sync vocabulary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "profiles/profile.h"
+#include "profiles/profile_store.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+struct ProfileDelta {
+  /// User count of BOTH endpoint stores (a delta never resizes).
+  VertexId num_users = 0;
+  /// (user, their complete new profile), ascending user order.
+  std::vector<std::pair<VertexId, SparseProfile>> rows;
+
+  [[nodiscard]] bool empty() const noexcept { return rows.empty(); }
+};
+
+/// Rows whose profiles differ between `from` and `to` (each row carries
+/// `to`'s complete profile). Store sizes must match; throws
+/// std::invalid_argument otherwise. delta(P, P) is empty — the fast path
+/// costs one profile-compare pass and no row allocations.
+ProfileDelta profile_delta(const ProfileStore& from, const ProfileStore& to);
+
+/// Every row of `to` as a delta — the full-snapshot resync payload.
+/// apply()ing it reproduces `to` from ANY same-size base store.
+ProfileDelta full_profile_delta(const ProfileStore& to);
+
+/// Rows for exactly the listed users (duplicates and ordering in `users`
+/// are forgiven; the result is sorted and deduplicated). The driver uses
+/// this to turn phase 5's touched-user list into the next iteration's
+/// delta without diffing all n profiles. Throws std::invalid_argument on
+/// out-of-range users.
+ProfileDelta profile_delta_for_users(const ProfileStore& to,
+                                     std::span<const VertexId> users);
+
+/// Replaces the listed rows in `store`. Invariant (tested): for same-size
+/// stores, apply(profile_delta(a, b), a) == b bit-for-bit. Throws
+/// std::invalid_argument on size mismatch or out-of-range users.
+void apply_profile_delta(InMemoryProfileStore& store,
+                         const ProfileDelta& delta);
+
+/// Serialises to the "KPRD" byte format documented above.
+std::vector<std::byte> profile_delta_to_bytes(const ProfileDelta& delta);
+
+/// Parses "KPRD" bytes. Throws std::runtime_error on bad magic/version,
+/// truncation, trailing bytes, unsorted or out-of-range rows, unsorted or
+/// zero-weight entries, or a checksum mismatch — corrupt input is always
+/// a typed failure, never a silently wrong profile set.
+ProfileDelta profile_delta_from_bytes(std::span<const std::byte> bytes);
+
+/// FNV-1a checksum over the serialised header + rows (the value stored in
+/// the trailing 8 bytes of the byte format). Equal deltas have equal
+/// checksums; stable across serialise/parse round-trips.
+std::uint64_t profile_delta_checksum(const ProfileDelta& delta);
+
+}  // namespace knnpc

@@ -4,7 +4,8 @@
 
 namespace knnpc {
 
-std::size_t UpdateQueue::apply_to(InMemoryProfileStore& store) {
+std::size_t UpdateQueue::apply_to(InMemoryProfileStore& store,
+                                  std::vector<VertexId>* touched) {
   std::size_t applied = 0;
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     ProfileUpdate& u = queue_[i];
@@ -25,6 +26,7 @@ std::size_t UpdateQueue::apply_to(InMemoryProfileStore& store) {
         store.mutable_get(u.user).add(u.item, u.value);
         break;
     }
+    if (touched != nullptr) touched->push_back(u.user);
     ++applied;
   }
   queue_.clear();

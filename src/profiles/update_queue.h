@@ -39,7 +39,14 @@ class UpdateQueue {
   /// queue. Returns the number of updates applied. Updates addressed to
   /// out-of-range users throw std::out_of_range (and the queue keeps the
   /// unapplied tail).
-  std::size_t apply_to(InMemoryProfileStore& store);
+  ///
+  /// When `touched` is non-null, the user id of every applied update is
+  /// appended to it (duplicates preserved, appended as each update lands —
+  /// so the list is complete even when a later update throws). The sharded
+  /// driver turns this list into the next iteration's profile delta
+  /// (profiles/profile_delta.h) instead of diffing all n profiles.
+  std::size_t apply_to(InMemoryProfileStore& store,
+                       std::vector<VertexId>* touched = nullptr);
 
   void clear() noexcept { queue_.clear(); }
 

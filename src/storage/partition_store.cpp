@@ -51,7 +51,8 @@ std::vector<std::byte> PartitionStore::fetch(const fs::path& path) const {
 
 void PartitionStore::write_all(const EdgeList& graph,
                                const PartitionAssignment& assignment,
-                               const ProfileStore& profiles) {
+                               const ProfileStore& profiles,
+                               bool include_profiles) {
   if (graph.num_vertices != assignment.num_vertices()) {
     throw std::invalid_argument(
         "PartitionStore::write_all: graph/assignment size mismatch");
@@ -83,19 +84,20 @@ void PartitionStore::write_all(const EdgeList& graph,
     std::sort(out_bucket[p].begin(), out_bucket[p].end());
 
     const auto members = assignment.members(p);
-    std::vector<SparseProfile> member_profiles;
-    member_profiles.reserve(members.size());
-    for (VertexId v : members) member_profiles.push_back(profiles.get(v));
-
     const auto in_bytes = to_bytes(in_bucket[p]);
     const auto out_bytes = to_bytes(out_bucket[p]);
-    const auto prof_bytes = pack_profiles(member_profiles);
     write_file(file(p, ".in"), in_bytes, raw);
     write_file(file(p, ".out"), out_bytes, raw);
-    write_file(file(p, ".prof"), prof_bytes, raw);
     io_.charge_write(in_bytes.size());
     io_.charge_write(out_bytes.size());
-    io_.charge_write(prof_bytes.size());
+    if (include_profiles) {
+      std::vector<SparseProfile> member_profiles;
+      member_profiles.reserve(members.size());
+      for (VertexId v : members) member_profiles.push_back(profiles.get(v));
+      const auto prof_bytes = pack_profiles(member_profiles);
+      write_file(file(p, ".prof"), prof_bytes, raw);
+      io_.charge_write(prof_bytes.size());
+    }
 
     // Vertex membership file (ascending ids).
     const auto member_bytes = to_bytes(members);
@@ -106,7 +108,8 @@ void PartitionStore::write_all(const EdgeList& graph,
 
 void PartitionStore::write_all_streaming(
     const EdgeList& graph, const PartitionAssignment& assignment,
-    const ProfileStore& profiles, std::size_t sort_buffer_bytes) {
+    const ProfileStore& profiles, std::size_t sort_buffer_bytes,
+    bool include_profiles) {
   if (graph.num_vertices != assignment.num_vertices()) {
     throw std::invalid_argument(
         "PartitionStore::write_all_streaming: size mismatch");
@@ -156,12 +159,14 @@ void PartitionStore::write_all_streaming(
   IoCounters raw;
   for (PartitionId p = 0; p < m_; ++p) {
     const auto members = assignment.members(p);
-    std::vector<SparseProfile> member_profiles;
-    member_profiles.reserve(members.size());
-    for (VertexId v : members) member_profiles.push_back(profiles.get(v));
-    const auto prof_bytes = pack_profiles(member_profiles);
-    write_file(file(p, ".prof"), prof_bytes, raw);
-    io_.charge_write(prof_bytes.size());
+    if (include_profiles) {
+      std::vector<SparseProfile> member_profiles;
+      member_profiles.reserve(members.size());
+      for (VertexId v : members) member_profiles.push_back(profiles.get(v));
+      const auto prof_bytes = pack_profiles(member_profiles);
+      write_file(file(p, ".prof"), prof_bytes, raw);
+      io_.charge_write(prof_bytes.size());
+    }
     const auto member_bytes = to_bytes(members);
     write_file(file(p, ".vtx"), member_bytes, raw);
     io_.charge_write(member_bytes.size());
@@ -214,8 +219,11 @@ void PartitionStore::write_profiles(
   io_.charge_write(member_bytes.size());
 }
 
-PartitionCache::PartitionCache(const PartitionStore& store, std::size_t slots)
-    : store_(store), slots_(std::max<std::size_t>(slots, 1)) {}
+PartitionCache::PartitionCache(const PartitionStore& store, std::size_t slots,
+                               bool edges_only)
+    : store_(store),
+      slots_(std::max<std::size_t>(slots, 1)),
+      edges_only_(edges_only) {}
 
 const PartitionData& PartitionCache::get(PartitionId id) {
   if (auto it = resident_.find(id); it != resident_.end()) {
@@ -229,7 +237,8 @@ const PartitionData& PartitionCache::get(PartitionId id) {
     resident_.erase(victim);
     ++unloads_;
   }
-  auto [it, inserted] = resident_.emplace(id, store_.load(id));
+  auto [it, inserted] = resident_.emplace(
+      id, edges_only_ ? store_.load_edges(id) : store_.load(id));
   lru_.push_front(id);
   ++loads_;
   return it->second;

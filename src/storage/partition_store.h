@@ -72,8 +72,14 @@ class PartitionStore {
   /// partition owning their *bridge* role: (s,v) to owner(v) as in-edge,
   /// (v,d) to owner(v) as out-edge — i.e. every partition holds both edge
   /// directions of its own vertices, as the paper specifies.
+  ///
+  /// `include_profiles = false` skips the .prof files entirely: the
+  /// persistent-worker driver syncs profiles over the command channel
+  /// (profiles/profile_delta.h) instead, so writing them here would be
+  /// bytes nobody reads. load() throws on such a store; load_edges() is
+  /// the supported read path.
   void write_all(const EdgeList& graph, const PartitionAssignment& assignment,
-                 const ProfileStore& profiles);
+                 const ProfileStore& profiles, bool include_profiles = true);
 
   /// Low-memory variant of write_all: edges stream to per-partition files
   /// through a bounded buffer (storage/shard_writer.h) and each edge file
@@ -83,7 +89,8 @@ class PartitionStore {
   void write_all_streaming(const EdgeList& graph,
                            const PartitionAssignment& assignment,
                            const ProfileStore& profiles,
-                           std::size_t sort_buffer_bytes = 4u << 20);
+                           std::size_t sort_buffer_bytes = 4u << 20,
+                           bool include_profiles = true);
 
   /// Loads one partition from disk (three file reads, charged to the
   /// accountant). Throws when the partition was never written.
@@ -127,7 +134,11 @@ class PartitionStore {
 /// underlying store may be shared across caches on different threads.
 class PartitionCache {
  public:
-  PartitionCache(const PartitionStore& store, std::size_t slots);
+  /// `edges_only = true` loads partitions via load_edges() (no .prof
+  /// reads): the persistent-worker path, where profiles live in a
+  /// worker-local store kept current by KPRD deltas.
+  PartitionCache(const PartitionStore& store, std::size_t slots,
+                 bool edges_only = false);
 
   /// Returns the resident partition, loading (and possibly evicting LRU)
   /// as needed. References are invalidated by subsequent get() calls that
@@ -149,6 +160,7 @@ class PartitionCache {
  private:
   const PartitionStore& store_;
   std::size_t slots_;
+  bool edges_only_ = false;
   std::list<PartitionId> lru_;  // front = most recent
   std::unordered_map<PartitionId, PartitionData> resident_;
   std::uint64_t loads_ = 0;

@@ -14,6 +14,9 @@
 #include <thread>
 #include <vector>
 
+#include "profiles/profile.h"
+#include "profiles/profile_delta.h"
+#include "profiles/profile_store.h"
 #include "util/ipc_channel.h"
 #include "util/rng.h"
 
@@ -277,6 +280,52 @@ TEST(IpcChannelTest, FuzzedHeadersAfterValidMagicStayTyped) {
         EXPECT_EQ(e.kind(), IpcErrorKind::Timeout);
       }
     }
+  }
+}
+
+TEST(IpcChannelTest, KprdPayloadsSurviveFramingAndCorruptionStaysTyped) {
+  // A RUN_ITERATION command's heaviest cargo is a "KPRD" profile delta.
+  // The framing layer must carry it byte-exact, and a payload corrupted
+  // in flight must surface as a typed error from the KPRD parser (the
+  // frame header itself has no payload checksum — the delta formats
+  // carry their own).
+  Rng rng(0x9a7d);
+  std::vector<SparseProfile> profiles(40);
+  for (auto& p : profiles) {
+    const auto items = 1 + rng.next_below(6);
+    for (std::size_t i = 0; i < items; ++i) {
+      p.set(static_cast<ItemId>(rng.next_below(64)),
+            0.5f + static_cast<float>(rng.next_double()));
+    }
+  }
+  const InMemoryProfileStore store(std::move(profiles));
+  const std::vector<std::byte> wire =
+      profile_delta_to_bytes(full_profile_delta(store));
+
+  Loopback loop;
+  loop.a.send(4, wire);
+  const IpcFrame frame = loop.b.recv(2.0);
+  EXPECT_EQ(frame.type, 4u);
+  ASSERT_EQ(frame.payload, wire);
+  const ProfileDelta decoded = profile_delta_from_bytes(frame.payload);
+  EXPECT_EQ(decoded.rows.size(), 40u);
+  EXPECT_EQ(profile_delta_to_bytes(decoded), wire);
+
+  // 50 deterministic single-byte corruptions of the framed payload: the
+  // frame still parses (framing is length-based), but the KPRD layer
+  // must reject every one — never a silently wrong profile set.
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::byte> corrupt = wire;
+    corrupt[rng.next_below(corrupt.size())] ^=
+        static_cast<std::byte>(1 + rng.next_below(255));
+    if (corrupt == wire) continue;  // xor happened to cancel? impossible,
+                                    // but keep the loop honest
+    loop.a.send(4, corrupt);
+    const IpcFrame bad = loop.b.recv(2.0);
+    ASSERT_EQ(bad.payload.size(), corrupt.size());
+    EXPECT_THROW((void)profile_delta_from_bytes(bad.payload),
+                 std::runtime_error)
+        << "corruption round " << round << " parsed";
   }
 }
 

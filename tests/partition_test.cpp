@@ -7,6 +7,7 @@
 #include "partition/cost.h"
 #include "partition/greedy_partitioner.h"
 #include "partition/hash_partitioner.h"
+#include "partition/pair_affinity.h"
 #include "partition/partitioner.h"
 #include "partition/range_partitioner.h"
 #include "partition/refinement.h"
@@ -170,6 +171,69 @@ TEST(GreedyPartitionerTest, BeatsHashOnClusteredGraph) {
   const auto hashed = HashPartitioner{}.assign(g, 8);
   EXPECT_LT(partition_cost(g, greedy).total,
             partition_cost(g, hashed).total);
+}
+
+// ---------------------------------------------------- pair-affinity split --
+
+TEST(PairAffinityTest, ShardFollowsPartitionGroup) {
+  // 12 users over 4 partitions of unequal size; 2 shards must cover
+  // contiguous partition ranges, and every user lands on its partition's
+  // group.
+  PartitionAssignment parts(
+      {0, 0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 3}, 4);
+  const PartitionAssignment split = pair_affinity_shard_split(parts, 2);
+  EXPECT_EQ(split.num_partitions(), 2u);
+  EXPECT_TRUE(split.fully_assigned());
+  // Each partition maps to exactly one shard...
+  std::vector<PartitionId> group(4, kInvalidPartition);
+  for (VertexId u = 0; u < 12; ++u) {
+    const PartitionId p = parts.owner(u);
+    if (group[p] == kInvalidPartition) group[p] = split.owner(u);
+    EXPECT_EQ(split.owner(u), group[p]) << "user " << u;
+  }
+  // ...and the partition -> group map is contiguous and non-decreasing.
+  for (PartitionId p = 1; p < 4; ++p) {
+    EXPECT_GE(group[p], group[p - 1]);
+    EXPECT_LE(group[p], group[p - 1] + 1);
+  }
+  // Balanced by user count: 5|2|2|3 groups as 5 vs 7 or 7 vs 5 — neither
+  // shard may hold everything.
+  const auto sizes = split.sizes();
+  EXPECT_GT(sizes[0], 0u);
+  EXPECT_GT(sizes[1], 0u);
+}
+
+TEST(PairAffinityTest, BalancesUserCountsNotPartitionCounts) {
+  // One huge partition plus many tiny ones: the huge one must get its own
+  // group rather than being bundled by partition count.
+  std::vector<PartitionId> owners(100, 0);
+  for (VertexId u = 80; u < 100; ++u) {
+    owners[u] = static_cast<PartitionId>(1 + (u - 80) / 5);
+  }
+  PartitionAssignment parts(owners, 5);  // sizes: 80,5,5,5,5
+  const PartitionAssignment split = pair_affinity_shard_split(parts, 2);
+  const auto sizes = split.sizes();
+  EXPECT_EQ(sizes[0], 80u);
+  EXPECT_EQ(sizes[1], 20u);
+}
+
+TEST(PairAffinityTest, MoreShardsThanPartitionsIsIdentity) {
+  PartitionAssignment parts({0, 1, 2, 0, 1, 2}, 3);
+  const PartitionAssignment split = pair_affinity_shard_split(parts, 5);
+  EXPECT_EQ(split.num_partitions(), 5u);
+  for (VertexId u = 0; u < 6; ++u) {
+    EXPECT_EQ(split.owner(u), parts.owner(u));
+  }
+}
+
+TEST(PairAffinityTest, RejectsInvalidInputs) {
+  PartitionAssignment parts({0, 1, 0, 1}, 2);
+  EXPECT_THROW((void)pair_affinity_shard_split(parts, 0),
+               std::invalid_argument);
+  PartitionAssignment incomplete(4, 2);
+  incomplete.assign(0, 0);
+  EXPECT_THROW((void)pair_affinity_shard_split(incomplete, 2),
+               std::invalid_argument);
 }
 
 // ------------------------------------------------------------- refinement --

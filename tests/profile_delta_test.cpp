@@ -1,0 +1,249 @@
+// Tests for profiles/profile_delta: the "KPRD" row-level sync format the
+// persistent shard protocol ships P(t) with. Mirrors the "KDLT" suite in
+// graph_test — the two formats are the complete iteration-sync
+// vocabulary, and their guarantees must stay in lockstep.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "profiles/profile.h"
+#include "profiles/profile_delta.h"
+#include "profiles/profile_store.h"
+#include "util/rng.h"
+#include "util/serde.h"
+
+namespace knnpc {
+namespace {
+
+std::vector<SparseProfile> random_profiles(VertexId n, Rng& rng) {
+  std::vector<SparseProfile> profiles(n);
+  for (VertexId u = 0; u < n; ++u) {
+    const auto items = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+    for (std::uint32_t i = 0; i < items; ++i) {
+      profiles[u].set(static_cast<ItemId>(rng.next_below(100)),
+                      0.25f + static_cast<float>(rng.next_double()));
+    }
+  }
+  return profiles;
+}
+
+/// Random row churn: rebuilds `changes` random rows from scratch (the
+/// shape of what one phase-5 pass does to P(t)).
+void churn_rows(InMemoryProfileStore& store, std::uint32_t changes,
+                Rng& rng) {
+  const VertexId n = store.num_users();
+  for (std::uint32_t c = 0; c < changes; ++c) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    SparseProfile fresh;
+    const auto items = static_cast<std::uint32_t>(rng.next_below(6));
+    for (std::uint32_t i = 0; i < items; ++i) {
+      fresh.set(static_cast<ItemId>(rng.next_below(100)),
+                0.25f + static_cast<float>(rng.next_double()));
+    }
+    store.set(u, fresh);
+  }
+}
+
+/// Bit-for-bit store identity via the delta checksum (which covers every
+/// item and weight of every row).
+std::uint64_t store_checksum(const ProfileStore& store) {
+  return profile_delta_checksum(full_profile_delta(store));
+}
+
+TEST(ProfileDeltaTest, ApplyOfDeltaReproducesTheTargetOnChurnedStores) {
+  Rng rng(504);
+  for (int round = 0; round < 10; ++round) {
+    const VertexId n = 40 + static_cast<VertexId>(rng.next_below(80));
+    const InMemoryProfileStore a(random_profiles(n, rng));
+    InMemoryProfileStore b(a);
+    churn_rows(b, 1 + static_cast<std::uint32_t>(rng.next_below(n)), rng);
+
+    const ProfileDelta delta = profile_delta(a, b);
+    InMemoryProfileStore patched(a);
+    apply_profile_delta(patched, delta);
+    EXPECT_EQ(store_checksum(patched), store_checksum(b))
+        << "round " << round << " (n=" << n << ")";
+    // And through the wire format.
+    const ProfileDelta decoded =
+        profile_delta_from_bytes(profile_delta_to_bytes(delta));
+    InMemoryProfileStore rewired(a);
+    apply_profile_delta(rewired, decoded);
+    EXPECT_EQ(store_checksum(rewired), store_checksum(b));
+  }
+}
+
+TEST(ProfileDeltaTest, EmptyDeltaFastPath) {
+  Rng rng(505);
+  const InMemoryProfileStore a(random_profiles(50, rng));
+  const ProfileDelta delta = profile_delta(a, a);
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.rows.size(), 0u);
+
+  InMemoryProfileStore patched(a);
+  apply_profile_delta(patched, delta);
+  EXPECT_EQ(store_checksum(patched), store_checksum(a));
+
+  // An empty delta's wire form is just the fixed header + checksum.
+  const auto bytes = profile_delta_to_bytes(delta);
+  EXPECT_EQ(bytes.size(), 16u + 8u);
+  EXPECT_TRUE(profile_delta_from_bytes(bytes).empty());
+}
+
+TEST(ProfileDeltaTest, FullDeltaResyncsFromAnyBase) {
+  Rng rng(506);
+  const InMemoryProfileStore target(random_profiles(60, rng));
+  const ProfileDelta full = full_profile_delta(target);
+  EXPECT_EQ(full.rows.size(), 60u);
+
+  // From a blank fleet-spawn store...
+  InMemoryProfileStore from_empty(std::vector<SparseProfile>(60));
+  apply_profile_delta(from_empty, full);
+  EXPECT_EQ(store_checksum(from_empty), store_checksum(target));
+
+  // ...and from an arbitrary diverged one.
+  InMemoryProfileStore from_other(random_profiles(60, rng));
+  apply_profile_delta(from_other, full);
+  EXPECT_EQ(store_checksum(from_other), store_checksum(target));
+}
+
+TEST(ProfileDeltaTest, DeltaForUsersDedupsSortsAndChecksRange) {
+  Rng rng(507);
+  const InMemoryProfileStore store(random_profiles(20, rng));
+  const std::vector<VertexId> users = {7, 3, 7, 3, 11};
+  const ProfileDelta delta = profile_delta_for_users(store, users);
+  ASSERT_EQ(delta.rows.size(), 3u);
+  EXPECT_EQ(delta.rows[0].first, 3u);
+  EXPECT_EQ(delta.rows[1].first, 7u);
+  EXPECT_EQ(delta.rows[2].first, 11u);
+  // Applying the touched-user delta over the same base is a no-op...
+  InMemoryProfileStore patched(store);
+  apply_profile_delta(patched, delta);
+  EXPECT_EQ(store_checksum(patched), store_checksum(store));
+  // ...and it round-trips through the wire format.
+  EXPECT_EQ(profile_delta_to_bytes(
+                profile_delta_from_bytes(profile_delta_to_bytes(delta))),
+            profile_delta_to_bytes(delta));
+
+  const std::vector<VertexId> out_of_range = {5, 20};
+  EXPECT_THROW((void)profile_delta_for_users(store, out_of_range),
+               std::invalid_argument);
+}
+
+TEST(ProfileDeltaTest, SerializationIsChecksumStable) {
+  Rng rng(508);
+  const InMemoryProfileStore a(random_profiles(70, rng));
+  InMemoryProfileStore b(a);
+  churn_rows(b, 20, rng);
+  const ProfileDelta delta = profile_delta(a, b);
+
+  const auto once = profile_delta_to_bytes(delta);
+  const auto twice = profile_delta_to_bytes(delta);
+  EXPECT_EQ(once, twice);
+
+  const ProfileDelta decoded = profile_delta_from_bytes(once);
+  EXPECT_EQ(profile_delta_to_bytes(decoded), once);
+  EXPECT_EQ(profile_delta_checksum(decoded), profile_delta_checksum(delta));
+}
+
+TEST(ProfileDeltaTest, RejectsCorruptBytes) {
+  Rng rng(509);
+  const InMemoryProfileStore a(random_profiles(30, rng));
+  InMemoryProfileStore b(a);
+  churn_rows(b, 10, rng);
+  auto bytes = profile_delta_to_bytes(profile_delta(a, b));
+
+  EXPECT_THROW((void)profile_delta_from_bytes({}), std::runtime_error);
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 5);
+  EXPECT_THROW((void)profile_delta_from_bytes(truncated),
+               std::runtime_error);
+
+  auto bad_magic = bytes;
+  bad_magic[0] = std::byte{'X'};
+  EXPECT_THROW((void)profile_delta_from_bytes(bad_magic),
+               std::runtime_error);
+
+  // A flipped payload byte must trip a row-invariant check or, failing
+  // that, the trailing checksum — never parse to a wrong store.
+  auto flipped = bytes;
+  flipped[bytes.size() / 2] ^= std::byte{0x01};
+  EXPECT_THROW((void)profile_delta_from_bytes(flipped), std::runtime_error);
+}
+
+TEST(ProfileDeltaTest, CorruptCountsCannotDriveHugeAllocations) {
+  // A hand-forged header with a row claiming ~2^32 entries; the parser
+  // must reject it from the byte budget BEFORE reserving — a typed
+  // error, not a 34 GB allocation.
+  std::vector<std::byte> evil;
+  for (const char c : {'K', 'P', 'R', 'D'}) append_record(evil, c);
+  append_record(evil, std::uint32_t{1});           // version
+  append_record(evil, std::uint32_t{10});          // num_users
+  append_record(evil, std::uint32_t{1});           // rows
+  append_record(evil, std::uint32_t{0});           // row user
+  append_record(evil, std::uint32_t{0xffffffe0});  // entry count (corrupt)
+  append_record(evil, std::uint64_t{0});           // bogus checksum
+  try {
+    (void)profile_delta_from_bytes(evil);
+    FAIL() << "forged delta parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("count exceeds input size"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProfileDeltaTest, RejectsZeroWeightAndUnsortedEntriesOnTheWire) {
+  // SparseProfile's invariant (sorted-unique items, no zero weights) is
+  // part of the wire contract: anything else would re-serialise to
+  // different bytes and break checksum stability, so the parser refuses
+  // it outright (before the checksum is even reached).
+  auto forge = [](ItemId first_item, float first_weight, ItemId second_item,
+                  float second_weight) {
+    std::vector<std::byte> bytes;
+    for (const char c : {'K', 'P', 'R', 'D'}) append_record(bytes, c);
+    append_record(bytes, std::uint32_t{1});  // version
+    append_record(bytes, std::uint32_t{4});  // num_users
+    append_record(bytes, std::uint32_t{1});  // rows
+    append_record(bytes, std::uint32_t{0});  // row user
+    append_record(bytes, std::uint32_t{2});  // entry count
+    append_record(bytes, first_item);
+    append_record(bytes, first_weight);
+    append_record(bytes, second_item);
+    append_record(bytes, second_weight);
+    append_record(bytes, std::uint64_t{0});  // bogus checksum
+    return bytes;
+  };
+  try {
+    (void)profile_delta_from_bytes(forge(1, 1.0f, 2, 0.0f));
+    FAIL() << "zero-weight entry parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("zero-weight"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)profile_delta_from_bytes(forge(2, 1.0f, 1, 1.0f));
+    FAIL() << "unsorted entries parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not strictly ascending"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProfileDeltaTest, RejectsShapeMismatches) {
+  Rng rng(510);
+  const InMemoryProfileStore a(random_profiles(20, rng));
+  const InMemoryProfileStore wrong_n(random_profiles(21, rng));
+  EXPECT_THROW((void)profile_delta(a, wrong_n), std::invalid_argument);
+
+  InMemoryProfileStore target(random_profiles(21, rng));
+  EXPECT_THROW(apply_profile_delta(target, full_profile_delta(a)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knnpc

@@ -123,7 +123,7 @@ TEST(ShardDriverTest, ShardSplitStrategyDoesNotChangeOutput) {
   const EngineConfig config = base_config();
   const SerialRun serial = run_serial(config, 80, 4, 1);
 
-  for (const char* strategy : {"range", "hash"}) {
+  for (const char* strategy : {"range", "hash", "pair-affinity"}) {
     ShardConfig shard_config;
     shard_config.shards = 3;
     shard_config.shard_partitioner = strategy;

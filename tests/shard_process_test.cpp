@@ -337,7 +337,8 @@ std::vector<std::uint64_t> serial_churn_checksums(const EngineConfig& config,
 /// reference; returns the final iteration's stats for counter checks.
 ShardedIterationStats run_persistent_churn(
     ShardedKnnEngine& engine, VertexId n, std::uint32_t clusters,
-    const std::vector<std::uint64_t>& serial) {
+    const std::vector<std::uint64_t>& serial,
+    std::vector<ShardedIterationStats>* per_iteration = nullptr) {
   ChurnDriver churn(churn_config(n, clusters));
   ShardedIterationStats last;
   for (std::size_t i = 0; i < serial.size(); ++i) {
@@ -345,6 +346,7 @@ ShardedIterationStats run_persistent_churn(
     last = engine.run_iteration();
     EXPECT_EQ(knn_graph_checksum(engine.graph()), serial[i])
         << "persistent mode diverged at iteration " << i;
+    if (per_iteration != nullptr) per_iteration->push_back(last);
   }
   return last;
 }
@@ -368,6 +370,14 @@ TEST_P(PersistentShardCountTest, ChurnWorkloadBitIdenticalToSerial) {
   for (const ShardWorkerStats& w : last.workers) {
     EXPECT_EQ(w.spawn_count, 1u) << "shard " << w.shard;
     EXPECT_EQ(w.resync_count, 0u) << "shard " << w.shard;
+    // The fused-protocol contract: one heavy command per worker per
+    // clean iteration (the GO barrier is payload-free and uncounted),
+    // and — with the worker-local P(t) copy — zero partition-profile
+    // reads, ever.
+    EXPECT_EQ(w.round_trips, 1u) << "shard " << w.shard;
+    EXPECT_EQ(w.profile_reads, 0u) << "shard " << w.shard;
+    EXPECT_GT(w.bytes_tx, 0u) << "shard " << w.shard;
+    EXPECT_GT(w.bytes_rx, 0u) << "shard " << w.shard;
   }
 }
 
@@ -414,14 +424,28 @@ TEST(PersistentFaultTest, ConsumerKilledMidIterationRespawnsAndResyncs) {
   // before the wave replays.
   FaultGuard fault("consume:1:kill:0:2");
   ShardedKnnEngine engine(config, persistent_config(3), clustered(80, 4));
+  std::vector<ShardedIterationStats> per_iter;
   const ShardedIterationStats last =
-      run_persistent_churn(engine, 80, 4, serial);
+      run_persistent_churn(engine, 80, 4, serial, &per_iter);
 
   ASSERT_EQ(last.workers.size(), 3u);
   EXPECT_EQ(last.workers[1].spawn_count, 2u);
   EXPECT_EQ(last.workers[1].resync_count, 1u);
   EXPECT_EQ(last.workers[0].spawn_count, 1u);
   EXPECT_EQ(last.workers[2].spawn_count, 1u);
+
+  // The respawned worker's resync shipped the COMPLETE profile store —
+  // all 80 rows, not just the churn delta — over a second heavy command
+  // (the skip-produce consume replay); the survivors stayed at one.
+  ASSERT_EQ(per_iter.size(), 5u);
+  const ShardedIterationStats& fault_iter = per_iter[2];
+  EXPECT_EQ(fault_iter.workers[1].profile_rows_rx, 80u);
+  EXPECT_EQ(fault_iter.workers[1].round_trips, 2u);
+  EXPECT_EQ(fault_iter.workers[0].round_trips, 1u);
+  EXPECT_EQ(fault_iter.workers[2].round_trips, 1u);
+  // And back to delta-sized sync on the next clean iteration.
+  EXPECT_EQ(per_iter[3].workers[1].round_trips, 1u);
+  EXPECT_LT(per_iter[3].workers[1].profile_rows_rx, 80u);
 }
 
 TEST(PersistentFaultTest, ProducerExitMidIterationRecovers) {
@@ -434,10 +458,15 @@ TEST(PersistentFaultTest, ProducerExitMidIterationRecovers) {
 
   FaultGuard fault("produce:2:exit:0:1");
   ShardedKnnEngine engine(config, persistent_config(3), clustered(80, 4));
+  std::vector<ShardedIterationStats> per_iter;
   const ShardedIterationStats last =
-      run_persistent_churn(engine, 80, 4, serial);
+      run_persistent_churn(engine, 80, 4, serial, &per_iter);
   EXPECT_EQ(last.workers[2].spawn_count, 2u);
   EXPECT_EQ(last.workers[2].resync_count, 1u);
+  // The produce-phase respawn replays the full command: a second heavy
+  // round trip carrying the complete 80-row profile snapshot.
+  EXPECT_EQ(per_iter[1].workers[2].round_trips, 2u);
+  EXPECT_EQ(per_iter[1].workers[2].profile_rows_rx, 80u);
 }
 
 TEST(PersistentFaultTest, WedgedWorkerHitsCommandDeadlineAndRecovers) {
@@ -570,6 +599,12 @@ TEST(WorkerStatsIoTest, SidecarRoundTrips) {
   stats.consume_s = 0.5;
   stats.spawn_count = 2;
   stats.resync_count = 1;
+  stats.bytes_tx = 7000000000ull;  // must survive as a full u64
+  stats.bytes_rx = 12345;
+  stats.round_trips = 2;
+  stats.partitions_touched = 7;
+  stats.profile_reads = 21;
+  stats.profile_rows_rx = 80;
   stats.stats.unique_tuples = 99;
   stats.stats.io.bytes_read = 1024;
   stats.stats.sampled_recall = 0.875;
@@ -583,6 +618,12 @@ TEST(WorkerStatsIoTest, SidecarRoundTrips) {
   EXPECT_DOUBLE_EQ(loaded.produce_s, 0.25);
   EXPECT_EQ(loaded.spawn_count, 2u);
   EXPECT_EQ(loaded.resync_count, 1u);
+  EXPECT_EQ(loaded.bytes_tx, 7000000000ull);
+  EXPECT_EQ(loaded.bytes_rx, 12345u);
+  EXPECT_EQ(loaded.round_trips, 2u);
+  EXPECT_EQ(loaded.partitions_touched, 7u);
+  EXPECT_EQ(loaded.profile_reads, 21u);
+  EXPECT_EQ(loaded.profile_rows_rx, 80u);
   EXPECT_EQ(loaded.stats.unique_tuples, 99u);
   EXPECT_EQ(loaded.stats.io.bytes_read, 1024u);
   ASSERT_TRUE(loaded.stats.sampled_recall.has_value());

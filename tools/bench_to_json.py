@@ -86,8 +86,10 @@ def summarize_shards(d, out):
     out.append("")
     out.append("| shards | threads/shard | wall s | process wall s "
                "| persistent wall s | cpu s | speedup | max shard wall s "
-               "| identical | proc identical | persistent identical |")
-    out.append("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+               "| identical | proc identical | persistent identical "
+               "| round trips | tx MiB | rx MiB | profile reads |")
+    out.append("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:"
+               "|---:|---:|---:|---:|")
 
     def optional(row, key, fmt="{:.3f}"):
         return fmt.format(row[key]) if key in row else "-"
@@ -97,12 +99,18 @@ def summarize_shards(d, out):
             return "-"
         return "yes" if row[key] else "**NO**"
 
+    def optional_mib(row, key):
+        if key not in row:
+            return "-"
+        return "{:.2f}".format(row[key] / (1024.0 * 1024.0))
+
     for row in d.get("results", []):
         max_wall = max(row.get("per_shard_wall_s", [0.0]) or [0.0])
         out.append(
             "| {shards} | {threads_per_shard} | {wall_s:.3f} "
             "| {proc_wall} | {pers_wall} | {cpu_s:.3f} | {speedup:.2f}x "
             "| {max_wall:.3f} | {ident} | {proc_ident} | {pers_ident} "
+            "| {round_trips} | {tx_mib} | {rx_mib} | {prof_reads} "
             "|".format(
                 max_wall=max_wall,
                 ident="yes" if row.get("identical") else "**NO**",
@@ -110,6 +118,10 @@ def summarize_shards(d, out):
                 pers_wall=optional(row, "persistent_wall_s"),
                 proc_ident=optional_flag(row, "process_identical"),
                 pers_ident=optional_flag(row, "persistent_identical"),
+                round_trips=optional(row, "persistent_round_trips", "{}"),
+                tx_mib=optional_mib(row, "persistent_bytes_tx"),
+                rx_mib=optional_mib(row, "persistent_bytes_rx"),
+                prof_reads=optional(row, "persistent_profile_reads", "{}"),
                 **row))
     out.append("")
 

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
                 1);
   opts.add_string("shard-partitioner",
                   "how users are split into shards (range | hash | "
-                  "degree-range | greedy)",
+                  "degree-range | greedy | pair-affinity)",
                   "range");
   opts.add_string("worker-mode",
                   "how shard workers execute (thread | process | "

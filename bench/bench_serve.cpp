@@ -1,0 +1,227 @@
+// Serving-layer bench: query latency/QPS and beam recall against a
+// *churning* engine. One publisher thread runs engine iterations (each of
+// which publishes a snapshot through the SnapshotSink hook) while
+// `--query-threads` reader threads issue a fixed mix of indexed top_k
+// reads and ad-hoc beam queries. Reports, per query path, p50/p99 latency
+// and aggregate QPS, plus beam recall@k against brute force on the final
+// snapshot and an exactness check of the indexed path.
+//
+// Usage: bench_serve [--users=N] [--items=N] [--k=N] [--partitions=M]
+//                    [--iters=N] [--query-threads=N] [--search-l=N]
+//                    [--recall-queries=N] [--json]
+// With --json the table is replaced by one JSON object on stdout (the CI
+// serve-smoke job parses it; see tools/bench_to_json.py).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "profiles/generators.h"
+#include "serve/knn_server.h"
+#include "util/options.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+using namespace knnpc;
+
+namespace {
+
+struct PathStats {
+  std::vector<double> latencies_ms;  // merged after the threads join
+  double seconds = 0.0;
+
+  [[nodiscard]] double qps() const {
+    return seconds > 0 ? static_cast<double>(latencies_ms.size()) / seconds
+                       : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.add_uint("users", "number of users", 5000);
+  opts.add_uint("items", "number of items", 1000);
+  opts.add_uint("k", "neighbours per user / per query", 10);
+  opts.add_uint("partitions", "partition count m", 8);
+  opts.add_uint("iters", "engine iterations (snapshots published)", 6);
+  opts.add_uint("query-threads", "concurrent reader threads", 2);
+  opts.add_uint("search-l", "beam width for ad-hoc queries", 64);
+  opts.add_uint("seeds", "beam seeds kept per partition", 16);
+  opts.add_uint("recall-queries",
+                "ad-hoc queries for the final recall estimate", 200);
+  opts.add_uint("seed", "master seed", 42);
+  opts.add_flag("json", "emit results as JSON instead of a table");
+  if (!opts.parse(argc, argv)) return 0;
+  const auto n = static_cast<VertexId>(opts.get_uint("users"));
+  const auto k = static_cast<std::uint32_t>(opts.get_uint("k"));
+  const auto iters = static_cast<std::uint32_t>(opts.get_uint("iters"));
+  const auto num_threads = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(opts.get_uint("query-threads"), 1));
+  const auto search_l =
+      static_cast<std::uint32_t>(opts.get_uint("search-l"));
+  const bool json = opts.get_flag("json");
+
+  Rng rng(opts.get_uint("seed") + 1);
+  ClusteredGenConfig gen;
+  gen.base.num_users = n;
+  gen.base.num_items = static_cast<ItemId>(opts.get_uint("items"));
+  gen.num_clusters = 40;
+  std::vector<SparseProfile> profiles = clustered_profiles(gen, rng);
+  const InMemoryProfileStore query_source{profiles};
+
+  EngineConfig config;
+  config.k = k;
+  config.num_partitions =
+      static_cast<PartitionId>(opts.get_uint("partitions"));
+  config.seed = opts.get_uint("seed");
+  KnnEngine engine(config, std::move(profiles));
+
+  ServeConfig serve_config;
+  serve_config.measure = config.measure;
+  serve_config.search_l = search_l;
+  serve_config.seeds_per_partition =
+      static_cast<std::uint32_t>(opts.get_uint("seeds"));
+  serve_config.max_readers = num_threads + 1;
+  KnnServer server(serve_config);
+  engine.set_snapshot_sink(&server);
+
+  // Reader threads: wait for the first publish, then alternate indexed
+  // top_k reads with ad-hoc beam queries until the publisher stops them.
+  std::atomic<bool> stop{false};
+  std::vector<PathStats> topk_stats(num_threads);
+  std::vector<PathStats> adhoc_stats(num_threads);
+  std::vector<std::thread> readers;
+  readers.reserve(num_threads);
+  for (std::uint32_t t = 0; t < num_threads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng thread_rng(config.seed + 31 * (t + 1));
+      KnnServer::Reader reader = server.reader();
+      PathStats& topk = topk_stats[t];
+      PathStats& adhoc = adhoc_stats[t];
+      Timer active;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!server.has_snapshot()) {
+          std::this_thread::yield();
+          active = Timer();
+          continue;
+        }
+        const auto u = static_cast<VertexId>(thread_rng.next_below(n));
+        Timer latency;
+        (void)reader.top_k(u);
+        topk.latencies_ms.push_back(latency.elapsed_seconds() * 1e3);
+        latency = Timer();
+        (void)reader.query(query_source.get(u), k);
+        adhoc.latencies_ms.push_back(latency.elapsed_seconds() * 1e3);
+      }
+      topk.seconds = adhoc.seconds = active.elapsed_seconds();
+    });
+  }
+
+  // Publisher: the engine loop. Every run_iteration() ends in a publish.
+  for (std::uint32_t i = 0; i < iters; ++i) (void)engine.run_iteration();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  PathStats topk, adhoc;
+  for (std::uint32_t t = 0; t < num_threads; ++t) {
+    topk.latencies_ms.insert(topk.latencies_ms.end(),
+                             topk_stats[t].latencies_ms.begin(),
+                             topk_stats[t].latencies_ms.end());
+    adhoc.latencies_ms.insert(adhoc.latencies_ms.end(),
+                              adhoc_stats[t].latencies_ms.begin(),
+                              adhoc_stats[t].latencies_ms.end());
+    topk.seconds = std::max(topk.seconds, topk_stats[t].seconds);
+    adhoc.seconds = std::max(adhoc.seconds, adhoc_stats[t].seconds);
+  }
+
+  // Final-snapshot quality: indexed rows must equal G(t) exactly; beam
+  // recall@k is measured against brute force over the same profiles.
+  KnnServer::Reader reader = server.reader();
+  bool topk_exact = true;
+  for (VertexId u = 0; u < n && topk_exact; ++u) {
+    const std::vector<Neighbor> row = reader.top_k(u);
+    const std::span<const Neighbor> expect = engine.graph().neighbors(u);
+    topk_exact =
+        std::equal(row.begin(), row.end(), expect.begin(), expect.end());
+  }
+  const auto recall_queries = static_cast<VertexId>(
+      std::min<std::uint64_t>(opts.get_uint("recall-queries"), n));
+  std::size_t hits = 0, wanted = 0;
+  {
+    const KnnServer::Reader::Pin pin = reader.pin();
+    const KnnGraph truth =
+        brute_force_knn(pin->profiles, k, config.measure, 0);
+    for (VertexId i = 0; i < recall_queries; ++i) {
+      const auto u = static_cast<VertexId>(
+          (static_cast<std::uint64_t>(i) * n) / recall_queries);
+      const QueryResult got =
+          beam_search(*pin.get(), query_source.get(u), k, search_l);
+      // brute_force_knn excludes self-edges; the beam rightfully finds u
+      // itself for an in-index query profile, so score against truth + u.
+      for (const Neighbor& want : truth.neighbors(u)) {
+        ++wanted;
+        for (const Neighbor& have : got.neighbors) {
+          if (have.id == want.id) {
+            ++hits;
+            break;
+          }
+        }
+      }
+      for (const Neighbor& have : got.neighbors) {
+        if (have.id == u) {
+          --wanted;  // u replaces the truth row's weakest entry
+          break;
+        }
+      }
+    }
+  }
+  const double recall =
+      wanted ? static_cast<double>(hits) / static_cast<double>(wanted) : 0.0;
+
+  const double topk_p50 = percentile(topk.latencies_ms, 50);
+  const double topk_p99 = percentile(topk.latencies_ms, 99);
+  const double adhoc_p50 = percentile(adhoc.latencies_ms, 50);
+  const double adhoc_p99 = percentile(adhoc.latencies_ms, 99);
+  if (json) {
+    std::printf(
+        "{\"bench\":\"serve\",\"users\":%u,\"items\":%llu,\"k\":%u,"
+        "\"partitions\":%u,\"iters\":%u,\"query_threads\":%u,"
+        "\"search_l\":%u,\"results\":{"
+        "\"topk\":{\"queries\":%zu,\"p50_ms\":%.6f,\"p99_ms\":%.6f,"
+        "\"qps\":%.1f},"
+        "\"adhoc\":{\"queries\":%zu,\"p50_ms\":%.6f,\"p99_ms\":%.6f,"
+        "\"qps\":%.1f},"
+        "\"recall\":%.6f,\"recall_queries\":%u,\"topk_exact\":%s,"
+        "\"snapshots_published\":%llu}}\n",
+        n, static_cast<unsigned long long>(opts.get_uint("items")), k,
+        config.num_partitions, iters, num_threads, search_l,
+        topk.latencies_ms.size(), topk_p50, topk_p99, topk.qps(),
+        adhoc.latencies_ms.size(), adhoc_p50, adhoc_p99, adhoc.qps(),
+        recall, recall_queries, topk_exact ? "true" : "false",
+        static_cast<unsigned long long>(server.version()));
+  } else {
+    std::printf("serve bench: n=%u, k=%u, %u iterations, %u query "
+                "threads, search_l=%u\n",
+                n, k, iters, num_threads, search_l);
+    std::printf("%8s | %10s %10s %10s %10s\n", "path", "queries", "p50 ms",
+                "p99 ms", "QPS");
+    std::printf("---------------------------------------------------------\n");
+    std::printf("%8s | %10zu %10.4f %10.4f %10.1f\n", "top_k",
+                topk.latencies_ms.size(), topk_p50, topk_p99, topk.qps());
+    std::printf("%8s | %10zu %10.4f %10.4f %10.1f\n", "ad-hoc",
+                adhoc.latencies_ms.size(), adhoc_p50, adhoc_p99,
+                adhoc.qps());
+    std::printf("\nbeam recall@%u vs brute force: %.4f (%u queries)\n", k,
+                recall, recall_queries);
+    std::printf("indexed top_k exact vs published G(t): %s\n",
+                topk_exact ? "yes" : "NO");
+    std::printf("snapshots published: %llu\n",
+                static_cast<unsigned long long>(server.version()));
+  }
+  return topk_exact ? 0 : 1;
+}

@@ -398,6 +398,9 @@ IterationStats KnnEngine::run_iteration() {
                   << stats.unique_tuples << " tuples, " << stats.pi_pairs
                   << " PI pairs, " << stats.partition_loads << " loads, "
                   << "change rate " << stats.change_rate;
+  if (sink_ != nullptr) {
+    sink_->publish(graph_, profiles_, assignment.owners(), iteration_);
+  }
   ++iteration_;
   return stats;
 }

@@ -18,6 +18,7 @@
 #include "profiles/profile_store.h"
 #include "profiles/similarity.h"
 #include "profiles/update_queue.h"
+#include "serve/snapshot_sink.h"
 #include "storage/block_file.h"
 #include "storage/io_model.h"
 #include "storage/partition_store.h"
@@ -213,6 +214,11 @@ class KnnEngine {
   /// of the *next* run_iteration() call (lazy, as per the paper).
   UpdateQueue& update_queue() noexcept { return queue_; }
 
+  /// Optional serving-layer hook: when set, every run_iteration() ends by
+  /// publishing (G(t+1), P(t+1), phase-1 owner map) to the sink. The sink
+  /// is borrowed — it must outlive the engine or be reset to nullptr.
+  void set_snapshot_sink(SnapshotSink* sink) noexcept { sink_ = sink; }
+
  private:
   struct Impl;
 
@@ -220,6 +226,7 @@ class KnnEngine {
   InMemoryProfileStore profiles_;
   KnnGraph graph_;
   UpdateQueue queue_;
+  SnapshotSink* sink_ = nullptr;
   std::uint32_t iteration_ = 0;
   std::unique_ptr<Impl> impl_;  // scratch dir, thread pool
 };

@@ -2065,6 +2065,9 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
                   << merged.pi_pairs << " PI pairs, "
                   << merged.partition_loads << " loads, change rate "
                   << merged.change_rate;
+  if (sink_ != nullptr) {
+    sink_->publish(graph_, profiles_, assignment.owners(), iteration_);
+  }
   ++iteration_;
   out.merged = merged;
   return out;

@@ -240,6 +240,10 @@ class ShardedKnnEngine {
   /// Same lazy phase-5 semantics as KnnEngine::update_queue().
   UpdateQueue& update_queue() noexcept { return queue_; }
 
+  /// Same serving-layer hook as KnnEngine::set_snapshot_sink(): publishes
+  /// the merged (G(t+1), P(t+1)) at the end of every sharded iteration.
+  void set_snapshot_sink(SnapshotSink* sink) noexcept { sink_ = sink; }
+
  private:
   struct Impl;
 
@@ -248,6 +252,7 @@ class ShardedKnnEngine {
   InMemoryProfileStore profiles_;
   KnnGraph graph_;
   UpdateQueue queue_;
+  SnapshotSink* sink_ = nullptr;
   std::uint32_t iteration_ = 0;
   std::unique_ptr<Impl> impl_;  // scratch dir, per-shard pools
 };

@@ -75,6 +75,27 @@ double KnnGraph::change_rate(const KnnGraph& a, const KnnGraph& b) {
   return static_cast<double>(differing) / denom;
 }
 
+ReverseAdjacency build_reverse_adjacency(const KnnGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  ReverseAdjacency rev;
+  rev.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : graph.neighbors(v)) ++rev.offsets[nb.id + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) rev.offsets[v + 1] += rev.offsets[v];
+  rev.edges.resize(rev.offsets[n]);
+  std::vector<std::uint32_t> cursor(rev.offsets.begin(),
+                                    rev.offsets.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : graph.neighbors(v)) {
+      rev.edges[cursor[nb.id]++] = v;
+    }
+  }
+  // Sources are visited in ascending order, so each in-list is already
+  // sorted — the property in_neighbors() documents.
+  return rev;
+}
+
 KnnGraph knn_graph_from_edges(const EdgeList& list, std::uint32_t k,
                               Rng& rng) {
   const VertexId n = list.num_vertices;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -65,6 +66,24 @@ class KnnGraph {
   std::uint32_t k_ = 0;
   std::vector<std::vector<Neighbor>> adjacency_;
 };
+
+/// Compact CSR view of a KNN graph's *in*-edges: the vertices that point
+/// at v are `edges[offsets[v] .. offsets[v+1])`, ascending. The serving
+/// layer precomputes this per published snapshot so beam search can
+/// expand both edge directions — a directed bounded-outdegree graph alone
+/// is a poor navigation structure, its reverse edges restore it.
+struct ReverseAdjacency {
+  std::vector<std::uint32_t> offsets;  // n + 1 entries
+  std::vector<VertexId> edges;
+
+  [[nodiscard]] std::span<const VertexId> in_neighbors(VertexId v) const {
+    return std::span<const VertexId>(edges)
+        .subspan(offsets.at(v), offsets.at(v + 1) - offsets.at(v));
+  }
+};
+
+/// Builds the reverse adjacency in two counting passes, O(n + edges).
+ReverseAdjacency build_reverse_adjacency(const KnnGraph& graph);
 
 /// Random initial KNN graph: each vertex gets k distinct random neighbours
 /// (!= itself) with score 0. The standard NN-Descent bootstrap.

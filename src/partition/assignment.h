@@ -29,6 +29,12 @@ class PartitionAssignment {
   [[nodiscard]] PartitionId num_partitions() const noexcept { return m_; }
 
   [[nodiscard]] PartitionId owner(VertexId v) const { return owner_.at(v); }
+
+  /// The whole owner map (index = vertex id) — the view the serving
+  /// layer's SnapshotSink publication hook hands out per iteration.
+  [[nodiscard]] const std::vector<PartitionId>& owners() const noexcept {
+    return owner_;
+  }
   void assign(VertexId v, PartitionId p);
 
   [[nodiscard]] bool fully_assigned() const noexcept;

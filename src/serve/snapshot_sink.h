@@ -1,0 +1,39 @@
+// The engine -> serving-layer publication boundary.
+//
+// Both drivers (core/engine.h, core/shard_driver.h) accept one optional
+// SnapshotSink and call publish() at the end of every run_iteration(),
+// after phase 5 — i.e. with the freshly produced G(t+1) and P(t+1). The
+// interface is deliberately thin: the engine side hands out const views
+// of state it already owns and never learns what the sink does with
+// them, so the serving layer (serve/knn_server.h) stays a pure consumer
+// of the iteration loop and the engine stays buildable without it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/types.h"
+
+namespace knnpc {
+
+class KnnGraph;
+class ProfileStore;
+
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+
+  /// Called once per completed iteration, synchronously from
+  /// run_iteration() (the engine is single-owner, so publish() never
+  /// overlaps itself). `partition_of` is the iteration's phase-1 owner
+  /// map (user -> partition), useful for seeding graph searches; it may
+  /// be empty when the caller has no assignment. The views are only
+  /// valid for the duration of the call — a sink that retains state must
+  /// copy (KnnServer copies exactly the rows that changed, via the
+  /// KDLT/KPRD delta machinery).
+  virtual void publish(const KnnGraph& graph, const ProfileStore& profiles,
+                       std::span<const PartitionId> partition_of,
+                       std::uint32_t iteration) = 0;
+};
+
+}  // namespace knnpc

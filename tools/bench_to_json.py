@@ -126,11 +126,38 @@ def summarize_shards(d, out):
     out.append("")
 
 
+def summarize_serve(d, out):
+    r = d.get("results", {})
+    out.append(
+        "### bench_serve — online serving under a churning engine "
+        f"(n={d.get('users')}, k={d.get('k')}, "
+        f"threads={d.get('query_threads')}, search_l={d.get('search_l')})")
+    out.append("")
+    out.append("| path | queries | p50 ms | p99 ms | QPS |")
+    out.append("|---|---:|---:|---:|---:|")
+    for path in ("topk", "adhoc"):
+        row = r.get(path, {})
+        out.append(
+            "| {path} | {queries} | {p50_ms:.4f} | {p99_ms:.4f} "
+            "| {qps:.0f} |".format(path=path, **row))
+    out.append("")
+    out.append(
+        "recall@{k}: **{recall:.4f}** ({rq} queries) · "
+        "indexed top_k exact: {exact} · "
+        "{snaps} snapshots published".format(
+            k=d.get("k"), recall=r.get("recall", 0.0),
+            rq=r.get("recall_queries"),
+            exact="yes" if r.get("topk_exact") else "**NO**",
+            snaps=r.get("snapshots_published")))
+    out.append("")
+
+
 SUMMARIZERS = {
     "table1": summarize_table1,
     "phases": summarize_phases,
     "threads": summarize_threads,
     "shards": summarize_shards,
+    "serve": summarize_serve,
 }
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Check that the repo's markdown docs stay in sync with the tree.
 
-Two classes of drift, both of which have bitten hard-coded docs before:
+Three classes of drift, all of which have bitten hard-coded docs before:
 
 1. Broken relative links: every `[text](path)` in the checked markdown
    files must point at an existing file or directory (external http(s)
@@ -11,12 +11,19 @@ Two classes of drift, both of which have bitten hard-coded docs before:
    label. Pass --ctest-list / --ctest-labels with the output of
    `ctest -N` and `ctest --print-labels` (run from the build dir) to
    enable this check; without them only links are checked.
+3. Doc/CLI-flag drift: every `--flag` the docs attribute to knnpc_run —
+   a flag on a quoted `knnpc_run ...` command line (including backslash
+   continuations) or a backticked `--flag` in a markdown table whose
+   header row contains "Flag" — must exist in `knnpc_run --help`. Pass
+   --cli-help with the captured help output to enable this check.
 
 Usage (CI docs job):
     ctest --test-dir build -N > /tmp/ctest_n.txt
     ctest --test-dir build --print-labels > /tmp/ctest_labels.txt
+    build/tools/knnpc_run --help > /tmp/knnpc_run_help.txt
     tools/check_docs.py README.md ARCHITECTURE.md \
-        --ctest-list /tmp/ctest_n.txt --ctest-labels /tmp/ctest_labels.txt
+        --ctest-list /tmp/ctest_n.txt --ctest-labels /tmp/ctest_labels.txt \
+        --cli-help /tmp/knnpc_run_help.txt
 
 Only the standard library is used. Exit code 0 = docs in sync.
 """
@@ -30,6 +37,9 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CTEST_R_RE = re.compile(r"ctest[^|\n`]*?-R\s+(\S+)")
 CTEST_L_RE = re.compile(r"ctest[^|\n`]*?-L(?:E)?\s+(\S+)")
 TEST_LINE_RE = re.compile(r"Test\s+#\d+:\s+(\S+)")
+FLAG_RE = re.compile(r"--([A-Za-z0-9][A-Za-z0-9-]*)")
+BACKTICK_FLAG_RE = re.compile(r"`--([A-Za-z0-9][A-Za-z0-9-]*)")
+HELP_FLAG_RE = re.compile(r"^\s+--([A-Za-z0-9][A-Za-z0-9-]*)", re.MULTILINE)
 
 
 def check_links(doc: pathlib.Path, errors: list) -> None:
@@ -43,6 +53,42 @@ def check_links(doc: pathlib.Path, errors: list) -> None:
                 continue
             if not (root / path).exists():
                 errors.append(f"{doc}:{lineno}: broken link -> {target}")
+
+
+def collect_cli_flags(doc: pathlib.Path):
+    """Yields (lineno, flag) for every flag the doc attributes to knnpc_run.
+
+    Two sources:
+    - command lines mentioning `knnpc_run` inside fenced code blocks,
+      plus their backslash continuation lines (the quickstart blocks);
+      prose that merely *talks about* knnpc_run is not a command line;
+    - backticked `--flag` tokens in rows of markdown tables whose header
+      row contains the word "Flag" (the flag-reference tables).
+    """
+    lines = doc.read_text().splitlines()
+    in_fence = False
+    in_command = False
+    in_flag_table = False
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            in_fence = not in_fence
+            in_command = False
+            continue
+        if in_fence:
+            if "knnpc_run" in line or in_command:
+                for flag in FLAG_RE.findall(line):
+                    yield lineno, flag
+                in_command = stripped.endswith("\\")
+            continue
+        if stripped.startswith("|"):
+            if "flag" in stripped.lower() and not in_flag_table:
+                in_flag_table = True
+            elif in_flag_table and not set(stripped) <= set("|-: "):
+                for flag in BACKTICK_FLAG_RE.findall(line):
+                    yield lineno, flag
+        else:
+            in_flag_table = False
 
 
 def collect_selectors(docs) -> tuple:
@@ -64,6 +110,9 @@ def main() -> int:
     parser.add_argument("--ctest-labels",
                         help="output of `ctest --print-labels` "
                              "(enables -L checking)")
+    parser.add_argument("--cli-help",
+                        help="output of `knnpc_run --help` (enables "
+                             "CLI-flag checking)")
     args = parser.parse_args()
 
     errors = []
@@ -108,12 +157,29 @@ def main() -> int:
                     f"{doc}: `ctest -L {label}` names unknown label "
                     f"(known: {sorted(known)})")
 
+    flags_checked = 0
+    if args.cli_help:
+        known_flags = set(
+            HELP_FLAG_RE.findall(pathlib.Path(args.cli_help).read_text()))
+        if not known_flags:
+            errors.append(f"{args.cli_help}: no flags found in --help "
+                          "output (wrong file?)")
+        known_flags.add("help")  # the help printer never lists itself
+        for doc in docs:
+            for lineno, flag in collect_cli_flags(doc):
+                flags_checked += 1
+                if flag not in known_flags:
+                    errors.append(
+                        f"{doc}:{lineno}: `--{flag}` is not a knnpc_run "
+                        "flag (see --help)")
+
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:
         checked = ", ".join(str(d) for d in docs)
         print(f"docs in sync: {checked} "
-              f"({len(regexes)} -R and {len(labels)} -L selectors checked)")
+              f"({len(regexes)} -R and {len(labels)} -L selectors, "
+              f"{flags_checked} CLI flags checked)")
     return 1 if errors else 0
 
 

@@ -19,15 +19,20 @@
 // --worker-mode=persistent keeps those processes alive across iterations
 // and drives them over pipes with per-iteration deltas, amortising the
 // spawn cost on multi-iteration runs — same checksum once more.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "core/convergence.h"
 #include "core/engine.h"
 #include "core/shard_driver.h"
 #include "core/stats_io.h"
 #include "graph/knn_graph_io.h"
+#include "serve/knn_server.h"
 #include "util/timer.h"
 #include "profiles/generators.h"
 #include "profiles/ratings_io.h"
@@ -92,6 +97,20 @@ int main(int argc, char** argv) {
   opts.add_uint("recall-samples",
                 "users sampled for the final recall estimate (0 = skip)",
                 0);
+  opts.add_flag("serve",
+                "publish every iteration to an in-process KnnServer and "
+                "run query threads against it while the engine iterates");
+  opts.add_uint("serve-threads",
+                "concurrent query threads during the run (with --serve)",
+                2);
+  opts.add_uint("serve-search-l",
+                "beam width (candidate-queue budget) for ad-hoc serve "
+                "queries (with --serve)",
+                64);
+  opts.add_uint("serve-queries",
+                "ad-hoc queries for the final serve recall estimate "
+                "(with --serve)",
+                100);
   opts.add_uint("seed", "master seed", 42);
   opts.add_flag("csv", "emit per-iteration rows as CSV");
   opts.add_string("json", "also write the full run stats to this file", "");
@@ -168,6 +187,48 @@ int main(int argc, char** argv) {
     return engine ? engine->graph() : sharded->graph();
   };
 
+  // --serve: hook a KnnServer into the iteration loop and hammer it with
+  // query threads while the engine churns underneath. The server outlives
+  // the query threads (joined below) but is only *published to* while the
+  // loop runs, so declaring it here is safe.
+  const bool serve = opts.get_flag("serve");
+  ServeConfig serve_config;
+  serve_config.measure = config.measure;
+  serve_config.search_l =
+      static_cast<std::uint32_t>(opts.get_uint("serve-search-l"));
+  KnnServer server(serve_config);
+  std::atomic<bool> serve_stop{false};
+  std::atomic<std::uint64_t> serve_topk_queries{0};
+  std::atomic<std::uint64_t> serve_adhoc_queries{0};
+  std::vector<std::thread> serve_threads;
+  if (serve) {
+    if (engine) {
+      engine->set_snapshot_sink(&server);
+    } else {
+      sharded->set_snapshot_sink(&server);
+    }
+    const auto num_threads = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(opts.get_uint("serve-threads"), 1));
+    const VertexId n = snapshot.num_users();
+    for (std::uint32_t t = 0; t < num_threads; ++t) {
+      serve_threads.emplace_back([&, t] {
+        Rng rng(config.seed + 9000 + t);
+        KnnServer::Reader reader = server.reader();
+        while (!serve_stop.load(std::memory_order_relaxed)) {
+          if (!server.has_snapshot() || n == 0) {
+            std::this_thread::yield();
+            continue;
+          }
+          const auto u = static_cast<VertexId>(rng.next_below(n));
+          (void)reader.top_k(u);
+          serve_topk_queries.fetch_add(1, std::memory_order_relaxed);
+          (void)reader.query(snapshot.get(u), config.k);
+          serve_adhoc_queries.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+
   const bool csv = opts.get_flag("csv");
   if (csv) {
     std::printf("iter,partition_s,hash_s,pi_s,knn_s,update_s,total_s,"
@@ -216,6 +277,80 @@ int main(int argc, char** argv) {
     }
   }
   run.total_seconds = run_timer.elapsed_seconds();
+
+  if (serve) {
+    serve_stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : serve_threads) t.join();
+    const VertexId n = snapshot.num_users();
+    std::fprintf(stderr,
+                 "serve: %llu top_k + %llu ad-hoc queries over %zu threads, "
+                 "final snapshot v%llu (iteration %u)\n",
+                 static_cast<unsigned long long>(serve_topk_queries.load()),
+                 static_cast<unsigned long long>(serve_adhoc_queries.load()),
+                 serve_threads.size(),
+                 static_cast<unsigned long long>(server.version()),
+                 run.iterations.empty() ? 0u
+                                        : run.iterations.back().iteration);
+    if (server.has_snapshot() && n > 0) {
+      KnnServer::Reader reader = server.reader();
+      // Indexed path: the published rows must equal the engine's final
+      // G(t) bit-for-bit.
+      bool exact = true;
+      const VertexId probes = std::min<VertexId>(n, 256);
+      for (VertexId i = 0; i < probes && exact; ++i) {
+        const auto u = static_cast<VertexId>(
+            (static_cast<std::uint64_t>(i) * n) / probes);
+        const std::vector<Neighbor> row = reader.top_k(u);
+        const std::span<const Neighbor> expect = graph().neighbors(u);
+        exact = std::equal(row.begin(), row.end(), expect.begin(),
+                           expect.end());
+      }
+      std::fprintf(stderr, "serve top_k exact: %s (%u users probed)\n",
+                   exact ? "yes" : "NO", probes);
+      // Ad-hoc path: beam recall vs a linear scan of the pinned snapshot.
+      const auto queries = static_cast<VertexId>(std::min<std::uint64_t>(
+          opts.get_uint("serve-queries"), n));
+      if (queries > 0) {
+        const KnnServer::Reader::Pin pin = reader.pin();
+        std::size_t hits = 0, wanted = 0;
+        for (VertexId i = 0; i < queries; ++i) {
+          const auto u = static_cast<VertexId>(
+              (static_cast<std::uint64_t>(i) * n) / queries);
+          const SparseProfile& q = snapshot.get(u);
+          const QueryResult got =
+              beam_search(*pin.get(), q, config.k, serve_config.search_l);
+          std::vector<Neighbor> truth;
+          for (VertexId v = 0; v < n; ++v) {
+            truth.push_back(
+                {v, similarity(config.measure, q, pin->profiles.get(v))});
+          }
+          std::sort(truth.begin(), truth.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+          truth.resize(std::min<std::size_t>(config.k, truth.size()));
+          wanted += truth.size();
+          for (const Neighbor& want : truth) {
+            for (const Neighbor& have : got.neighbors) {
+              if (have.id == want.id) {
+                ++hits;
+                break;
+              }
+            }
+          }
+        }
+        std::fprintf(stderr,
+                     "serve ad-hoc recall@%u: %.3f (%u queries, "
+                     "search_l=%u)\n",
+                     config.k,
+                     wanted ? static_cast<double>(hits) /
+                                  static_cast<double>(wanted)
+                            : 0.0,
+                     queries, serve_config.search_l);
+      }
+    }
+  }
 
   if (!opts.get_string("json").empty()) {
     std::ofstream json_out(opts.get_string("json"));

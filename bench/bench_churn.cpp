@@ -14,6 +14,7 @@
 #include "profiles/generators.h"
 #include "util/options.h"
 #include "util/rng.h"
+#include "workloads/workload.h"
 
 using namespace knnpc;
 
@@ -38,12 +39,9 @@ void run_scenario(const char* label, std::uint32_t random_candidates,
   KnnEngine engine(config, std::move(profiles));
   engine.run(8, 0.01);  // warm up to a converged graph
 
-  ChurnConfig churn;
-  churn.rating_updates_per_iteration = n / 20;
-  churn.drifting_users_per_iteration = n / 200 + 1;
-  churn.reset_users_per_iteration = n / 400 + 1;
-  churn.generator = gen;
-  ChurnDriver driver(churn);
+  // The shared n-proportional churn scenario (workloads/workload.h), over
+  // this bench's own larger generator.
+  ChurnDriver driver(scripted_churn(ChurnScenario::Proportional, gen, 1007));
 
   std::printf("\n%s (restarts=%u): purity under sustained churn\n", label,
               random_candidates);

@@ -12,21 +12,7 @@ ChurnDriver::ChurnDriver(ChurnConfig config)
 }
 
 SparseProfile ChurnDriver::fresh_profile_for_cluster(std::uint32_t cluster) {
-  // Generate one profile "as user of `cluster`": the clustered generator
-  // assigns cluster round-robin by user index, so a single-user run lands
-  // in cluster 0; shift its item block to the target cluster.
-  ClusteredGenConfig single = config_.generator;
-  single.base.num_users = 1;
-  const auto generated = clustered_profiles(single, rng_);
-  const ItemId block =
-      config_.generator.base.num_items / config_.generator.num_clusters;
-  SparseProfile shifted;
-  for (const ProfileEntry& e : generated[0].entries()) {
-    shifted.set((e.item + cluster * block) %
-                    config_.generator.base.num_items,
-                e.weight);
-  }
-  return shifted;
+  return clustered_profile_for(config_.generator, cluster, rng_);
 }
 
 std::size_t ChurnDriver::tick(KnnEngine& engine) {

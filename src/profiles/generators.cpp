@@ -96,6 +96,23 @@ std::vector<std::uint32_t> planted_clusters(VertexId num_users,
   return out;
 }
 
+SparseProfile clustered_profile_for(const ClusteredGenConfig& config,
+                                    std::uint32_t cluster, Rng& rng) {
+  // A single-user run of the clustered generator lands in cluster 0 (the
+  // generator assigns clusters round-robin by user index); shift its item
+  // block to the target cluster. The RNG consumption here is pinned: the
+  // golden churn checksums depend on it.
+  ClusteredGenConfig single = config;
+  single.base.num_users = 1;
+  const auto generated = clustered_profiles(single, rng);
+  const ItemId block = config.base.num_items / config.num_clusters;
+  SparseProfile shifted;
+  for (const ProfileEntry& e : generated[0].entries()) {
+    shifted.set((e.item + cluster * block) % config.base.num_items, e.weight);
+  }
+  return shifted;
+}
+
 std::vector<SparseProfile> zipf_profiles(const ProfileGenConfig& config,
                                          double alpha, Rng& rng) {
   if (config.num_items == 0) {

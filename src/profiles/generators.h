@@ -45,6 +45,14 @@ std::vector<SparseProfile> clustered_profiles(
 std::vector<std::uint32_t> planted_clusters(VertexId num_users,
                                             std::uint32_t num_clusters);
 
+/// One fresh profile "as a user of `cluster`": generates a single-user
+/// clustered profile (which lands in cluster 0) and shifts its item block
+/// to the target cluster. Shared by the churn driver's drift/reset updates
+/// and the workload zoo's onboarding scripts so every scripted scenario
+/// manufactures replacement profiles the same way.
+SparseProfile clustered_profile_for(const ClusteredGenConfig& config,
+                                    std::uint32_t cluster, Rng& rng);
+
 /// Zipf-popular items: item popularity ~ 1/rank^alpha; models real
 /// recommender catalogues where few items dominate.
 std::vector<SparseProfile> zipf_profiles(const ProfileGenConfig& config,

@@ -1,17 +1,36 @@
 // Rating-triple I/O: the standard interchange format of recommender
 // datasets (MovieLens & friends):
 //
-//   user,item,rating            (or tab/space separated)
-//   # comments and blank lines ignored
+//   user,item,rating            (or tab/space separated; an optional
+//                                trailing column — e.g. a timestamp — is
+//                                ignored)
+//   # comments and blank lines ignored; CRLF line endings accepted
 //
-// Users and items keep their raw ids when dense, or are compacted to
-// [0, n) preserving first appearance (like graph/snap_io.h). This is the
-// realistic on-ramp for feeding production rating logs into KnnEngine.
+// Two ingestion paths share one hardened line parser (parse_rating_line,
+// every rejection a typed RatingsError — never UB on hostile bytes):
+//
+//   load_ratings        in-memory: ids remapped to [0, n) preserving
+//                       first appearance (like graph/snap_io.h).
+//   ingest_ratings_file out-of-core: a streaming chunk reader with a
+//                       fixed memory budget parses the file into sorted
+//                       spill runs, and an external merge folds them into
+//                       a packed on-disk profile store ("KPRS"), so a
+//                       ratings file much larger than RAM builds from a
+//                       cold start with bounded RSS. User ids densify in
+//                       ascending-raw-id order (no remap table is ever
+//                       held); item ids stay raw and must fit ItemId.
+//
+// This is the realistic on-ramp for feeding production rating logs into
+// KnnEngine.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "profiles/profile.h"
@@ -19,6 +38,61 @@
 #include "util/types.h"
 
 namespace knnpc {
+
+/// Typed parse/ingest failure. Derives std::runtime_error so legacy
+/// catch sites keep working; new code switches on kind().
+class RatingsError : public std::runtime_error {
+ public:
+  enum class Kind {
+    /// File cannot be opened / read / written.
+    Io,
+    /// A data line does not parse as "user item rating" (missing fields,
+    /// non-numeric tokens, signs on ids, overflow).
+    MalformedLine,
+    /// An id exceeds what the requested ingestion path can represent
+    /// (out-of-core keeps raw item ids, which must fit ItemId).
+    OutOfRangeId,
+    /// A rating value that parses but is not a finite float.
+    BadWeight,
+    /// A single line exceeds the parser's line-length bound (the chunk
+    /// reader's carry buffer must stay within the memory budget).
+    LineTooLong,
+    /// A profile-store file ends mid-record.
+    Truncated,
+    /// A profile-store file fails its magic/version/checksum validation.
+    Corrupt,
+  };
+
+  RatingsError(Kind kind, std::size_t line, const std::string& message)
+      : std::runtime_error(message), kind_(kind), line_(line) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  /// 1-based source line; 0 when the error is not tied to a line.
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  Kind kind_;
+  std::size_t line_;
+};
+
+/// One parsed rating triple (raw ids, before any remapping).
+struct ParsedRating {
+  std::uint64_t user = 0;
+  std::uint64_t item = 0;
+  float rating = 0.0f;
+};
+
+/// Hard bound on one text line (CR/LF excluded). Beyond it the parser
+/// throws Kind::LineTooLong instead of growing an unbounded carry buffer.
+inline constexpr std::size_t kMaxRatingLineBytes = 4096;
+
+/// Parses one line: returns nullopt for blank lines and '#'/'%' comments,
+/// the triple otherwise. Accepts ','/'\t'/' ' separators (runs collapse),
+/// a trailing '\r' (CRLF files) and at most one extra trailing field
+/// (MovieLens timestamps). Throws RatingsError{MalformedLine|BadWeight|
+/// LineTooLong} on anything else — never UB, whatever the bytes.
+std::optional<ParsedRating> parse_rating_line(std::string_view line,
+                                              std::size_t lineno);
 
 struct RatingsData {
   std::vector<SparseProfile> profiles;  // one per (remapped) user
@@ -30,14 +104,80 @@ struct RatingsData {
 };
 
 /// Parses rating triples; accepts ',', '\t' or ' ' separators. Repeated
-/// (user, item) pairs keep the *last* rating. Throws std::runtime_error
-/// on malformed lines.
+/// (user, item) pairs keep the *last* rating. Throws RatingsError on
+/// malformed lines.
 RatingsData load_ratings(std::istream& in);
 RatingsData load_ratings_file(const std::string& path);
 
 /// Writes profiles back as rating triples (raw ids when provided).
 void save_ratings(std::ostream& out, const RatingsData& data);
 void save_ratings_file(const std::string& path, const RatingsData& data);
+
+// ---------------------------------------------------------------------------
+// Out-of-core ingestion: text ratings -> packed profile store ("KPRS").
+
+struct OutOfCoreIngestConfig {
+  /// Working-memory budget for the whole ingest (chunk buffer + sorted
+  /// run buffer + merge state). Values below kMinIngestBudgetBytes are
+  /// clamped up — below that the run/merge machinery cannot function.
+  std::size_t memory_budget_bytes = 8u << 20;
+  /// Where sorted spill runs live; empty = next to the output store.
+  std::string work_dir;
+};
+
+inline constexpr std::size_t kMinIngestBudgetBytes = 1u << 20;
+
+struct OutOfCoreIngestStats {
+  /// Data lines parsed (comments/blanks excluded).
+  std::size_t lines = 0;
+  /// Ratings surviving last-wins dedup (== entries in the store).
+  std::size_t ratings = 0;
+  /// (user, item) pairs overwritten by a later rating.
+  std::size_t duplicates = 0;
+  VertexId users = 0;
+  /// max raw item id + 1 (0 for an empty file).
+  std::uint64_t num_items = 0;
+  /// Sorted spill runs merged (1 = the whole file fit one run).
+  std::size_t runs = 0;
+  std::uint64_t bytes_spilled = 0;
+  /// Instrumented high-water mark of the ingester's own working set.
+  /// The bounded-RSS contract (asserted in ratings_ingest_test) is
+  /// peak_memory_bytes <= the configured budget.
+  std::size_t peak_memory_bytes = 0;
+};
+
+/// Streams `ratings_path` (text triples) into the packed profile store
+/// `store_path` under `config`'s memory budget. Duplicate (user, item)
+/// pairs keep the last rating, exactly like load_ratings. Differences
+/// from load_ratings, both forced by the bounded-memory contract: users
+/// densify in ascending-raw-id order (not first appearance), and item
+/// ids are kept raw — a raw item id that does not fit ItemId throws
+/// Kind::OutOfRangeId instead of being remapped.
+OutOfCoreIngestStats ingest_ratings_file(
+    const std::string& ratings_path, const std::string& store_path,
+    const OutOfCoreIngestConfig& config = {});
+
+/// Footer counters of a packed profile store.
+struct ProfileStoreInfo {
+  VertexId users = 0;
+  std::uint64_t num_items = 0;
+  std::uint64_t ratings = 0;
+  std::uint64_t duplicates = 0;
+};
+
+/// Streams a "KPRS" store: `fn(dense_user, raw_user_id, profile)` per
+/// user in dense-id order, holding one profile in memory at a time.
+/// Validates magic, version and the body checksum; throws RatingsError
+/// {Io|Truncated|Corrupt}.
+ProfileStoreInfo read_profile_store(
+    const std::string& store_path,
+    const std::function<void(VertexId, std::uint64_t, SparseProfile)>& fn);
+
+/// Loads a store fully into RatingsData (item_ids become the identity
+/// mapping [0, num_items) — items were never remapped).
+RatingsData load_profile_store(const std::string& store_path);
+
+// ---------------------------------------------------------------------------
 
 struct SyntheticRatingsConfig {
   VertexId num_users = 1000;

@@ -35,6 +35,12 @@ class UpdateQueue {
   [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
 
+  /// Read-only view of the queued updates in arrival order (workload
+  /// shape tests and diagnostics inspect the stream without draining it).
+  [[nodiscard]] const std::vector<ProfileUpdate>& updates() const noexcept {
+    return queue_;
+  }
+
   /// Applies every queued update to `store` in FIFO order and clears the
   /// queue. Returns the number of updates applied. Updates addressed to
   /// out-of-range users throw std::out_of_range (and the queue keeps the

@@ -1,0 +1,464 @@
+#include "workloads/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "profiles/ratings_io.h"
+#include "util/rng.h"
+
+namespace knnpc {
+namespace {
+
+/// Independent deterministic stream per (seed, role), so e.g. the profile
+/// generator and the update script of one workload never share state.
+std::uint64_t substream(std::uint64_t seed, std::uint64_t role) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (role + 1)));
+  return sm.next();
+}
+
+void check_params(const WorkloadParams& p) {
+  if (p.users < 8 || p.items < 16 || p.clusters == 0) {
+    throw std::invalid_argument(
+        "make_workload: need users >= 8, items >= 16, clusters >= 1");
+  }
+}
+
+// ---------------------------------------------------------------- scripts
+
+/// Heavy-tailed rating drip: single-item updates whose items follow the
+/// same Zipf popularity as the zipf-tail profile generator, so the hot
+/// head keeps absorbing most of the update mass.
+class ZipfDripScript final : public WorkloadScript {
+ public:
+  ZipfDripScript(ItemId items, double alpha, std::uint64_t seed)
+      : rng_(seed), cdf_(items) {
+    double acc = 0.0;
+    for (ItemId i = 0; i < items; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+      cdf_[i] = acc;
+    }
+  }
+
+  std::size_t tick(UpdateQueue& queue, VertexId n) override {
+    if (n == 0) return 0;
+    const std::size_t updates = std::max<std::size_t>(n / 50, 1);
+    for (std::size_t i = 0; i < updates; ++i) {
+      ProfileUpdate update;
+      update.kind = ProfileUpdate::Kind::SetItem;
+      update.user = static_cast<VertexId>(rng_.next_below(n));
+      const double r = rng_.next_double() * cdf_.back();
+      update.item = static_cast<ItemId>(
+          std::lower_bound(cdf_.begin(), cdf_.end(), r) - cdf_.begin());
+      update.value = static_cast<float>(1.0 - rng_.next_double() * 0.999);
+      queue.push(std::move(update));
+    }
+    return updates;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+/// Flash crowd: a steady in-cluster trickle, except at iteration
+/// `kFlashIteration` where 1% of the users (>= 1) each rewrite 50% of
+/// their profile in one shot. The script keeps a shadow copy of P(t) so
+/// the rewrites are real partial rewrites (half the entries survive),
+/// without ever reading engine state — the update stream stays a pure
+/// function of (params, call sequence).
+class FlashCrowdScript final : public WorkloadScript {
+ public:
+  static constexpr std::uint32_t kFlashIteration = 1;
+
+  FlashCrowdScript(ClusteredGenConfig gen, std::vector<SparseProfile> shadow,
+                   std::uint64_t seed)
+      : gen_(std::move(gen)), shadow_(std::move(shadow)), rng_(seed) {}
+
+  std::size_t tick(UpdateQueue& queue, VertexId n) override {
+    if (n == 0) return 0;
+    const std::uint32_t iteration = iteration_++;
+    if (iteration == kFlashIteration) return flash(queue, n);
+    return trickle(queue, n);
+  }
+
+ private:
+  std::size_t trickle(UpdateQueue& queue, VertexId n) {
+    const ItemId block = gen_.base.num_items / gen_.num_clusters;
+    const std::size_t updates = std::max<std::size_t>(n / 50, 1);
+    for (std::size_t i = 0; i < updates; ++i) {
+      ProfileUpdate update;
+      update.kind = ProfileUpdate::Kind::SetItem;
+      update.user = static_cast<VertexId>(rng_.next_below(n));
+      const auto cluster =
+          static_cast<std::uint32_t>(update.user % gen_.num_clusters);
+      update.item = cluster * block +
+                    static_cast<ItemId>(rng_.next_below(block));
+      update.value = static_cast<float>(1.0 - rng_.next_double() * 0.999);
+      if (update.user < shadow_.size()) {
+        shadow_[update.user].set(update.item, update.value);
+      }
+      queue.push(std::move(update));
+    }
+    return updates;
+  }
+
+  std::size_t flash(UpdateQueue& queue, VertexId n) {
+    const ItemId block = gen_.base.num_items / gen_.num_clusters;
+    const auto crowd = static_cast<VertexId>(
+        std::max<VertexId>(n / 100, 1));
+    std::unordered_set<VertexId> picked;
+    std::size_t pushed = 0;
+    while (picked.size() < crowd) {
+      const auto user = static_cast<VertexId>(rng_.next_below(n));
+      if (!picked.insert(user).second) continue;
+      if (user >= shadow_.size()) continue;
+      const auto cluster =
+          static_cast<std::uint32_t>(user % gen_.num_clusters);
+      const auto old = shadow_[user].entries();
+      // Keep the upper half of the sorted entry list, regenerate the rest
+      // as fresh in-cluster picks — a 50% rewrite of the profile.
+      std::vector<ProfileEntry> next(old.begin() + old.size() / 2,
+                                     old.end());
+      const std::size_t fresh = old.size() - old.size() / 2;
+      for (std::size_t i = 0; i < fresh; ++i) {
+        const ItemId item = cluster * block +
+                            static_cast<ItemId>(rng_.next_below(block));
+        next.push_back(
+            {item, static_cast<float>(1.0 - rng_.next_double() * 0.999)});
+      }
+      ProfileUpdate update;
+      update.kind = ProfileUpdate::Kind::Replace;
+      update.user = user;
+      update.profile = SparseProfile(std::move(next));
+      shadow_[user] = update.profile;
+      queue.push(std::move(update));
+      ++pushed;
+    }
+    return pushed;
+  }
+
+  ClusteredGenConfig gen_;
+  std::vector<SparseProfile> shadow_;
+  Rng rng_;
+  std::uint32_t iteration_ = 0;
+};
+
+/// Cold-start waves: the tail of the user universe starts with stub
+/// profiles (2 entries); each iteration the next wave of them is
+/// onboarded with a full fresh in-cluster profile (wholesale Replace).
+/// Waves cycle once every cold user has been onboarded — re-onboarding is
+/// the "brand-new user takes over a recycled id" case.
+class ColdStartScript final : public WorkloadScript {
+ public:
+  ColdStartScript(ClusteredGenConfig gen, VertexId first_cold,
+                  VertexId wave_size, std::uint64_t seed)
+      : gen_(std::move(gen)), first_cold_(first_cold),
+        wave_size_(std::max<VertexId>(wave_size, 1)), rng_(seed) {}
+
+  std::size_t tick(UpdateQueue& queue, VertexId n) override {
+    if (n <= first_cold_) return 0;
+    const VertexId cold = n - first_cold_;
+    std::size_t pushed = 0;
+    for (VertexId i = 0; i < wave_size_; ++i) {
+      const VertexId user = first_cold_ + (next_ + i) % cold;
+      ProfileUpdate update;
+      update.kind = ProfileUpdate::Kind::Replace;
+      update.user = user;
+      update.profile = clustered_profile_for(
+          gen_, static_cast<std::uint32_t>(user % gen_.num_clusters), rng_);
+      queue.push(std::move(update));
+      ++pushed;
+    }
+    next_ = (next_ + wave_size_) % cold;
+    return pushed;
+  }
+
+ private:
+  ClusteredGenConfig gen_;
+  VertexId first_cold_;
+  VertexId wave_size_;
+  Rng rng_;
+  VertexId next_ = 0;
+};
+
+/// Adversarial trickle: every update lands on a pole user and a hot-block
+/// item, so the update stream keeps reinforcing the one partition pair
+/// the initial profiles already concentrate mass in.
+class AdversarialScript final : public WorkloadScript {
+ public:
+  AdversarialScript(ItemId hot_items, VertexId pole, std::uint64_t seed)
+      : hot_items_(hot_items), pole_(pole), rng_(seed) {}
+
+  std::size_t tick(UpdateQueue& queue, VertexId n) override {
+    if (n == 0) return 0;
+    const VertexId pole = std::min<VertexId>(pole_, n / 2);
+    if (pole == 0) return 0;
+    const std::size_t updates = std::max<std::size_t>(n / 50, 1);
+    for (std::size_t i = 0; i < updates; ++i) {
+      const auto slot = static_cast<VertexId>(rng_.next_below(2 * pole));
+      ProfileUpdate update;
+      update.kind = ProfileUpdate::Kind::SetItem;
+      update.user = slot < pole ? slot : n - 1 - (slot - pole);
+      update.item = static_cast<ItemId>(rng_.next_below(hot_items_));
+      update.value = static_cast<float>(1.0 - rng_.next_double() * 0.5);
+      queue.push(std::move(update));
+    }
+    return updates;
+  }
+
+ private:
+  ItemId hot_items_;
+  VertexId pole_;
+  Rng rng_;
+};
+
+/// Live star-rating stream over the movielens-shaped profiles: new
+/// ratings arrive as SetItem updates with Zipf item popularity and
+/// 1..5-star values, the shape of a production rating log.
+class RatingStreamScript final : public WorkloadScript {
+ public:
+  RatingStreamScript(ItemId items, double alpha, std::uint32_t levels,
+                     std::uint64_t seed)
+      : rng_(seed), levels_(levels), cdf_(items) {
+    double acc = 0.0;
+    for (ItemId i = 0; i < items; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+      cdf_[i] = acc;
+    }
+  }
+
+  std::size_t tick(UpdateQueue& queue, VertexId n) override {
+    if (n == 0) return 0;
+    const std::size_t updates = std::max<std::size_t>(n / 40, 1);
+    for (std::size_t i = 0; i < updates; ++i) {
+      ProfileUpdate update;
+      update.kind = ProfileUpdate::Kind::SetItem;
+      update.user = static_cast<VertexId>(rng_.next_below(n));
+      const double r = rng_.next_double() * cdf_.back();
+      update.item = static_cast<ItemId>(
+          std::lower_bound(cdf_.begin(), cdf_.end(), r) - cdf_.begin());
+      update.value =
+          static_cast<float>(1 + rng_.next_below(levels_));
+      queue.push(std::move(update));
+    }
+    return updates;
+  }
+
+ private:
+  Rng rng_;
+  std::uint32_t levels_;
+  std::vector<double> cdf_;
+};
+
+// --------------------------------------------------------------- factories
+
+Workload make_steady_trickle(const WorkloadParams& p) {
+  const ClusteredGenConfig gen =
+      scripted_generator(p.users, p.items, p.clusters);
+  Rng rng(substream(p.seed, 1));
+  Workload w;
+  w.name = "steady-trickle";
+  w.profiles = clustered_profiles(gen, rng);
+  w.script = std::make_unique<ChurnScript>(
+      scripted_churn(ChurnScenario::Proportional, gen, p.seed));
+  return w;
+}
+
+Workload make_zipf_tail(const WorkloadParams& p) {
+  ProfileGenConfig gen;
+  gen.num_users = p.users;
+  gen.num_items = p.items;
+  gen.min_items = 8;
+  gen.max_items = 40;
+  constexpr double kAlpha = 1.2;
+  Rng rng(substream(p.seed, 2));
+  Workload w;
+  w.name = "zipf-tail";
+  w.profiles = zipf_profiles(gen, kAlpha, rng);
+  w.script = std::make_unique<ZipfDripScript>(p.items, kAlpha,
+                                              substream(p.seed, 3));
+  return w;
+}
+
+Workload make_flash_crowd(const WorkloadParams& p) {
+  const ClusteredGenConfig gen =
+      scripted_generator(p.users, p.items, p.clusters);
+  Rng rng(substream(p.seed, 4));
+  Workload w;
+  w.name = "flash-crowd";
+  w.profiles = clustered_profiles(gen, rng);
+  w.script = std::make_unique<FlashCrowdScript>(gen, w.profiles,
+                                                substream(p.seed, 5));
+  return w;
+}
+
+Workload make_cold_start(const WorkloadParams& p) {
+  const ClusteredGenConfig gen =
+      scripted_generator(p.users, p.items, p.clusters);
+  Rng rng(substream(p.seed, 6));
+  Workload w;
+  w.name = "cold-start";
+  w.profiles = clustered_profiles(gen, rng);
+  // The last 20% of users are brand-new: stub profiles of 2 entries until
+  // their onboarding wave arrives (never empty — cosine needs a norm).
+  const VertexId cold = std::max<VertexId>(p.users / 5, 1);
+  const VertexId first_cold = p.users - cold;
+  for (VertexId u = first_cold; u < p.users; ++u) {
+    const auto old = w.profiles[u].entries();
+    std::vector<ProfileEntry> stub(
+        old.begin(), old.begin() + std::min<std::size_t>(old.size(), 2));
+    w.profiles[u] = SparseProfile(std::move(stub));
+  }
+  w.script = std::make_unique<ColdStartScript>(
+      gen, first_cold, std::max<VertexId>(cold / 4, 1),
+      substream(p.seed, 7));
+  return w;
+}
+
+Workload make_adversarial_pair(const WorkloadParams& p) {
+  Rng rng(substream(p.seed, 8));
+  // Two poles — the first and last n/8 users — share one small hot item
+  // block, so nearly all similarity mass (and with it phase-2 candidate
+  // tuples) crosses between the extreme user ranges. Under the range
+  // partitioner that funnels the work of phase 4 through the single
+  // partition pair (0, m-1): the load-balance worst case for the shard
+  // scheduler and the pair-affinity split. Middle users rate uniformly
+  // over the cold tail and stay mutually dissimilar.
+  const VertexId pole = std::max<VertexId>(p.users / 8, 1);
+  const ItemId hot =
+      std::max<ItemId>(std::min<ItemId>(p.items / 16, p.items), 8);
+  Workload w;
+  w.name = "adversarial-pair";
+  w.profiles.reserve(p.users);
+  std::unordered_set<ItemId> picked;
+  for (VertexId u = 0; u < p.users; ++u) {
+    const bool is_pole = u < pole || u >= p.users - pole;
+    const ItemId lo = is_pole ? 0 : hot;
+    const ItemId span = is_pole ? hot : std::max<ItemId>(p.items - hot, 1);
+    const std::uint32_t want = std::min<std::uint32_t>(
+        is_pole ? 12 + static_cast<std::uint32_t>(rng.next_below(9))
+                : 8 + static_cast<std::uint32_t>(rng.next_below(9)),
+        span);
+    picked.clear();
+    std::vector<ProfileEntry> entries;
+    entries.reserve(want);
+    while (entries.size() < want) {
+      const ItemId item = lo + static_cast<ItemId>(rng.next_below(span));
+      if (!picked.insert(item).second) continue;
+      entries.push_back(
+          {item, static_cast<float>(1.0 - rng.next_double() * 0.999)});
+    }
+    w.profiles.emplace_back(std::move(entries));
+  }
+  w.script = std::make_unique<AdversarialScript>(hot, pole,
+                                                 substream(p.seed, 9));
+  return w;
+}
+
+Workload make_movielens_synthetic(const WorkloadParams& p) {
+  SyntheticRatingsConfig config;
+  config.num_users = p.users;
+  config.num_items = p.items;
+  config.min_ratings = 5;
+  config.max_ratings = 30;
+  config.popularity_alpha = 1.1;
+  Rng rng(substream(p.seed, 10));
+  Workload w;
+  w.name = "movielens-synthetic";
+  w.profiles = synthetic_ratings(config, rng).profiles;
+  w.script = std::make_unique<RatingStreamScript>(
+      p.items, config.popularity_alpha, config.rating_levels,
+      substream(p.seed, 11));
+  return w;
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& workload_zoo() {
+  static const std::vector<WorkloadSpec> zoo = {
+      {"steady-trickle",
+       "clustered profiles under a proportional churn trickle",
+       &make_steady_trickle},
+      {"zipf-tail",
+       "heavy-tailed (Zipf) item popularity with a matching rating drip",
+       &make_zipf_tail},
+      {"flash-crowd",
+       "1% of users rewrite 50% of their profile in one iteration",
+       &make_flash_crowd},
+      {"cold-start",
+       "waves of brand-new users onboarded from stub profiles",
+       &make_cold_start},
+      {"adversarial-pair",
+       "partitioner-hostile: mass concentrated in one partition pair",
+       &make_adversarial_pair},
+      {"movielens-synthetic",
+       "star-rating profiles plus a live Zipf rating stream",
+       &make_movielens_synthetic},
+  };
+  return zoo;
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  names.reserve(workload_zoo().size());
+  for (const WorkloadSpec& spec : workload_zoo()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+Workload make_workload(std::string_view name, const WorkloadParams& params) {
+  check_params(params);
+  for (const WorkloadSpec& spec : workload_zoo()) {
+    if (spec.name == name) return spec.make(params);
+  }
+  std::string known;
+  for (const WorkloadSpec& spec : workload_zoo()) {
+    known += known.empty() ? spec.name : ", " + spec.name;
+  }
+  throw std::invalid_argument("make_workload: unknown workload '" +
+                              std::string(name) + "' (known: " + known +
+                              ")");
+}
+
+ClusteredGenConfig scripted_generator(VertexId users, ItemId items,
+                                      std::uint32_t clusters) {
+  ClusteredGenConfig gen;
+  gen.base.num_users = users;
+  gen.base.num_items = items;
+  gen.base.min_items = 15;
+  gen.base.max_items = 25;
+  gen.num_clusters = clusters;
+  gen.in_cluster_prob = 0.9;
+  return gen;
+}
+
+ChurnConfig scripted_churn(ChurnScenario scenario,
+                           ClusteredGenConfig generator,
+                           std::uint64_t seed) {
+  ChurnConfig churn;
+  churn.generator = std::move(generator);
+  churn.seed = seed;
+  switch (scenario) {
+    case ChurnScenario::Trickle:
+      break;  // the ChurnConfig defaults: 50 / 2 / 1
+    case ChurnScenario::Heavy:
+      churn.rating_updates_per_iteration = 120;
+      churn.drifting_users_per_iteration = 15;
+      churn.reset_users_per_iteration = 10;
+      break;
+    case ChurnScenario::Proportional: {
+      const VertexId n = churn.generator.base.num_users;
+      churn.rating_updates_per_iteration = n / 20;
+      churn.drifting_users_per_iteration = n / 200 + 1;
+      churn.reset_users_per_iteration = n / 400 + 1;
+      break;
+    }
+  }
+  return churn;
+}
+
+}  // namespace knnpc

@@ -30,6 +30,7 @@
 #include "graph/knn_graph_io.h"
 #include "profiles/generators.h"
 #include "util/rng.h"
+#include "workloads/workload.h"
 
 #ifndef KNNPC_GOLDEN_DIR
 #error "KNNPC_GOLDEN_DIR must point at tests/golden"
@@ -119,27 +120,47 @@ bool is_churn_row(const GoldenRow& row) {
 }
 
 ChurnConfig golden_churn_config(const GoldenRow& row) {
-  ChurnConfig churn;
-  churn.generator.base.num_users = row.users;
-  churn.generator.base.num_items = row.items;
-  churn.generator.base.min_items = 15;
-  churn.generator.base.max_items = 25;
-  churn.generator.num_clusters = row.clusters;
-  churn.generator.in_cluster_prob = 0.9;
-  churn.seed = 1007;
-  if (row.name.find("heavy") != std::string::npos) {
-    // Delta-heavy regime: most of P(t) is rewritten every iteration, so
-    // the persistent workers' per-iteration KPRD deltas carry near-full
-    // row sets instead of the default trickle.
-    churn.rating_updates_per_iteration = 120;
-    churn.drifting_users_per_iteration = 15;
-    churn.reset_users_per_iteration = 10;
-  }
-  return churn;
+  // "heavy" is the delta-heavy regime: most of P(t) is rewritten every
+  // iteration, so the persistent workers' per-iteration KPRD deltas carry
+  // near-full row sets instead of the default trickle. Both scenarios are
+  // the shared scripted definitions from the workload registry.
+  const ChurnScenario scenario = row.name.find("heavy") != std::string::npos
+                                     ? ChurnScenario::Heavy
+                                     : ChurnScenario::Trickle;
+  return scripted_churn(
+      scenario, scripted_generator(row.users, row.items, row.clusters), 1007);
 }
 
-std::uint64_t run_serial(const GoldenRow& row) {
-  KnnEngine engine(golden_config(row), golden_profiles(row));
+/// Rows named "wl-<scenario>" replay a workload-zoo scenario
+/// (src/workloads/workload.h) end to end: P(0) and the update script both
+/// come from make_workload, seeded by the row's seed column.
+bool is_wl_row(const GoldenRow& row) {
+  return row.name.rfind("wl-", 0) == 0;
+}
+
+Workload golden_workload(const GoldenRow& row) {
+  WorkloadParams params;
+  params.users = row.users;
+  params.items = row.items;
+  params.clusters = row.clusters;
+  params.seed = row.seed;
+  return make_workload(row.name.substr(3), params);
+}
+
+std::uint64_t run_serial(const GoldenRow& row, std::uint32_t threads = 1) {
+  EngineConfig config = golden_config(row);
+  config.threads = threads;
+  if (is_wl_row(row)) {
+    Workload workload = golden_workload(row);
+    const auto n = static_cast<VertexId>(workload.profiles.size());
+    KnnEngine engine(config, std::move(workload.profiles));
+    for (std::uint32_t i = 0; i < row.iters; ++i) {
+      workload.tick(engine.update_queue(), n);
+      engine.run_iteration();
+    }
+    return knn_graph_checksum(engine.graph());
+  }
+  KnnEngine engine(config, golden_profiles(row));
   std::optional<ChurnDriver> churn;
   if (is_churn_row(row)) churn.emplace(golden_churn_config(row));
   for (std::uint32_t i = 0; i < row.iters; ++i) {
@@ -156,6 +177,17 @@ std::uint64_t run_sharded(const GoldenRow& row, std::uint32_t shards,
   shard_config.shards = shards;
   shard_config.worker_mode = mode;
   shard_config.worker_timeout_s = 120.0;
+  if (is_wl_row(row)) {
+    Workload workload = golden_workload(row);
+    const auto n = static_cast<VertexId>(workload.profiles.size());
+    ShardedKnnEngine engine(golden_config(row), shard_config,
+                            std::move(workload.profiles));
+    for (std::uint32_t i = 0; i < row.iters; ++i) {
+      workload.tick(engine.update_queue(), n);
+      engine.run_iteration();
+    }
+    return knn_graph_checksum(engine.graph());
+  }
   ShardedKnnEngine engine(golden_config(row), shard_config,
                           golden_profiles(row));
   std::optional<ChurnDriver> churn;
@@ -209,16 +241,9 @@ TEST(GoldenTest, EveryExecutionModeReproducesTheGoldenGraph) {
     GTEST_SKIP() << "corpus being regenerated; modes covered on rerun";
   }
   const GoldenRow& row = rows.front();  // the base workload
-  const EngineConfig config = golden_config(row);
 
-  {
-    EngineConfig threaded = config;
-    threaded.threads = 2;
-    KnnEngine engine(threaded, golden_profiles(row));
-    for (std::uint32_t i = 0; i < row.iters; ++i) engine.run_iteration();
-    EXPECT_EQ(hex(knn_graph_checksum(engine.graph())), hex(row.checksum))
-        << "thread-pool execution drifted from the golden graph";
-  }
+  EXPECT_EQ(hex(run_serial(row, 2)), hex(row.checksum))
+      << "thread-pool execution drifted from the golden graph";
   EXPECT_EQ(hex(run_sharded(row, 3, ShardWorkerMode::Thread)),
             hex(row.checksum))
       << "thread-mode sharded execution drifted from the golden graph";
@@ -250,19 +275,9 @@ TEST(GoldenTest, ChurnWorkloadReplaysThroughEveryMode) {
     const GoldenRow& row = *churn_row;
     ASSERT_GE(row.iters, 5u) << row.name;
 
-    {
-      EngineConfig threaded = golden_config(row);
-      threaded.threads = 2;
-      KnnEngine engine(threaded, golden_profiles(row));
-      ChurnDriver churn(golden_churn_config(row));
-      for (std::uint32_t i = 0; i < row.iters; ++i) {
-        churn.tick(engine);
-        engine.run_iteration();
-      }
-      EXPECT_EQ(hex(knn_graph_checksum(engine.graph())), hex(row.checksum))
-          << "thread-pool execution drifted on churn workload '" << row.name
-          << "'";
-    }
+    EXPECT_EQ(hex(run_serial(row, 2)), hex(row.checksum))
+        << "thread-pool execution drifted on churn workload '" << row.name
+        << "'";
     EXPECT_EQ(hex(run_sharded(row, 3, ShardWorkerMode::Thread)),
               hex(row.checksum))
         << "thread-mode sharding drifted on churn workload '" << row.name
@@ -276,6 +291,42 @@ TEST(GoldenTest, ChurnWorkloadReplaysThroughEveryMode) {
                 hex(row.checksum))
           << "persistent-mode sharding drifted on churn workload '"
           << row.name << "' at S=" << shards;
+    }
+  }
+}
+
+TEST(GoldenTest, WorkloadZooReplaysThroughEveryMode) {
+  // One pinned row per registered zoo scenario (wl-<name>), replayed
+  // through every execution mode — the cross-mode differential harness in
+  // regression form. Persistent mode again sweeps shard counts, since its
+  // delta-sync path differs per S.
+  const std::vector<GoldenRow> rows = load_rows();
+  ASSERT_FALSE(rows.empty());
+  if (std::getenv("KNNPC_UPDATE_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "corpus being regenerated; modes covered on rerun";
+  }
+  std::vector<const GoldenRow*> wl_rows;
+  for (const GoldenRow& row : rows) {
+    if (is_wl_row(row)) wl_rows.push_back(&row);
+  }
+  ASSERT_EQ(wl_rows.size(), workload_names().size())
+      << "every workload-zoo scenario needs a pinned wl- golden row";
+
+  for (const GoldenRow* wl_row : wl_rows) {
+    const GoldenRow& row = *wl_row;
+    EXPECT_EQ(hex(run_serial(row, 2)), hex(row.checksum))
+        << "thread-pool execution drifted on '" << row.name << "'";
+    EXPECT_EQ(hex(run_sharded(row, 3, ShardWorkerMode::Thread)),
+              hex(row.checksum))
+        << "thread-mode sharding drifted on '" << row.name << "'";
+    EXPECT_EQ(hex(run_sharded(row, 2, ShardWorkerMode::Process)),
+              hex(row.checksum))
+        << "process-mode sharding drifted on '" << row.name << "'";
+    for (const std::uint32_t shards : {1u, 2u, 3u, 5u}) {
+      EXPECT_EQ(hex(run_sharded(row, shards, ShardWorkerMode::Persistent)),
+                hex(row.checksum))
+          << "persistent-mode sharding drifted on '" << row.name
+          << "' at S=" << shards;
     }
   }
 }

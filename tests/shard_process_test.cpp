@@ -27,6 +27,7 @@
 #include "profiles/generators.h"
 #include "storage/block_file.h"
 #include "util/rng.h"
+#include "workloads/workload.h"
 
 namespace knnpc {
 namespace {
@@ -304,17 +305,11 @@ ShardConfig persistent_config(std::uint32_t shards,
 
 /// Churn matching the clustered() workload generator, so drift targets
 /// land in real clusters. Same config => same update stream, whichever
-/// engine consumes it.
+/// engine consumes it. The scenario definition is the registry's shared
+/// trickle (workloads/workload.h).
 ChurnConfig churn_config(VertexId n, std::uint32_t clusters) {
-  ChurnConfig churn;
-  churn.generator.base.num_users = n;
-  churn.generator.base.num_items = 400;
-  churn.generator.base.min_items = 15;
-  churn.generator.base.max_items = 25;
-  churn.generator.num_clusters = clusters;
-  churn.generator.in_cluster_prob = 0.9;
-  churn.seed = 2024;
-  return churn;
+  return scripted_churn(ChurnScenario::Trickle,
+                        scripted_generator(n, 400, clusters), 2024);
 }
 
 std::vector<std::uint64_t> serial_churn_checksums(const EngineConfig& config,

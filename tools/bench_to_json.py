@@ -152,12 +152,40 @@ def summarize_serve(d, out):
     out.append("")
 
 
+def summarize_workloads(d, out):
+    out.append(
+        "### bench_workloads — workload-zoo differential sweep "
+        f"(n={d.get('users')}, items={d.get('items')}, k={d.get('k')}, "
+        f"iters={d.get('iters')})")
+    out.append("")
+    out.append("| workload | serial s | threaded s | shard s | process s "
+               "| persistent s | modes identical | grid cells | grid identical |")
+    out.append("|---|---:|---:|---:|---:|---:|---:|---:|---:|")
+    for row in d.get("results", []):
+        walls = {m["mode"]: m["wall_s"] for m in row.get("modes", [])}
+        out.append(
+            "| {name} | {serial:.3f} | {threaded:.3f} | {shard:.3f} "
+            "| {process:.3f} | {persistent:.3f} | {ident} | {cells} "
+            "| {grid_ident} |".format(
+                name=row["workload"],
+                serial=walls.get("serial", 0.0),
+                threaded=walls.get("threaded", 0.0),
+                shard=walls.get("shard-thread", 0.0),
+                process=walls.get("shard-process", 0.0),
+                persistent=walls.get("shard-persistent", 0.0),
+                ident="yes" if row.get("identical") else "**NO**",
+                cells=len(row.get("grid", [])),
+                grid_ident="yes" if row.get("grid_identical") else "**NO**"))
+    out.append("")
+
+
 SUMMARIZERS = {
     "table1": summarize_table1,
     "phases": summarize_phases,
     "threads": summarize_threads,
     "shards": summarize_shards,
     "serve": summarize_serve,
+    "workloads": summarize_workloads,
 }
 
 

@@ -50,6 +50,11 @@ int main(int argc, char** argv) {
   }
   Options opts;
   opts.add_string("ratings", "rating file; empty = synthetic profiles", "");
+  opts.add_uint("ratings-budget-mb",
+                "out-of-core ratings ingestion: stream --ratings through "
+                "sorted spill runs under this memory budget instead of "
+                "loading it whole (0 = in-memory load)",
+                0);
   opts.add_uint("users", "synthetic user count", 10000);
   opts.add_uint("items", "synthetic item count", 2000);
   opts.add_uint("clusters", "planted clusters in synthetic profiles", 40);
@@ -121,7 +126,25 @@ int main(int argc, char** argv) {
   // Input profiles.
   std::vector<SparseProfile> profiles;
   if (!opts.get_string("ratings").empty()) {
-    RatingsData data = load_ratings_file(opts.get_string("ratings"));
+    RatingsData data;
+    if (opts.get_uint("ratings-budget-mb") > 0) {
+      OutOfCoreIngestConfig ingest;
+      ingest.memory_budget_bytes =
+          static_cast<std::size_t>(opts.get_uint("ratings-budget-mb")) << 20;
+      ingest.work_dir = opts.get_string("workdir");
+      const std::string store_path = opts.get_string("ratings") + ".kprs";
+      const OutOfCoreIngestStats stats = ingest_ratings_file(
+          opts.get_string("ratings"), store_path, ingest);
+      std::fprintf(stderr,
+                   "ingested %zu lines -> %zu ratings (%zu dup) across %zu "
+                   "runs, peak %.1f MiB -> %s\n",
+                   stats.lines, stats.ratings, stats.duplicates, stats.runs,
+                   static_cast<double>(stats.peak_memory_bytes) / (1 << 20),
+                   store_path.c_str());
+      data = load_profile_store(store_path);
+    } else {
+      data = load_ratings_file(opts.get_string("ratings"));
+    }
     std::fprintf(stderr, "loaded %zu users / %zu ratings from %s\n",
                  data.profiles.size(), data.num_ratings,
                  opts.get_string("ratings").c_str());

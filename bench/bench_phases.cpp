@@ -4,14 +4,38 @@
 // content: what each phase costs as the graph converges).
 //
 // Usage: bench_phases [--users=N] [--k=N] [--partitions=N] [--iters=N]
+//
+// Besides the per-iteration phase breakdown, the bench re-runs the same
+// workload once per phase-4 kernel backend (scalar, simd, and
+// simd+quantized; --kernel-iters iterations each, 0 disables) and reports
+// per-kernel knn/score seconds plus the speedup over scalar. The scalar
+// and simd variants must land on the same graph checksum — the process
+// exits non-zero otherwise, so the bench doubles as a determinism gate.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/engine.h"
+#include "graph/knn_graph_io.h"
 #include "profiles/generators.h"
+#include "profiles/similarity_kernels.h"
 #include "util/options.h"
 #include "util/rng.h"
 
 using namespace knnpc;
+
+namespace {
+
+struct KernelRow {
+  std::string name;
+  std::string backend;  // resolved ISA
+  double knn_s = 0.0;
+  double knn_score_s = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Options opts;
@@ -21,6 +45,14 @@ int main(int argc, char** argv) {
   opts.add_uint("iters", "max iterations", 10);
   opts.add_uint("threads", "phase-4 worker threads (0 = auto)", 1);
   opts.add_string("heuristic", "PI traversal heuristic", "low-high");
+  opts.add_string("kernel",
+                  "phase-4 kernel backend for the main run (auto | scalar "
+                  "| simd)",
+                  "auto");
+  opts.add_uint("kernel-iters",
+                "iterations per backend in the kernel comparison "
+                "(0 = skip the comparison)",
+                2);
   opts.add_flag("json", "emit results as JSON instead of a table");
   if (!opts.parse(argc, argv)) return 0;
   const bool json = opts.get_flag("json");
@@ -41,17 +73,23 @@ int main(int argc, char** argv) {
       static_cast<PartitionId>(opts.get_uint("partitions"));
   config.threads = static_cast<std::uint32_t>(opts.get_uint("threads"));
   config.heuristic = opts.get_string("heuristic");
+  config.kernel = opts.get_string("kernel");
+  const char* resolved_backend =
+      kernel_backend_name(resolve_kernel_backend(config.kernel));
 
   if (json) {
     std::printf("{\"bench\":\"phases\",\"users\":%u,\"k\":%u,"
-                "\"partitions\":%u,\"heuristic\":\"%s\",\"iterations\":[",
+                "\"partitions\":%u,\"heuristic\":\"%s\",\"kernel\":\"%s\","
+                "\"kernel_backend\":\"%s\",\"iterations\":[",
                 n, config.k, config.num_partitions,
-                config.heuristic.c_str());
+                config.heuristic.c_str(), config.kernel.c_str(),
+                resolved_backend);
   } else {
     std::printf("Figure 1: per-phase breakdown (n=%u, k=%u, m=%u, "
-                "heuristic=%s)\n",
+                "heuristic=%s, kernel=%s/%s)\n",
                 n, config.k, config.num_partitions,
-                config.heuristic.c_str());
+                config.heuristic.c_str(), config.kernel.c_str(),
+                resolved_backend);
     std::printf("%4s | %9s %9s %9s %9s %9s | %9s | %8s %8s %10s %9s | "
                 "%9s\n",
                 "iter", "P1 part", "P2 hash", "P3 PI", "P4 knn", "P5 upd",
@@ -106,14 +144,62 @@ int main(int argc, char** argv) {
     }
     if (s.change_rate < 0.01) break;
   }
+  // Per-kernel phase-4 comparison: a fresh engine per backend variant
+  // over the same generated workload. scalar vs simd is also a
+  // determinism gate (bit-identical contract -> equal checksums).
+  std::vector<KernelRow> rows;
+  const auto kernel_iters =
+      static_cast<std::uint32_t>(opts.get_uint("kernel-iters"));
+  if (kernel_iters > 0) {
+    struct Variant {
+      const char* name;
+      const char* kernel;
+      bool quantize;
+    };
+    const Variant variants[] = {{"scalar", "scalar", false},
+                                {"simd", "simd", false},
+                                {"simd+quantized", "simd", true}};
+    for (const Variant& v : variants) {
+      EngineConfig kconfig = config;
+      kconfig.kernel = v.kernel;
+      kconfig.quantize_profiles = v.quantize;
+      Rng krng(1234);  // same workload every variant
+      KnnEngine kengine(kconfig, clustered_profiles(pconfig, krng));
+      KernelRow row;
+      row.name = v.name;
+      row.backend = kernel_backend_name(resolve_kernel_backend(v.kernel));
+      for (std::uint32_t i = 0; i < kernel_iters; ++i) {
+        const IterationStats s = kengine.run_iteration();
+        row.knn_s += s.timings.knn_s;
+        row.knn_score_s += s.knn_score_s;
+      }
+      row.checksum = knn_graph_checksum(kengine.graph());
+      rows.push_back(std::move(row));
+    }
+  }
+
   const double total = cumulative.total();
+  const double scalar_score_s = rows.empty() ? 0.0 : rows[0].knn_score_s;
   if (json) {
     std::printf("],\"cumulative\":{\"partition_s\":%.6f,\"hash_s\":%.6f,"
                 "\"pi_graph_s\":%.6f,\"knn_s\":%.6f,\"update_s\":%.6f,"
-                "\"total_s\":%.6f}}\n",
+                "\"total_s\":%.6f},\"kernels\":[",
                 cumulative.partition_s, cumulative.hash_s,
                 cumulative.pi_graph_s, cumulative.knn_s,
                 cumulative.update_s, total);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      std::printf("%s{\"name\":\"%s\",\"backend\":\"%s\",\"iters\":%u,"
+                  "\"knn_s\":%.6f,\"knn_score_s\":%.6f,\"speedup\":%.3f,"
+                  "\"checksum\":\"%016llx\"}",
+                  r == 0 ? "" : ",", rows[r].name.c_str(),
+                  rows[r].backend.c_str(), kernel_iters, rows[r].knn_s,
+                  rows[r].knn_score_s,
+                  rows[r].knn_score_s > 0.0
+                      ? scalar_score_s / rows[r].knn_score_s
+                      : 0.0,
+                  static_cast<unsigned long long>(rows[r].checksum));
+    }
+    std::printf("]}\n");
   } else {
     std::printf("---------------------------------------------------------"
                 "---------------------------------------------------------"
@@ -125,6 +211,30 @@ int main(int argc, char** argv) {
                 100 * cumulative.pi_graph_s / total,
                 100 * cumulative.knn_s / total,
                 100 * cumulative.update_s / total, total);
+    if (!rows.empty()) {
+      std::printf("\nphase-4 kernels (%u iters each):\n", kernel_iters);
+      std::printf("%16s | %8s | %9s %9s | %7s | %s\n", "kernel", "backend",
+                  "knn s", "score s", "speedup", "checksum");
+      for (const KernelRow& row : rows) {
+        std::printf("%16s | %8s | %9.3f %9.3f | %6.2fx | %016llx\n",
+                    row.name.c_str(), row.backend.c_str(), row.knn_s,
+                    row.knn_score_s,
+                    row.knn_score_s > 0.0
+                        ? scalar_score_s / row.knn_score_s
+                        : 0.0,
+                    static_cast<unsigned long long>(row.checksum));
+      }
+    }
+  }
+  // Determinism gate: scalar and simd must produce the same graph
+  // (quantized is exempt — it is documented as not bit-identical to f32).
+  if (rows.size() >= 2 && rows[0].checksum != rows[1].checksum) {
+    std::fprintf(stderr,
+                 "FATAL: scalar/simd kernel checksums diverge "
+                 "(%016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(rows[0].checksum),
+                 static_cast<unsigned long long>(rows[1].checksum));
+    return 1;
   }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "graph/digraph.h"
 #include "pigraph/heuristics.h"
 #include "pigraph/simulator.h"
+#include "profiles/similarity_kernels.h"
 #include "util/options.h"
 #include "util/timer.h"
 
@@ -33,9 +34,12 @@ int main(int argc, char** argv) {
   const bool json = opts.get_flag("json");
 
   if (json) {
+    // kernel_backend is informational only — this bench never scores
+    // profiles, but the dashboard groups runs by the host's resolved ISA.
     std::printf("{\"bench\":\"table1\",\"slots\":%zu,\"seed\":%llu,"
-                "\"datasets\":[",
-                slots, static_cast<unsigned long long>(seed));
+                "\"kernel_backend\":\"%s\",\"datasets\":[",
+                slots, static_cast<unsigned long long>(seed),
+                kernel_backend_name(resolve_kernel_backend("auto")));
   } else {
     std::printf("Table 1: # load/unload operations using PI graph "
                 "(slots=%zu, seed=%llu)\n",

@@ -14,6 +14,8 @@
 #include "partition/partitioner.h"
 #include "pigraph/heuristics.h"
 #include "pigraph/pi_graph.h"
+#include "profiles/flat_profile.h"
+#include "profiles/similarity_kernels.h"
 #include "storage/partition_store.h"
 #include "storage/shard_writer.h"
 #include "util/hash.h"
@@ -273,6 +275,11 @@ IterationStats KnnEngine::run_iteration() {
           });
     };
     PartitionCache cache(store, config_.memory_slots);
+    // Flat (SoA) copies of the loaded partitions for the batched kernels,
+    // cached alongside the PartitionCache slots so each partition is
+    // packed once per load, not once per PI pair.
+    const KernelBackend backend = resolve_kernel_backend(config_.kernel);
+    FlatSetCache flat_cache(config_.memory_slots, config_.quantize_profiles);
     std::vector<float> scores;
     for (PairIndex idx : schedule) {
       const PiPair& pair = pi.pair(idx);
@@ -283,18 +290,35 @@ IterationStats KnnEngine::run_iteration() {
       const PartitionData& pa = cache.get(pair.a);
       const PartitionData& pb =
           pair.b == pair.a ? pa : cache.get(pair.b);
-      auto profile_of = [&](VertexId v) -> const SparseProfile& {
-        if (const SparseProfile* p = pa.profile_of(v)) return *p;
-        if (const SparseProfile* p = pb.profile_of(v)) return *p;
-        throw std::logic_error("engine: tuple endpoint outside loaded pair");
-      };
+      const FlatProfileSet& fa =
+          flat_cache.get(pair.a, pa.vertices, pa.profiles);
+      const FlatProfileSet* fb =
+          pair.b == pair.a ? nullptr
+                           : &flat_cache.get(pair.b, pb.vertices, pb.profiles);
       scores.assign(tuples.size(), 0.0f);
       {
         ScopedAccumulator score_timing(&stats.knn_score_s);
+        // Tuple shards are grouped by source user (phase-2 emission
+        // order), so runs of equal s batch naturally: one source-profile
+        // lookup and one warm source row per run. Each (i, score) pairing
+        // is independent of chunking, so the parallel split cannot change
+        // results.
         auto score_range = [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t i = lo; i < hi; ++i) {
-            scores[i] = similarity(config_.measure, profile_of(tuples[i].s),
-                                   profile_of(tuples[i].d));
+          KernelScratch scratch;
+          std::vector<VertexId> cands;
+          std::size_t i = lo;
+          while (i < hi) {
+            std::size_t run_end = i + 1;
+            while (run_end < hi && tuples[run_end].s == tuples[i].s) {
+              ++run_end;
+            }
+            cands.clear();
+            for (std::size_t t = i; t < run_end; ++t) {
+              cands.push_back(tuples[t].d);
+            }
+            score_batch(fa, fb, tuples[i].s, cands, config_.measure, backend,
+                        scores.data() + i, scratch);
+            i = run_end;
           }
         };
         if (impl_->pool) {

@@ -28,7 +28,9 @@
 #include "partition/pair_affinity.h"
 #include "pigraph/heuristics.h"
 #include "pigraph/pi_graph.h"
+#include "profiles/flat_profile.h"
 #include "profiles/profile_delta.h"
+#include "profiles/similarity_kernels.h"
 #include "staticgraph/sharded_graph.h"
 #include "storage/partition_store.h"
 #include "storage/shard_writer.h"
@@ -338,6 +340,24 @@ ConsumerOutput consume_candidates(const WaveContext& ctx, std::uint32_t c,
     }
     PartitionCache cache(store, config.memory_slots,
                          /*edges_only=*/local_profiles != nullptr);
+    const KernelBackend backend = resolve_kernel_backend(config.kernel);
+    // Streaming path: flat (SoA) copies of loaded partitions, cached per
+    // slot. Persistent path (local_profiles): tuples may reference any
+    // user and partitions stream edges-only, so pack the worker's whole
+    // P(t) once — O(total entries), amortised over the full wave.
+    FlatSetCache flat_cache(config.memory_slots, config.quantize_profiles);
+    std::optional<FlatProfileSet> local_flat;
+    if (local_profiles != nullptr) {
+      local_flat.emplace(config.quantize_profiles);
+      std::size_t total = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        total += local_profiles->get(v).size();
+      }
+      local_flat->reserve(n, total);
+      for (VertexId v = 0; v < n; ++v) {
+        local_flat->add(v, local_profiles->get(v));
+      }
+    }
     std::vector<float> scores;
     for (PairIndex idx : schedule) {
       const PiPair& pair = pi.pair(idx);
@@ -345,21 +365,34 @@ ConsumerOutput consume_candidates(const WaveContext& ctx, std::uint32_t c,
           pair_writer.shard_path(pi_pair_slot(pair.a, pair.b, m)), io);
       const PartitionData& pa = cache.get(pair.a);
       const PartitionData& pb = pair.b == pair.a ? pa : cache.get(pair.b);
-      auto profile_of = [&](VertexId v) -> const SparseProfile& {
-        if (local_profiles != nullptr) return local_profiles->get(v);
-        if (const SparseProfile* p = pa.profile_of(v)) return *p;
-        if (const SparseProfile* p = pb.profile_of(v)) return *p;
-        throw std::logic_error(
-            "shard_driver: tuple endpoint outside loaded pair");
-      };
+      const FlatProfileSet& fa =
+          local_flat ? *local_flat
+                     : flat_cache.get(pair.a, pa.vertices, pa.profiles);
+      const FlatProfileSet* fb = nullptr;
+      if (!local_flat && pair.b != pair.a) {
+        fb = &flat_cache.get(pair.b, pb.vertices, pb.profiles);
+      }
       scores.assign(tuples.size(), 0.0f);
       {
         ScopedAccumulator score_timing(&stats.knn_score_s);
+        // Same run-batched kernel dispatch as the engine: tuples arrive
+        // grouped by source user, so each run shares one source lookup.
         auto score_range = [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t i = lo; i < hi; ++i) {
-            scores[i] =
-                similarity(config.measure, profile_of(tuples[i].s),
-                           profile_of(tuples[i].d));
+          KernelScratch scratch;
+          std::vector<VertexId> cands;
+          std::size_t i = lo;
+          while (i < hi) {
+            std::size_t run_end = i + 1;
+            while (run_end < hi && tuples[run_end].s == tuples[i].s) {
+              ++run_end;
+            }
+            cands.clear();
+            for (std::size_t t = i; t < run_end; ++t) {
+              cands.push_back(tuples[t].d);
+            }
+            score_batch(fa, fb, tuples[i].s, cands, config.measure, backend,
+                        scores.data() + i, scratch);
+            i = run_end;
           }
         };
         if (pool != nullptr) {
@@ -429,7 +462,10 @@ ConsumerOutput consume_candidates(const WaveContext& ctx, std::uint32_t c,
 // producer and consumer (the worker IS the driver's binary).
 
 constexpr char kPlanMagic[4] = {'K', 'P', 'L', 'N'};
-constexpr std::uint32_t kPlanVersion = 1;
+// v2: adds the phase-4 kernel backend string and the quantize_profiles
+// flag (both read by the wave bodies, so process-mode workers must see
+// the configured values, not the defaults).
+constexpr std::uint32_t kPlanVersion = 2;
 
 // Tripwire: the plan file hand-serialises the wave-relevant subset of
 // EngineConfig. A field added to EngineConfig that the wave bodies read
@@ -439,7 +475,7 @@ constexpr std::uint32_t kPlanVersion = 1;
 // platform until save_plan_file/load_plan_file (below) were reviewed and
 // this constant is bumped.
 #if defined(__GLIBCXX__) && defined(__x86_64__)
-static_assert(sizeof(EngineConfig) == 248,
+static_assert(sizeof(EngineConfig) == 288,
               "EngineConfig changed: review the process-mode plan "
               "serialisation (save_plan_file/load_plan_file) before "
               "bumping this size");
@@ -479,6 +515,8 @@ void save_plan_file(const fs::path& path, const ProcessPlan& plan) {
   append_record(bytes, static_cast<std::uint8_t>(config.include_reverse));
   append_record(bytes, static_cast<std::uint8_t>(config.spill_scores));
   append_record(bytes, static_cast<std::uint8_t>(config.storage_mode));
+  append_record(bytes, static_cast<std::uint8_t>(config.quantize_profiles));
+  append_string(bytes, config.kernel);
   append_string(bytes, config.heuristic);
   append_string(bytes, config.io_model.name);
   append_record(bytes, config.io_model.seek_us);
@@ -542,12 +580,16 @@ ProcessPlan load_plan_file(const fs::path& path) {
   std::uint8_t reverse = 0;
   std::uint8_t spill = 0;
   std::uint8_t storage_mode = 0;
+  std::uint8_t quantize = 0;
   read(reverse);
   read(spill);
   read(storage_mode);
+  read(quantize);
   config.include_reverse = reverse != 0;
   config.spill_scores = spill != 0;
   config.storage_mode = static_cast<PartitionStore::Mode>(storage_mode);
+  config.quantize_profiles = quantize != 0;
+  read_string(config.kernel);
   read_string(config.heuristic);
   read_string(config.io_model.name);
   read(config.io_model.seek_us);

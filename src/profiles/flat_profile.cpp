@@ -1,0 +1,123 @@
+#include "profiles/flat_profile.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "profiles/compact.h"
+
+namespace knnpc {
+
+void FlatProfileSet::reserve(std::size_t users, std::size_t entries) {
+  row_of_.reserve(users);
+  offsets_.reserve(users + 1);
+  norms_.reserve(users);
+  means_.reserve(users);
+  items_.reserve(entries);
+  weights_.reserve(entries);
+  if (quantize_) {
+    qcodes_.reserve(entries);
+    qscales_.reserve(users);
+  }
+}
+
+void FlatProfileSet::add(VertexId v, const SparseProfile& p) {
+  const auto row = static_cast<std::uint32_t>(norms_.size());
+  if (!row_of_.emplace(v, row).second) {
+    throw std::invalid_argument("FlatProfileSet::add: duplicate vertex");
+  }
+  float scale = 1.0f;
+  if (quantize_) {
+    const QuantizedWeights q = quantize_weights_u16(p.entries());
+    scale = q.scale;
+    for (const std::uint16_t code : q.codes) {
+      weights_.push_back(dequantize_weight_u16(code, scale));
+    }
+    qcodes_.insert(qcodes_.end(), q.codes.begin(), q.codes.end());
+    qscales_.push_back(scale);
+  } else {
+    for (const ProfileEntry& e : p.entries()) weights_.push_back(e.weight);
+  }
+  for (const ProfileEntry& e : p.entries()) items_.push_back(e.item);
+
+  // Norm and mean over the *stored* weights, in entry order — the same
+  // accumulation sequence as SparseProfile::norm() and the scalar
+  // mean_weight() in similarity.cpp, so unquantized scores match the
+  // scalar path bit-for-bit.
+  const std::uint32_t begin = offsets_.back();
+  const auto size = static_cast<std::uint32_t>(p.size());
+  double sq = 0.0;
+  double sum = 0.0;
+  for (std::uint32_t i = begin; i < begin + size; ++i) {
+    sq += static_cast<double>(weights_[i]) * weights_[i];
+    sum += weights_[i];
+  }
+  norms_.push_back(std::sqrt(sq));
+  means_.push_back(size == 0 ? 0.0 : sum / static_cast<double>(size));
+  offsets_.push_back(begin + size);
+}
+
+FlatProfileSet::View FlatProfileSet::view_of_row(std::uint32_t row) const {
+  View v;
+  const std::uint32_t begin = offsets_[row];
+  v.items = items_.data() + begin;
+  v.weights = weights_.data() + begin;
+  v.size = offsets_[row + 1] - begin;
+  v.norm = norms_[row];
+  v.mean = means_[row];
+  return v;
+}
+
+bool FlatProfileSet::find(VertexId v, View& out) const {
+  const auto it = row_of_.find(v);
+  if (it == row_of_.end()) return false;
+  out = view_of_row(it->second);
+  return true;
+}
+
+FlatProfileSet::View FlatProfileSet::view(VertexId v) const {
+  View out;
+  if (!find(v, out)) {
+    throw std::out_of_range("FlatProfileSet: vertex not in set");
+  }
+  return out;
+}
+
+std::size_t FlatProfileSet::weight_payload_bytes() const {
+  if (quantize_) {
+    return qcodes_.size() * sizeof(std::uint16_t) +
+           qscales_.size() * sizeof(float);
+  }
+  return weights_.size() * sizeof(float);
+}
+
+float FlatProfileSet::scale_of(VertexId v) const {
+  if (!quantize_) return 1.0f;
+  const auto it = row_of_.find(v);
+  if (it == row_of_.end()) {
+    throw std::out_of_range("FlatProfileSet: vertex not in set");
+  }
+  return qscales_[it->second];
+}
+
+const FlatProfileSet& FlatSetCache::get(
+    PartitionId id, std::span<const VertexId> vertices,
+    std::span<const SparseProfile> profiles) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == id) {
+      entries_.splice(entries_.begin(), entries_, it);  // mark MRU
+      return entries_.front().second;
+    }
+  }
+  while (entries_.size() >= capacity_) entries_.pop_back();
+  entries_.emplace_front(id, FlatProfileSet(quantize_));
+  FlatProfileSet& set = entries_.front().second;
+  std::size_t total = 0;
+  for (const SparseProfile& p : profiles) total += p.size();
+  set.reserve(vertices.size(), total);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    set.add(vertices[i], profiles[i]);
+  }
+  return set;
+}
+
+}  // namespace knnpc

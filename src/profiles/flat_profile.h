@@ -1,0 +1,118 @@
+// SIMD-friendly flat profile layout for the phase-4 similarity kernels.
+//
+// SparseProfile stores {item, weight} pairs interleaved (AoS), one heap
+// allocation per user. The batched kernels in
+// profiles/similarity_kernels.h want the opposite: structure-of-arrays —
+// every profile's item ids contiguous (so the sorted-array intersection
+// can compare a whole register of ids per instruction) and its weights
+// contiguous, with the per-profile L2 norm and mean precomputed once
+// instead of once per scored pair (the scalar adjusted-cosine recomputes
+// the mean per pair — O(|p|) work the flat layout pays exactly once).
+//
+// A FlatProfileSet is a packed copy of a group of profiles — a loaded
+// partition pair in the streaming engines, or the whole resident P(t) in
+// persistent workers — built in O(total entries), which is noise next to
+// the O(tuples x profile length) scoring it feeds. The precomputed norm
+// and mean use the exact accumulation order of SparseProfile::norm() and
+// the scalar measures in profiles/similarity.cpp, so kernel scores are
+// bit-identical to the per-pair scalar path (the golden-checksum
+// contract; see ARCHITECTURE.md "Phase-4 similarity kernels").
+//
+// Optional u16 scaled-weight quantization (profiles/compact.h) halves the
+// weight payload; scoring then runs on the dequantized values, which is
+// NOT bit-identical to f32 scoring — it is opt-in
+// (EngineConfig::quantize_profiles, off by default) and outside the
+// golden contract. Quantized scoring is still deterministic and
+// bit-identical across kernel backends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "profiles/profile.h"
+#include "util/types.h"
+
+namespace knnpc {
+
+class FlatProfileSet {
+ public:
+  /// Borrowed view of one packed profile. `items`/`weights` point into
+  /// the set's arrays and stay valid for the set's lifetime (views are
+  /// materialised on lookup, after all add() calls).
+  struct View {
+    const ItemId* items = nullptr;
+    const float* weights = nullptr;
+    std::uint32_t size = 0;
+    double norm = 0.0;  ///< L2 norm of the stored weights.
+    double mean = 0.0;  ///< Mean stored weight (0 when empty).
+  };
+
+  explicit FlatProfileSet(bool quantize = false) : quantize_(quantize) {}
+
+  void reserve(std::size_t users, std::size_t entries);
+
+  /// Packs `p` under vertex id `v` (each id at most once).
+  void add(VertexId v, const SparseProfile& p);
+
+  /// Returns true and fills `out` when v is in the set; false (out
+  /// untouched) otherwise.
+  [[nodiscard]] bool find(VertexId v, View& out) const;
+
+  /// View of `v`'s profile; throws std::out_of_range when absent.
+  [[nodiscard]] View view(VertexId v) const;
+
+  [[nodiscard]] std::size_t num_profiles() const { return norms_.size(); }
+  [[nodiscard]] std::size_t total_entries() const { return items_.size(); }
+  [[nodiscard]] bool quantized() const { return quantize_; }
+
+  /// Bytes the weight payload occupies in this layout's wire/disk form:
+  /// u16 codes + per-profile f32 scale when quantized, f32 otherwise.
+  [[nodiscard]] std::size_t weight_payload_bytes() const;
+
+  /// Per-profile quantization scale (1.0 when not quantized or empty).
+  [[nodiscard]] float scale_of(VertexId v) const;
+
+ private:
+  [[nodiscard]] View view_of_row(std::uint32_t row) const;
+
+  bool quantize_ = false;
+  std::unordered_map<VertexId, std::uint32_t> row_of_;
+  std::vector<std::uint32_t> offsets_{0};  // rows + 1
+  std::vector<ItemId> items_;
+  std::vector<float> weights_;  // dequantized copies when quantize_
+  std::vector<std::uint16_t> qcodes_;
+  std::vector<float> qscales_;
+  std::vector<double> norms_;
+  std::vector<double> means_;
+};
+
+/// Tiny MRU cache of FlatProfileSets keyed by partition id, sized to the
+/// engine's resident-slot budget so a partition's flat layout lives
+/// exactly as long as the partition itself stays loaded in the
+/// PartitionCache (rebuilding per PI pair would re-copy each partition
+/// once per pair instead of once per load).
+class FlatSetCache {
+ public:
+  /// `capacity` is clamped to at least 2 so both halves of a PI pair can
+  /// be referenced simultaneously (inserting the second must never evict
+  /// the first).
+  FlatSetCache(std::size_t capacity, bool quantize)
+      : capacity_(capacity < 2 ? 2 : capacity), quantize_(quantize) {}
+
+  /// Flat layout of partition `id`, built from the parallel
+  /// vertices/profiles arrays on first use.
+  const FlatProfileSet& get(PartitionId id,
+                            std::span<const VertexId> vertices,
+                            std::span<const SparseProfile> profiles);
+
+ private:
+  std::size_t capacity_;
+  bool quantize_;
+  std::list<std::pair<PartitionId, FlatProfileSet>> entries_;  // MRU first
+};
+
+}  // namespace knnpc

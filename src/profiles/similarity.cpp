@@ -133,7 +133,10 @@ double mean_weight(const SparseProfile& p) {
 }
 
 /// Cosine of the two profiles after subtracting the given per-profile
-/// offsets, computed over the union of items; mapped from [-1,1] to [0,1].
+/// offsets, computed over the common items (`common_only`, what both
+/// callers use) or the union; mapped from [-1, 1] to [0, 1]. Fewer than 2
+/// common items or a zero centred norm yield 0.5 — see the degenerate-
+/// convention table in similarity.h.
 float centered_cosine(const SparseProfile& a, const SparseProfile& b,
                       double mean_a, double mean_b, bool common_only) {
   auto ea = a.entries();

@@ -2,9 +2,35 @@
 //
 // All measures return values where *larger is more similar* so the top-K
 // selector needs no per-measure special-casing. All run in O(|a| + |b|)
-// over the sorted entry lists.
+// over the sorted entry lists. The batched phase-4 kernels
+// (profiles/similarity_kernels.h) reimplement every measure over the flat
+// profile layout and are bit-identical to these reference functions.
+//
+// Degenerate-input conventions (asserted by similarity_test):
+//
+//   measure        empty vs empty   empty vs non-empty   other edge cases
+//   ------------   --------------   ------------------   -------------------
+//   Cosine         0                0                    zero-norm side -> 0
+//   Jaccard        0                0                    —
+//   Dice           0                0                    —
+//   Overlap        0                0                    —
+//   CommonItems    0                0                    —
+//   InverseEuclid  1 (distance 0)   1/(1+||other||)      —
+//   Pearson        0.5              0.5                  <2 common or zero
+//                                                        variance -> 0.5
+//   AdjustedCosine 0.5              0.5                  <2 common or zero
+//                                                        centred norm -> 0.5
+//
+// The set measures treat "nothing shared" as minimal similarity (0); the
+// correlation measures cannot distinguish agreement from disagreement
+// without >= 2 common items or nonzero variance, so they return the
+// midpoint 0.5 ("no evidence either way") — returning 0 there would
+// actively *penalise* unknown pairs below genuinely anti-correlated ones.
+// InverseEuclid maps distance 0 to similarity 1: two empty profiles are
+// identical, and identical profiles are maximally similar.
 #pragma once
 
+#include <array>
 #include <string>
 #include <string_view>
 
@@ -23,15 +49,25 @@ enum class SimilarityMeasure {
   AdjustedCosine,  // cosine after subtracting each user's mean rating
 };
 
+/// Every measure, in enum order — for tests and benches that sweep all
+/// measures without hand-maintaining a second list.
+inline constexpr std::array<SimilarityMeasure, 8> kAllSimilarityMeasures = {
+    SimilarityMeasure::Cosine,        SimilarityMeasure::Jaccard,
+    SimilarityMeasure::Dice,          SimilarityMeasure::Overlap,
+    SimilarityMeasure::CommonItems,   SimilarityMeasure::InverseEuclid,
+    SimilarityMeasure::Pearson,       SimilarityMeasure::AdjustedCosine,
+};
+
 /// Parses "cosine" / "jaccard" / "dice" / "overlap" / "common" /
-/// "inv-euclid" (case-sensitive); throws std::invalid_argument otherwise.
+/// "inv-euclid" / "pearson" / "adj-cosine" (case-sensitive — exactly the
+/// names similarity_name() emits); throws std::invalid_argument otherwise.
 SimilarityMeasure parse_similarity(std::string_view name);
 
 /// Human-readable name (inverse of parse_similarity).
 std::string similarity_name(SimilarityMeasure measure);
 
-/// Dispatches on `measure`. Both profiles may be empty (similarity 0, or
-/// 1 for InverseEuclid of two empties — documented per measure below).
+/// Dispatches on `measure`. Degenerate inputs follow the per-measure
+/// conventions in the table at the top of this header.
 float similarity(SimilarityMeasure measure, const SparseProfile& a,
                  const SparseProfile& b);
 
@@ -42,13 +78,17 @@ float dice_similarity(const SparseProfile& a, const SparseProfile& b);
 float overlap_similarity(const SparseProfile& a, const SparseProfile& b);
 float common_items(const SparseProfile& a, const SparseProfile& b);
 float inverse_euclidean(const SparseProfile& a, const SparseProfile& b);
-/// Pearson correlation of ratings over the common items, linearly mapped
+/// Pearson correlation of ratings over the common items (means taken over
+/// the common items — the textbook user-CF definition), linearly mapped
 /// from [-1, 1] to [0, 1] so that "larger is more similar" holds and the
-/// top-K machinery stays measure-agnostic. Fewer than 2 common items (or
-/// zero variance) yield 0.5 ("no evidence either way").
+/// top-K machinery stays measure-agnostic. Fewer than 2 common items or
+/// zero variance over them yield 0.5 ("no evidence either way").
 float pearson_similarity(const SparseProfile& a, const SparseProfile& b);
 /// Cosine over mean-centred ratings (each user's mean over their own
-/// items subtracted — the item-CF classic), mapped to [0, 1] like Pearson.
+/// items subtracted — the item-CF classic), computed over the *common*
+/// items and mapped to [0, 1] like Pearson, with the same 0.5 degenerate
+/// convention (<2 common items, or either centred norm zero — e.g. a
+/// constant-rating profile whose common items all sit at its own mean).
 float adjusted_cosine(const SparseProfile& a, const SparseProfile& b);
 
 }  // namespace knnpc

@@ -1,0 +1,422 @@
+#include "profiles/similarity_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define KNNPC_KERNELS_HAVE_AVX2 1
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#include <arm_neon.h>
+#define KNNPC_KERNELS_HAVE_NEON 1
+#endif
+
+namespace knnpc {
+namespace {
+
+// When one list is this many times longer than the other, per-element
+// galloping search in the long list beats any linear merge (vectorized or
+// not). Both backends share the cutoff and the galloping code: the match
+// list is a property of the inputs, so how it is found can differ per
+// backend without affecting scores.
+constexpr std::uint32_t kGallopSkew = 32;
+
+void push_match(KernelScratch& scratch, std::uint32_t ia, std::uint32_t ib) {
+  scratch.match_a.push_back(ia);
+  scratch.match_b.push_back(ib);
+}
+
+/// Portable two-pointer merge intersection.
+void intersect_merge(const ItemId* a, std::uint32_t na, const ItemId* b,
+                     std::uint32_t nb, KernelScratch& scratch) {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      push_match(scratch, i, j);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+/// First index p in [lo, n) with hay[p] >= needle, found by doubling then
+/// binary search — O(log distance) instead of O(distance).
+std::uint32_t gallop_lower_bound(const ItemId* hay, std::uint32_t n,
+                                 std::uint32_t lo, ItemId needle) {
+  std::uint32_t step = 1;
+  std::uint32_t hi = lo;
+  while (hi < n && hay[hi] < needle) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  if (hi > n) hi = n;
+  const ItemId* first = hay + lo;
+  const ItemId* last = hay + hi;
+  return static_cast<std::uint32_t>(
+      std::lower_bound(first, last, needle) - hay);
+}
+
+/// Intersection for heavily skewed lengths: walk the short list, gallop
+/// in the long one. `a_is_short` keeps the (a-index, b-index) orientation
+/// of the output stable.
+void intersect_gallop(const ItemId* shrt, std::uint32_t ns, const ItemId* lng,
+                      std::uint32_t nl, bool a_is_short,
+                      KernelScratch& scratch) {
+  std::uint32_t lo = 0;
+  for (std::uint32_t s = 0; s < ns && lo < nl; ++s) {
+    const std::uint32_t p = gallop_lower_bound(lng, nl, lo, shrt[s]);
+    if (p == nl) break;
+    if (lng[p] == shrt[s]) {
+      if (a_is_short) {
+        push_match(scratch, s, p);
+      } else {
+        push_match(scratch, p, s);
+      }
+      lo = p + 1;
+    } else {
+      lo = p;
+    }
+  }
+}
+
+#if defined(KNNPC_KERNELS_HAVE_AVX2)
+
+/// AVX2 merge intersection: broadcast a[i] and compare it against an
+/// 8-wide unaligned window of b in one instruction. Item ids within a
+/// profile are unique, so at most one lane matches. Integer work only —
+/// no floating point happens under the avx2 target attribute, which is
+/// what keeps scores bit-identical to the scalar backend (no risk of
+/// FMA-contracted accumulation).
+__attribute__((target("avx2"))) void intersect_avx2(const ItemId* a,
+                                                    std::uint32_t na,
+                                                    const ItemId* b,
+                                                    std::uint32_t nb,
+                                                    KernelScratch& scratch) {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  while (i < na && j + 8 <= nb) {
+    const __m256i va = _mm256_set1_epi32(static_cast<int>(a[i]));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const int mask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb)));
+    if (mask != 0) {
+      const std::uint32_t k =
+          j + static_cast<std::uint32_t>(__builtin_ctz(
+                  static_cast<unsigned>(mask)));
+      push_match(scratch, i, k);
+      ++i;
+      j = k + 1;
+    } else if (b[j + 7] < a[i]) {
+      j += 8;  // whole window below a[i]
+    } else {
+      ++i;  // a[i] absent from b (window brackets it)
+    }
+  }
+  // Tail: fewer than 8 ids left in b.
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      push_match(scratch, i, j);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+#elif defined(KNNPC_KERNELS_HAVE_NEON)
+
+/// NEON merge intersection, 4-wide windows; same scheme as the AVX2 path.
+void intersect_neon(const ItemId* a, std::uint32_t na, const ItemId* b,
+                    std::uint32_t nb, KernelScratch& scratch) {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  while (i < na && j + 4 <= nb) {
+    const uint32x4_t va = vdupq_n_u32(a[i]);
+    const uint32x4_t vb = vld1q_u32(b + j);
+    const uint32x4_t eq = vceqq_u32(va, vb);
+    if (vmaxvq_u32(eq) != 0) {
+      std::uint32_t lanes[4];
+      vst1q_u32(lanes, eq);
+      std::uint32_t k = j;
+      while (lanes[k - j] == 0) ++k;
+      push_match(scratch, i, k);
+      ++i;
+      j = k + 1;
+    } else if (b[j + 3] < a[i]) {
+      j += 4;
+    } else {
+      ++i;
+    }
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      push_match(scratch, i, j);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+#endif
+
+// ------------------------------------------------- measure accumulation
+//
+// Everything below is compiled for the baseline ISA and replays the exact
+// double-precision operation sequence of profiles/similarity.cpp, reading
+// matched weights through the scratch index lists. Comments cite the
+// scalar function each block mirrors.
+
+using View = FlatProfileSet::View;
+
+/// merge_counts().dot — Σ a_i b_i over common items, in ascending item
+/// order (the order the match lists are produced in).
+double dot_over_matches(const View& a, const View& b,
+                        const KernelScratch& scratch) {
+  double dot = 0.0;
+  for (std::size_t k = 0; k < scratch.match_a.size(); ++k) {
+    dot += static_cast<double>(a.weights[scratch.match_a[k]]) *
+           b.weights[scratch.match_b[k]];
+  }
+  return dot;
+}
+
+float kernel_cosine(const View& a, const View& b,
+                    const KernelScratch& scratch) {
+  if (a.size == 0 || b.size == 0) return 0.0f;
+  const double denom = a.norm * b.norm;
+  if (denom == 0.0) return 0.0f;
+  return static_cast<float>(dot_over_matches(a, b, scratch) / denom);
+}
+
+float kernel_jaccard(const View& a, const View& b, std::size_t common) {
+  if (a.size == 0 && b.size == 0) return 0.0f;
+  const std::size_t uni = static_cast<std::size_t>(a.size) + b.size - common;
+  return uni == 0 ? 0.0f
+                  : static_cast<float>(static_cast<double>(common) /
+                                       static_cast<double>(uni));
+}
+
+float kernel_dice(const View& a, const View& b, std::size_t common) {
+  if (a.size == 0 && b.size == 0) return 0.0f;
+  return static_cast<float>(
+      2.0 * static_cast<double>(common) /
+      static_cast<double>(static_cast<std::size_t>(a.size) + b.size));
+}
+
+float kernel_overlap(const View& a, const View& b, std::size_t common) {
+  if (a.size == 0 || b.size == 0) return 0.0f;
+  return static_cast<float>(static_cast<double>(common) /
+                            static_cast<double>(std::min(a.size, b.size)));
+}
+
+/// centered_cosine(..., common_only=true) over the match lists: the
+/// Pearson / adjusted-cosine core. `mean_a`/`mean_b` are whichever
+/// offsets the caller derived (common-item means for Pearson, whole-
+/// profile means for adjusted cosine).
+float kernel_centered_cosine(const View& a, const View& b, double mean_a,
+                             double mean_b, const KernelScratch& scratch) {
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (std::size_t k = 0; k < scratch.match_a.size(); ++k) {
+    const double xa = a.weights[scratch.match_a[k]] - mean_a;
+    const double xb = b.weights[scratch.match_b[k]] - mean_b;
+    dot += xa * xb;
+    norm_a += xa * xa;
+    norm_b += xb * xb;
+  }
+  if (scratch.match_a.size() < 2 || norm_a == 0.0 || norm_b == 0.0) {
+    return 0.5f;  // no evidence either way
+  }
+  const double correlation = dot / std::sqrt(norm_a * norm_b);
+  return static_cast<float>((correlation + 1.0) / 2.0);
+}
+
+float kernel_pearson(const View& a, const View& b,
+                     const KernelScratch& scratch) {
+  // pearson_similarity(): means over the *common* items.
+  const std::size_t common = scratch.match_a.size();
+  if (common < 2) return 0.5f;
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (std::size_t k = 0; k < common; ++k) {
+    sum_a += a.weights[scratch.match_a[k]];
+    sum_b += b.weights[scratch.match_b[k]];
+  }
+  return kernel_centered_cosine(a, b, sum_a / static_cast<double>(common),
+                                sum_b / static_cast<double>(common), scratch);
+}
+
+/// inverse_euclidean(): Σ (a_i - b_i)² over the *union* in merged item
+/// order. The match list cannot replay union order, so this is a direct
+/// flat merge — identical under both backends by construction.
+float kernel_inverse_euclidean(const View& a, const View& b) {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  double sq_diff = 0.0;
+  while (i < a.size && j < b.size) {
+    if (a.items[i] < b.items[j]) {
+      sq_diff += static_cast<double>(a.weights[i]) * a.weights[i];
+      ++i;
+    } else if (b.items[j] < a.items[i]) {
+      sq_diff += static_cast<double>(b.weights[j]) * b.weights[j];
+      ++j;
+    } else {
+      const double d = static_cast<double>(a.weights[i]) - b.weights[j];
+      sq_diff += d * d;
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size; ++i) {
+    sq_diff += static_cast<double>(a.weights[i]) * a.weights[i];
+  }
+  for (; j < b.size; ++j) {
+    sq_diff += static_cast<double>(b.weights[j]) * b.weights[j];
+  }
+  const double dist = std::sqrt(sq_diff);
+  return static_cast<float>(1.0 / (1.0 + dist));
+}
+
+}  // namespace
+
+const char* kernel_backend_name(KernelBackend backend) {
+  if (backend == KernelBackend::Scalar) return "scalar";
+#if defined(KNNPC_KERNELS_HAVE_AVX2)
+  return "avx2";
+#elif defined(KNNPC_KERNELS_HAVE_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+bool simd_backend_available() {
+#if defined(KNNPC_KERNELS_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#elif defined(KNNPC_KERNELS_HAVE_NEON)
+  return true;  // NEON is architectural on aarch64
+#else
+  return false;
+#endif
+}
+
+KernelBackend resolve_kernel_backend(std::string_view request) {
+  std::string_view effective = request;
+  if (effective == "auto") {
+    if (const char* env = std::getenv("KNNPC_KERNEL")) effective = env;
+  }
+  if (effective == "auto") {
+    return simd_backend_available() ? KernelBackend::Simd
+                                    : KernelBackend::Scalar;
+  }
+  if (effective == "scalar") return KernelBackend::Scalar;
+  if (effective == "simd") {
+    return simd_backend_available() ? KernelBackend::Simd
+                                    : KernelBackend::Scalar;
+  }
+  throw std::invalid_argument("unknown kernel backend: " +
+                              std::string(effective) +
+                              " (expected auto|scalar|simd)");
+}
+
+std::uint32_t intersect_items(const ItemId* a, std::uint32_t na,
+                              const ItemId* b, std::uint32_t nb,
+                              KernelBackend backend, KernelScratch& scratch) {
+  scratch.match_a.clear();
+  scratch.match_b.clear();
+  if (na == 0 || nb == 0) return 0;
+  if (na > static_cast<std::uint64_t>(nb) * kGallopSkew) {
+    intersect_gallop(b, nb, a, na, /*a_is_short=*/false, scratch);
+  } else if (nb > static_cast<std::uint64_t>(na) * kGallopSkew) {
+    intersect_gallop(a, na, b, nb, /*a_is_short=*/true, scratch);
+  } else if (backend == KernelBackend::Simd) {
+#if defined(KNNPC_KERNELS_HAVE_AVX2)
+    intersect_avx2(a, na, b, nb, scratch);
+#elif defined(KNNPC_KERNELS_HAVE_NEON)
+    intersect_neon(a, na, b, nb, scratch);
+#else
+    intersect_merge(a, na, b, nb, scratch);
+#endif
+  } else {
+    intersect_merge(a, na, b, nb, scratch);
+  }
+  return static_cast<std::uint32_t>(scratch.match_a.size());
+}
+
+float score_pair(const FlatProfileSet::View& a, const FlatProfileSet::View& b,
+                 SimilarityMeasure measure, KernelBackend backend,
+                 KernelScratch& scratch) {
+  // InverseEuclid never needs the match list; everything else shares one
+  // intersection per pair.
+  if (measure == SimilarityMeasure::InverseEuclid) {
+    return kernel_inverse_euclidean(a, b);
+  }
+  const std::uint32_t common =
+      intersect_items(a.items, a.size, b.items, b.size, backend, scratch);
+  switch (measure) {
+    case SimilarityMeasure::Cosine:
+      return kernel_cosine(a, b, scratch);
+    case SimilarityMeasure::Jaccard:
+      return kernel_jaccard(a, b, common);
+    case SimilarityMeasure::Dice:
+      return kernel_dice(a, b, common);
+    case SimilarityMeasure::Overlap:
+      return kernel_overlap(a, b, common);
+    case SimilarityMeasure::CommonItems:
+      return static_cast<float>(common);
+    case SimilarityMeasure::Pearson:
+      return kernel_pearson(a, b, scratch);
+    case SimilarityMeasure::AdjustedCosine:
+      return kernel_centered_cosine(a, b, a.mean, b.mean, scratch);
+    case SimilarityMeasure::InverseEuclid:
+      break;  // handled above
+  }
+  return 0.0f;
+}
+
+namespace {
+
+FlatProfileSet::View view_in_pair(const FlatProfileSet& primary,
+                                  const FlatProfileSet* secondary,
+                                  VertexId v) {
+  FlatProfileSet::View out;
+  if (primary.find(v, out)) return out;
+  if (secondary != nullptr && secondary->find(v, out)) return out;
+  throw std::logic_error(
+      "similarity_kernels: tuple endpoint outside loaded pair");
+}
+
+}  // namespace
+
+void score_batch(const FlatProfileSet& primary,
+                 const FlatProfileSet* secondary, VertexId src,
+                 std::span<const VertexId> candidates,
+                 SimilarityMeasure measure, KernelBackend backend, float* out,
+                 KernelScratch& scratch) {
+  const FlatProfileSet::View sv = view_in_pair(primary, secondary, src);
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const FlatProfileSet::View dv =
+        view_in_pair(primary, secondary, candidates[c]);
+    out[c] = score_pair(sv, dv, measure, backend, scratch);
+  }
+}
+
+}  // namespace knnpc

@@ -3,6 +3,9 @@
 // ResidencyState/LoadUnloadSimulator equivalence property.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "core/engine.h"
 #include "core/metrics.h"
 #include "graph/generators.h"
@@ -173,6 +176,103 @@ TEST(CompactionTest, EmptyInput) {
   const CompactionResult result = compact_profiles({}, CompactionConfig{});
   EXPECT_TRUE(result.profiles.empty());
   EXPECT_EQ(result.dropped_items, 0u);
+}
+
+TEST(CompactionTest, SinglePassLeavesUndersupportedSurvivors) {
+  // The documented single-pass semantics: item support is counted over
+  // the *original* users, so dropping user 2 (below min_profile_size)
+  // may leave item 9 with just one supporter among the kept users —
+  // and that is not a bug under cascade=false.
+  std::vector<SparseProfile> profiles;
+  profiles.emplace_back(std::vector<ProfileEntry>{{1, 1.0f}, {2, 1.0f}});
+  profiles.emplace_back(std::vector<ProfileEntry>{{1, 1.0f}, {9, 1.0f}});
+  profiles.emplace_back(std::vector<ProfileEntry>{{9, 1.0f}});
+  CompactionConfig config;
+  config.min_item_support = 2;
+  config.min_profile_size = 2;
+  const CompactionResult result = compact_profiles(profiles, config);
+  EXPECT_EQ(result.kept_items, (std::vector<ItemId>{1, 9}));
+  EXPECT_EQ(result.kept_users, (std::vector<VertexId>{1}));
+}
+
+TEST(CompactionTest, CascadeIteratesToFixpoint) {
+  // Same input under cascade=true: dropping users 0 and 2 leaves items 1
+  // and 9 with one supporter each -> they fall, which empties user 1 ->
+  // everything cascades away. The exact counters must still add up.
+  std::vector<SparseProfile> profiles;
+  profiles.emplace_back(std::vector<ProfileEntry>{{1, 1.0f}, {2, 1.0f}});
+  profiles.emplace_back(std::vector<ProfileEntry>{{1, 1.0f}, {9, 1.0f}});
+  profiles.emplace_back(std::vector<ProfileEntry>{{9, 1.0f}});
+  CompactionConfig config;
+  config.min_item_support = 2;
+  config.min_profile_size = 2;
+  config.cascade = true;
+  const CompactionResult result = compact_profiles(profiles, config);
+  EXPECT_TRUE(result.kept_users.empty());
+  EXPECT_TRUE(result.kept_items.empty());
+  EXPECT_EQ(result.dropped_users, 3u);
+  EXPECT_EQ(result.dropped_items, 3u);  // items 1, 2, 9
+}
+
+TEST(CompactionTest, CascadeStopsAtAStableCore) {
+  // A 3-user clique over items {1, 2} is a genuine 2-core; a pendant
+  // user + pendant item hang off it and must cascade away without
+  // taking the core along.
+  std::vector<SparseProfile> profiles;
+  profiles.emplace_back(std::vector<ProfileEntry>{{1, 1.0f}, {2, 1.0f}});
+  profiles.emplace_back(std::vector<ProfileEntry>{{1, 1.0f}, {2, 1.0f}});
+  profiles.emplace_back(std::vector<ProfileEntry>{{1, 1.0f}, {2, 1.0f}});
+  profiles.emplace_back(std::vector<ProfileEntry>{{2, 1.0f}, {7, 1.0f}});
+  CompactionConfig config;
+  config.min_item_support = 2;
+  config.min_profile_size = 2;
+  config.cascade = true;
+  const CompactionResult result = compact_profiles(profiles, config);
+  EXPECT_EQ(result.kept_users, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(result.kept_items, (std::vector<ItemId>{1, 2}));
+  EXPECT_EQ(result.dropped_users, 1u);
+  EXPECT_EQ(result.dropped_items, 1u);  // item 7
+}
+
+TEST(CompactionTest, CountersAreExactUnderBothSemantics) {
+  // Property: dropped + kept always equals the input totals, and under
+  // cascade=true every kept item/user satisfies its threshold against
+  // the kept set (the fixpoint condition).
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    ProfileGenConfig gen;
+    gen.num_users = 60;
+    gen.num_items = 120;  // sparse: plenty of rare items
+    gen.min_items = 1;
+    gen.max_items = 6;
+    const auto profiles = uniform_profiles(gen, rng);
+    std::set<ItemId> distinct;
+    for (const auto& p : profiles) {
+      for (const auto& e : p.entries()) distinct.insert(e.item);
+    }
+    for (const bool cascade : {false, true}) {
+      CompactionConfig config;
+      config.min_item_support = 2;
+      config.min_profile_size = 2;
+      config.cascade = cascade;
+      const CompactionResult result = compact_profiles(profiles, config);
+      EXPECT_EQ(result.dropped_items + result.kept_items.size(),
+                distinct.size());
+      EXPECT_EQ(result.dropped_users + result.kept_users.size(),
+                profiles.size());
+      EXPECT_EQ(result.profiles.size(), result.kept_users.size());
+      if (!cascade) continue;
+      // Fixpoint: recount support/sizes over the surviving set.
+      std::map<ItemId, std::uint32_t> support;
+      for (const auto& p : result.profiles) {
+        EXPECT_GE(p.size(), config.min_profile_size);
+        for (const auto& e : p.entries()) ++support[e.item];
+      }
+      for (const auto& [item, count] : support) {
+        EXPECT_GE(count, config.min_item_support) << "item " << item;
+      }
+    }
+  }
 }
 
 // ----------------------------- ResidencyState == LoadUnloadSimulator ----

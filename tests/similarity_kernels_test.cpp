@@ -1,0 +1,505 @@
+// Differential suite for the batched phase-4 similarity kernels
+// (profiles/similarity_kernels.h): every measure, scalar vs SIMD backend,
+// random and adversarial profiles — kernel scores must be *bit-identical*
+// to the reference similarity() functions, which is the contract that
+// keeps the golden checksums backend-independent. Also covers the flat
+// profile layout, u16 weight quantization, unaligned SIMD windows (run
+// under UBSan in CI), and a golden-corpus replay with each backend forced.
+//
+// The ctest registrations run this binary twice — once with
+// KNNPC_KERNEL=simd and once with KNNPC_KERNEL=scalar — so the engine
+// "auto" paths in the replay are exercised under both forced settings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/knn_graph_io.h"
+#include "profiles/compact.h"
+#include "profiles/flat_profile.h"
+#include "profiles/generators.h"
+#include "profiles/similarity.h"
+#include "profiles/similarity_kernels.h"
+#include "util/rng.h"
+
+#ifndef KNNPC_GOLDEN_DIR
+#error "KNNPC_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace knnpc {
+namespace {
+
+SparseProfile prof(std::vector<ProfileEntry> entries) {
+  return SparseProfile(std::move(entries));
+}
+
+/// Random profile of exactly `len` entries with mixed-sign weights and a
+/// controllable item stride (stride > 1 thins the overlap with other
+/// profiles; stride 1 makes it dense).
+SparseProfile random_profile(std::size_t len, std::uint32_t stride,
+                             Rng& rng) {
+  std::vector<ProfileEntry> entries;
+  entries.reserve(len);
+  ItemId item = static_cast<ItemId>(rng.next_below(stride + 1));
+  for (std::size_t i = 0; i < len; ++i) {
+    const float w =
+        static_cast<float>(rng.next_double() * 10.0 - 5.0);
+    entries.push_back({item, w == 0.0f ? 1.0f : w});
+    item += 1 + static_cast<ItemId>(rng.next_below(stride));
+  }
+  return prof(std::move(entries));
+}
+
+/// Packs profiles [0, n) into a FlatProfileSet under ids 0..n-1.
+FlatProfileSet flatten(const std::vector<SparseProfile>& profiles,
+                       bool quantize = false) {
+  FlatProfileSet set(quantize);
+  for (VertexId v = 0; v < profiles.size(); ++v) set.add(v, profiles[v]);
+  return set;
+}
+
+::testing::AssertionResult bit_equal(float a, float b) {
+  if (std::bit_cast<std::uint32_t>(a) == std::bit_cast<std::uint32_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits 0x" << std::hex
+         << std::bit_cast<std::uint32_t>(a) << " vs 0x"
+         << std::bit_cast<std::uint32_t>(b) << ")";
+}
+
+/// The adversarial length set: empty, singletons, the SIMD window size
+/// (8 for AVX2, 4 for NEON) and its off-by-ones, and a spill-sized list
+/// long enough to cross many windows plus the galloping cutoff.
+const std::size_t kAdversarialLengths[] = {0, 1, 2, 3,  4,  5,  7,  8, 9,
+                                           15, 16, 17, 31, 32, 33, 1000};
+
+// ------------------------------------------------ backend resolution --
+
+TEST(KernelBackendTest, ExplicitRequestsResolve) {
+  EXPECT_EQ(resolve_kernel_backend("scalar"), KernelBackend::Scalar);
+  // "simd" resolves to Simd where supported and degrades to Scalar
+  // elsewhere — either way it must not throw.
+  const KernelBackend simd = resolve_kernel_backend("simd");
+  if (simd_backend_available()) {
+    EXPECT_EQ(simd, KernelBackend::Simd);
+    EXPECT_STRNE(kernel_backend_name(simd), "scalar");
+  } else {
+    EXPECT_EQ(simd, KernelBackend::Scalar);
+  }
+  EXPECT_THROW(resolve_kernel_backend("avx512"), std::invalid_argument);
+  EXPECT_THROW(resolve_kernel_backend(""), std::invalid_argument);
+}
+
+TEST(KernelBackendTest, EnvVarOverridesAuto) {
+  const char* saved = std::getenv("KNNPC_KERNEL");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ::setenv("KNNPC_KERNEL", "scalar", 1);
+  EXPECT_EQ(resolve_kernel_backend("auto"), KernelBackend::Scalar);
+  // An explicit request beats the env var.
+  EXPECT_EQ(resolve_kernel_backend("simd"),
+            simd_backend_available() ? KernelBackend::Simd
+                                     : KernelBackend::Scalar);
+  if (saved != nullptr) {
+    ::setenv("KNNPC_KERNEL", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("KNNPC_KERNEL");
+  }
+}
+
+// ----------------------------------------------------- flat profiles --
+
+TEST(FlatProfileSetTest, NormAndMeanMatchScalarAccumulation) {
+  Rng rng(11);
+  for (const std::size_t len : kAdversarialLengths) {
+    const SparseProfile p = random_profile(len, 3, rng);
+    FlatProfileSet set;
+    set.add(7, p);
+    const FlatProfileSet::View v = set.view(7);
+    ASSERT_EQ(v.size, p.size());
+    // Bit-identical to the cached SparseProfile accumulation.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(v.norm),
+              std::bit_cast<std::uint64_t>(p.norm()));
+    double sum = 0.0;
+    for (const ProfileEntry& e : p.entries()) sum += e.weight;
+    const double mean =
+        p.empty() ? 0.0 : sum / static_cast<double>(p.size());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(v.mean),
+              std::bit_cast<std::uint64_t>(mean));
+    for (std::uint32_t i = 0; i < v.size; ++i) {
+      EXPECT_EQ(v.items[i], p.entries()[i].item);
+      EXPECT_TRUE(bit_equal(v.weights[i], p.entries()[i].weight));
+    }
+  }
+}
+
+TEST(FlatProfileSetTest, LookupConventions) {
+  FlatProfileSet set;
+  set.add(3, prof({{1, 1.0f}}));
+  EXPECT_EQ(set.num_profiles(), 1u);
+  EXPECT_EQ(set.total_entries(), 1u);
+  FlatProfileSet::View v;
+  EXPECT_TRUE(set.find(3, v));
+  EXPECT_FALSE(set.find(4, v));
+  EXPECT_THROW(set.view(4), std::out_of_range);
+  EXPECT_THROW(set.add(3, prof({})), std::invalid_argument);
+}
+
+TEST(FlatSetCacheTest, ReusesResidentSetsAndRebuildsAfterEviction) {
+  const std::vector<SparseProfile> profiles = {prof({{1, 1.0f}}),
+                                               prof({{2, 2.0f}})};
+  const std::vector<VertexId> vertices = {0, 1};
+  FlatSetCache cache(2, /*quantize=*/false);
+  const FlatProfileSet* a = &cache.get(0, vertices, profiles);
+  EXPECT_EQ(a, &cache.get(0, vertices, profiles));  // hit, same object
+  cache.get(1, vertices, profiles);
+  cache.get(2, vertices, profiles);  // evicts id 0 (capacity 2)
+  const FlatProfileSet& rebuilt = cache.get(0, vertices, profiles);
+  EXPECT_EQ(rebuilt.num_profiles(), 2u);
+}
+
+// ----------------------------------------------------- quantization --
+
+TEST(QuantizeWeightsTest, RoundTripProperties) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const SparseProfile p =
+        random_profile(1 + rng.next_below(64), 2, rng);
+    const QuantizedWeights q = quantize_weights_u16(p.entries());
+    ASSERT_EQ(q.codes.size(), p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const float w = p.entries()[i].weight;
+      const float back = dequantize_weight_u16(q.codes[i], q.scale);
+      // Worst-case absolute error is half a quantization step.
+      EXPECT_LE(std::abs(back - w), q.scale * 0.5f + 1e-6f)
+          << "weight " << w << " scale " << q.scale;
+    }
+  }
+  // Empty profile: scale defaults to 1.
+  EXPECT_EQ(quantize_weights_u16(prof({}).entries()).scale, 1.0f);
+  // Exact zero always round-trips to exact zero.
+  const QuantizedWeights q =
+      quantize_weights_u16(prof({{1, 5.0f}}).entries());
+  EXPECT_EQ(dequantize_weight_u16(32768, q.scale), 0.0f);
+}
+
+TEST(QuantizedFlatSetTest, HalvesWeightPayloadAndStaysDeterministic) {
+  Rng rng(17);
+  std::vector<SparseProfile> profiles;
+  for (int i = 0; i < 8; ++i) profiles.push_back(random_profile(40, 2, rng));
+  const FlatProfileSet plain = flatten(profiles, false);
+  const FlatProfileSet quant = flatten(profiles, true);
+  EXPECT_TRUE(quant.quantized());
+  // u16 codes + one f32 scale per profile vs f32 per entry.
+  EXPECT_EQ(plain.weight_payload_bytes(), 8u * 40u * sizeof(float));
+  EXPECT_EQ(quant.weight_payload_bytes(),
+            8u * 40u * sizeof(std::uint16_t) + 8u * sizeof(float));
+  EXPECT_GT(quant.scale_of(0), 0.0f);
+  EXPECT_EQ(plain.scale_of(0), 1.0f);
+
+  // Quantized scoring is NOT bit-identical to f32, but it must be
+  // bit-identical *across backends* for every measure.
+  KernelScratch scratch;
+  for (const SimilarityMeasure m : kAllSimilarityMeasures) {
+    for (VertexId v = 1; v < 8; ++v) {
+      const float scalar =
+          score_pair(quant.view(0), quant.view(v), m,
+                     KernelBackend::Scalar, scratch);
+      const float simd = score_pair(quant.view(0), quant.view(v), m,
+                                    KernelBackend::Simd, scratch);
+      EXPECT_TRUE(bit_equal(scalar, simd)) << similarity_name(m);
+    }
+  }
+}
+
+// ------------------------------------------------------ intersection --
+
+/// Reference intersection via the scalar merge in its simplest form.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> reference_intersect(
+    const SparseProfile& a, const SparseProfile& b) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a.entries()[i].item < b.entries()[j].item) {
+      ++i;
+    } else if (b.entries()[j].item < a.entries()[i].item) {
+      ++j;
+    } else {
+      out.emplace_back(i, j);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+TEST(IntersectTest, BothBackendsMatchReferenceOnAdversarialLengths) {
+  Rng rng(19);
+  KernelScratch scratch;
+  for (const std::size_t la : kAdversarialLengths) {
+    for (const std::size_t lb : kAdversarialLengths) {
+      const SparseProfile a = random_profile(la, 2, rng);
+      const SparseProfile b = random_profile(lb, 2, rng);
+      const auto expected = reference_intersect(a, b);
+      const FlatProfileSet set = flatten({a, b});
+      const auto va = set.view(0);
+      const auto vb = set.view(1);
+      for (const KernelBackend backend :
+           {KernelBackend::Scalar, KernelBackend::Simd}) {
+        const std::uint32_t count = intersect_items(
+            va.items, va.size, vb.items, vb.size, backend, scratch);
+        ASSERT_EQ(count, expected.size())
+            << "la=" << la << " lb=" << lb << " backend "
+            << kernel_backend_name(backend);
+        for (std::uint32_t k = 0; k < count; ++k) {
+          EXPECT_EQ(scratch.match_a[k], expected[k].first);
+          EXPECT_EQ(scratch.match_b[k], expected[k].second);
+        }
+      }
+    }
+  }
+}
+
+TEST(IntersectTest, SkewedLengthsTakeTheGallopingPathCorrectly) {
+  // 3 vs 1000 entries crosses the galloping cutoff (32x).
+  Rng rng(23);
+  const SparseProfile big = random_profile(1000, 2, rng);
+  // Build the small profile from items *of* the big one so matches exist.
+  std::vector<ProfileEntry> small_entries = {
+      {big.entries()[1].item, 1.0f},
+      {big.entries()[500].item, -2.0f},
+      {big.entries()[998].item, 3.0f}};
+  const SparseProfile small = prof(std::move(small_entries));
+  const FlatProfileSet set = flatten({small, big});
+  KernelScratch scratch;
+  for (const KernelBackend backend :
+       {KernelBackend::Scalar, KernelBackend::Simd}) {
+    // Both orientations (gallop in a vs gallop in b).
+    EXPECT_EQ(intersect_items(set.view(0).items, 3, set.view(1).items, 1000,
+                              backend, scratch),
+              3u);
+    EXPECT_EQ(intersect_items(set.view(1).items, 1000, set.view(0).items, 3,
+                              backend, scratch),
+              3u);
+  }
+}
+
+TEST(IntersectTest, UnalignedWindowsAreClean) {
+  // SIMD windows start at arbitrary (odd) addresses: intersect sub-ranges
+  // at every offset of a 67-entry list. Run under UBSan in CI — the
+  // unaligned loads must be sanitizer-clean, and results must still match
+  // the scalar backend.
+  Rng rng(29);
+  const SparseProfile a = random_profile(67, 1, rng);
+  const SparseProfile b = random_profile(67, 1, rng);
+  const FlatProfileSet set = flatten({a, b});
+  const auto va = set.view(0);
+  const auto vb = set.view(1);
+  KernelScratch scalar_scratch;
+  KernelScratch simd_scratch;
+  for (std::uint32_t off_a = 0; off_a < 4; ++off_a) {
+    for (std::uint32_t off_b = 0; off_b < 4; ++off_b) {
+      const std::uint32_t scalar_count = intersect_items(
+          va.items + off_a, va.size - off_a, vb.items + off_b,
+          vb.size - off_b, KernelBackend::Scalar, scalar_scratch);
+      const std::uint32_t simd_count = intersect_items(
+          va.items + off_a, va.size - off_a, vb.items + off_b,
+          vb.size - off_b, KernelBackend::Simd, simd_scratch);
+      ASSERT_EQ(scalar_count, simd_count);
+      EXPECT_EQ(scalar_scratch.match_a, simd_scratch.match_a);
+      EXPECT_EQ(scalar_scratch.match_b, simd_scratch.match_b);
+    }
+  }
+}
+
+// ------------------------------------------- measure differentials --
+
+class KernelDifferentialTest
+    : public ::testing::TestWithParam<SimilarityMeasure> {};
+
+TEST_P(KernelDifferentialTest, BitIdenticalToScalarOnRandomProfiles) {
+  Rng rng(31);
+  ProfileGenConfig config;
+  config.num_users = 60;
+  config.num_items = 120;  // dense enough for real overlaps
+  const auto profiles = uniform_profiles(config, rng);
+  const FlatProfileSet set = flatten(profiles);
+  KernelScratch scratch;
+  for (std::size_t i = 0; i + 1 < profiles.size(); i += 2) {
+    const float reference =
+        similarity(GetParam(), profiles[i], profiles[i + 1]);
+    for (const KernelBackend backend :
+         {KernelBackend::Scalar, KernelBackend::Simd}) {
+      const float kernel =
+          score_pair(set.view(static_cast<VertexId>(i)),
+                     set.view(static_cast<VertexId>(i + 1)), GetParam(),
+                     backend, scratch);
+      EXPECT_TRUE(bit_equal(kernel, reference))
+          << "pair " << i << " backend " << kernel_backend_name(backend);
+    }
+  }
+}
+
+TEST_P(KernelDifferentialTest, BitIdenticalOnAdversarialLengths) {
+  Rng rng(37);
+  KernelScratch scratch;
+  for (const std::size_t la : kAdversarialLengths) {
+    for (const std::size_t lb : kAdversarialLengths) {
+      // stride 1-2 forces heavy overlap; mixed-sign weights stress the
+      // centred measures.
+      const SparseProfile a = random_profile(la, 2, rng);
+      const SparseProfile b = random_profile(lb, 2, rng);
+      const float reference = similarity(GetParam(), a, b);
+      const FlatProfileSet set = flatten({a, b});
+      for (const KernelBackend backend :
+           {KernelBackend::Scalar, KernelBackend::Simd}) {
+        const float kernel = score_pair(set.view(0), set.view(1), GetParam(),
+                                        backend, scratch);
+        EXPECT_TRUE(bit_equal(kernel, reference))
+            << "la=" << la << " lb=" << lb << " backend "
+            << kernel_backend_name(backend);
+      }
+    }
+  }
+}
+
+TEST_P(KernelDifferentialTest, DegenerateConventionsSurviveTheKernels) {
+  // The convention table from similarity.h, through the kernel path.
+  const SparseProfile empty = prof({});
+  const SparseProfile single = prof({{5, 2.0f}});
+  const SparseProfile constant = prof({{1, 2.0f}, {2, 2.0f}, {3, 2.0f}});
+  const SparseProfile varied = prof({{1, 1.0f}, {2, 5.0f}, {3, 3.0f}});
+  const std::vector<SparseProfile> zoo = {empty, single, constant, varied};
+  const FlatProfileSet set = flatten(zoo);
+  KernelScratch scratch;
+  for (VertexId i = 0; i < zoo.size(); ++i) {
+    for (VertexId j = 0; j < zoo.size(); ++j) {
+      const float reference = similarity(GetParam(), zoo[i], zoo[j]);
+      for (const KernelBackend backend :
+           {KernelBackend::Scalar, KernelBackend::Simd}) {
+        EXPECT_TRUE(bit_equal(score_pair(set.view(i), set.view(j),
+                                         GetParam(), backend, scratch),
+                              reference))
+            << "zoo pair (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeasures, KernelDifferentialTest,
+    ::testing::ValuesIn(kAllSimilarityMeasures),
+    [](const ::testing::TestParamInfo<SimilarityMeasure>& info) {
+      std::string name = similarity_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --------------------------------------------------------- score_batch --
+
+TEST(ScoreBatchTest, ScoresCandidatesAgainstBothSetsOfAPair) {
+  Rng rng(41);
+  std::vector<SparseProfile> left;
+  std::vector<SparseProfile> right;
+  for (int i = 0; i < 4; ++i) left.push_back(random_profile(20, 2, rng));
+  for (int i = 0; i < 4; ++i) right.push_back(random_profile(20, 2, rng));
+  FlatProfileSet primary;
+  FlatProfileSet secondary;
+  for (VertexId v = 0; v < 4; ++v) primary.add(v, left[v]);
+  for (VertexId v = 0; v < 4; ++v) secondary.add(4 + v, right[v]);
+
+  const std::vector<VertexId> candidates = {1, 5, 2, 7};  // both sides
+  std::vector<float> out(candidates.size());
+  KernelScratch scratch;
+  score_batch(primary, &secondary, /*src=*/0, candidates,
+              SimilarityMeasure::Cosine, resolve_kernel_backend("auto"),
+              out.data(), scratch);
+  auto profile_of = [&](VertexId v) -> const SparseProfile& {
+    return v < 4 ? left[v] : right[v - 4];
+  };
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    EXPECT_TRUE(bit_equal(
+        out[c], cosine_similarity(left[0], profile_of(candidates[c]))));
+  }
+  // Endpoints outside the pair raise the engines' logic_error condition.
+  const std::vector<VertexId> stranger = {99};
+  EXPECT_THROW(score_batch(primary, &secondary, 0, stranger,
+                           SimilarityMeasure::Cosine,
+                           KernelBackend::Scalar, out.data(), scratch),
+               std::logic_error);
+  EXPECT_THROW(score_batch(primary, nullptr, 99, candidates,
+                           SimilarityMeasure::Cosine,
+                           KernelBackend::Scalar, out.data(), scratch),
+               std::logic_error);
+}
+
+// ------------------------------------------------------ golden replay --
+
+/// Replays the base golden row (the first data line of checksums.tsv)
+/// with each kernel backend forced: the graph checksum must equal the
+/// pinned value byte-for-byte, proving the kernels sit inside the
+/// determinism contract rather than beside it.
+TEST(KernelGoldenReplayTest, BaseRowChecksumHoldsUnderBothBackends) {
+  std::ifstream in(std::string(KNNPC_GOLDEN_DIR) + "/checksums.tsv");
+  ASSERT_TRUE(in) << "golden corpus missing";
+  std::string line;
+  std::optional<std::uint64_t> pinned;
+  VertexId users = 0;
+  ItemId items = 0;
+  std::uint32_t clusters = 0;
+  std::uint32_t k = 0;
+  PartitionId partitions = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t iters = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string name;
+    std::string checksum_hex;
+    ASSERT_TRUE(fields >> name >> users >> items >> clusters >> k >>
+                partitions >> seed >> iters >> checksum_hex)
+        << line;
+    pinned = std::stoull(checksum_hex, nullptr, 16);
+    break;  // first data row = the base workload
+  }
+  ASSERT_TRUE(pinned.has_value());
+
+  // The pinned workload generator (golden_test.cpp's knobs, verbatim).
+  auto make_profiles = [&] {
+    Rng rng(21);
+    ClusteredGenConfig config;
+    config.base.num_users = users;
+    config.base.num_items = items;
+    config.base.min_items = 15;
+    config.base.max_items = 25;
+    config.num_clusters = clusters;
+    config.in_cluster_prob = 0.9;
+    return clustered_profiles(config, rng);
+  };
+  for (const char* kernel : {"scalar", "simd"}) {
+    EngineConfig config;
+    config.k = k;
+    config.num_partitions = partitions;
+    config.seed = seed;
+    config.kernel = kernel;
+    KnnEngine engine(config, make_profiles());
+    for (std::uint32_t i = 0; i < iters; ++i) engine.run_iteration();
+    EXPECT_EQ(knn_graph_checksum(engine.graph()), *pinned)
+        << "golden drift with kernel backend forced to " << kernel;
+  }
+}
+
+}  // namespace
+}  // namespace knnpc

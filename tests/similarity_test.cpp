@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <string>
 
 #include "profiles/generators.h"
 #include "profiles/similarity.h"
@@ -133,16 +135,92 @@ TEST(AdjustedCosineTest, MeanCenteringRemovesRatingBias) {
 
 // ------------------------------------------------------- name round-trip --
 
-TEST(SimilarityNamesTest, ParseAndNameRoundTrip) {
-  for (auto m : {SimilarityMeasure::Cosine, SimilarityMeasure::Jaccard,
-                 SimilarityMeasure::Dice, SimilarityMeasure::Overlap,
-                 SimilarityMeasure::CommonItems,
-                 SimilarityMeasure::InverseEuclid,
-                 SimilarityMeasure::Pearson,
-                 SimilarityMeasure::AdjustedCosine}) {
-    EXPECT_EQ(parse_similarity(similarity_name(m)), m);
+TEST(SimilarityNamesTest, ParseAndNameRoundTripOverEveryEnumValue) {
+  // kAllSimilarityMeasures is the canonical sweep list; every enum value
+  // must round-trip through its name, and no two may share one.
+  std::set<std::string> names;
+  for (const SimilarityMeasure m : kAllSimilarityMeasures) {
+    const std::string name = similarity_name(m);
+    EXPECT_EQ(parse_similarity(name), m) << name;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
   }
+  EXPECT_EQ(names.size(), kAllSimilarityMeasures.size());
   EXPECT_THROW(parse_similarity("manhattan"), std::invalid_argument);
+  EXPECT_THROW(parse_similarity("Cosine"), std::invalid_argument);  // case
+}
+
+TEST(SimilarityNamesTest, EveryDocumentedNameParses) {
+  // The names the header documents for parse_similarity() — this is the
+  // doc/parser drift guard (the docstring once listed only 6 of the 8).
+  const char* documented[] = {"cosine",  "jaccard",    "dice",
+                              "overlap", "common",     "inv-euclid",
+                              "pearson", "adj-cosine"};
+  std::set<SimilarityMeasure> parsed;
+  for (const char* name : documented) {
+    EXPECT_NO_THROW(parsed.insert(parse_similarity(name))) << name;
+  }
+  EXPECT_EQ(parsed.size(), kAllSimilarityMeasures.size());
+}
+
+// -------------------------------------- degenerate-input conventions --
+// One assertion per cell of the convention table in similarity.h.
+
+TEST(DegenerateConventionTest, EmptyVersusEmpty) {
+  const auto e = prof({});
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Cosine, e, e), 0.0f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Jaccard, e, e), 0.0f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Dice, e, e), 0.0f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Overlap, e, e), 0.0f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::CommonItems, e, e), 0.0f);
+  // Two empties are identical profiles: distance 0 -> similarity 1.
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::InverseEuclid, e, e), 1.0f);
+  // Correlation measures have no evidence either way.
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Pearson, e, e), 0.5f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::AdjustedCosine, e, e), 0.5f);
+}
+
+TEST(DegenerateConventionTest, EmptyVersusNonEmpty) {
+  const auto e = prof({});
+  const auto p = prof({{1, 3.0f}, {2, 4.0f}});  // norm 5
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Cosine, e, p), 0.0f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Jaccard, e, p), 0.0f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Dice, e, p), 0.0f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Overlap, e, p), 0.0f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::CommonItems, e, p), 0.0f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::InverseEuclid, e, p),
+                  1.0f / 6.0f);  // 1 / (1 + ||p||)
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Pearson, e, p), 0.5f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::AdjustedCosine, e, p), 0.5f);
+}
+
+TEST(DegenerateConventionTest, SingleCommonItemCorrelationIsNeutral) {
+  // One common item can never ground a correlation.
+  const auto a = prof({{1, 1.0f}, {5, 2.0f}});
+  const auto b = prof({{1, 9.0f}, {7, 3.0f}});
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Pearson, a, b), 0.5f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::AdjustedCosine, a, b), 0.5f);
+}
+
+TEST(DegenerateConventionTest, ZeroNormCosineIsZero) {
+  // All-zero weights: the SparseProfile constructor drops zero-weight
+  // entries, so the profile is empty and cosine's zero-denominator guard
+  // reduces to the empty convention (0, never NaN). A *non-empty*
+  // zero-norm profile is unrepresentable — the smallest float weight
+  // (~1.4e-45) still squares to a nonzero double — so the denom == 0.0
+  // check in cosine_similarity is purely defensive.
+  const auto z = prof({{1, 0.0f}, {2, 0.0f}});
+  EXPECT_TRUE(z.empty());
+  const auto p = prof({{1, 1.0f}});
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Cosine, z, p), 0.0f);
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::Cosine, z, z), 0.0f);
+}
+
+TEST(DegenerateConventionTest, ZeroVarianceAdjustedCosineIsNeutral) {
+  // `a` rates its common items exactly at its own mean: the centred
+  // vector is zero, the centred norm is 0, and the convention is 0.5.
+  const auto a = prof({{1, 2.0f}, {2, 2.0f}, {3, 2.0f}});
+  const auto b = prof({{1, 1.0f}, {2, 5.0f}, {3, 3.0f}});
+  EXPECT_FLOAT_EQ(similarity(SimilarityMeasure::AdjustedCosine, a, b), 0.5f);
 }
 
 // -------------------------------------------- shared measure properties --
@@ -196,12 +274,7 @@ TEST_P(MeasurePropertyTest, DisjointProfilesScoreNoHigherThanIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllMeasures, MeasurePropertyTest,
-    ::testing::Values(SimilarityMeasure::Cosine, SimilarityMeasure::Jaccard,
-                      SimilarityMeasure::Dice, SimilarityMeasure::Overlap,
-                      SimilarityMeasure::CommonItems,
-                      SimilarityMeasure::InverseEuclid,
-                      SimilarityMeasure::Pearson,
-                      SimilarityMeasure::AdjustedCosine),
+    ::testing::ValuesIn(kAllSimilarityMeasures),
     [](const ::testing::TestParamInfo<SimilarityMeasure>& info) {
       std::string name = similarity_name(info.param);
       for (char& c : name) {

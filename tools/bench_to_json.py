@@ -60,6 +60,21 @@ def summarize_phases(d, out):
         out.append(
             "cumulative: total **{total_s:.3f} s** "
             "(P4 knn {knn_s:.3f} s)".format(**cum))
+    kernels = d.get("kernels", [])
+    if kernels:
+        out.append("")
+        out.append(
+            "#### Phase-4 kernel comparison "
+            f"(host backend: {d.get('kernel_backend', '?')}, "
+            f"{kernels[0].get('iters', '?')} iters each)")
+        out.append("")
+        out.append("| kernel | backend | knn s | score s | speedup "
+                   "| checksum |")
+        out.append("|---|---|---:|---:|---:|---|")
+        for row in kernels:
+            out.append(
+                "| {name} | {backend} | {knn_s:.3f} | {knn_score_s:.3f} "
+                "| {speedup:.2f}x | `{checksum}` |".format(**row))
     out.append("")
 
 

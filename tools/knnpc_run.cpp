@@ -98,6 +98,14 @@ int main(int argc, char** argv) {
   opts.add_uint("repartition-every", "phase-1 period", 1);
   opts.add_flag("mmap", "mmap partition files");
   opts.add_flag("spill-scores", "spill phase-4 scores to disk");
+  opts.add_string("kernel",
+                  "phase-4 similarity kernel backend (auto | scalar | "
+                  "simd); KNNPC_KERNEL overrides auto",
+                  "auto");
+  opts.add_flag("quantize-profiles",
+                "score phase 4 over u16-quantized profile weights "
+                "(halves the flat weight payload; not bit-identical to "
+                "f32 scoring)");
   opts.add_flag("checkpoint", "write checkpoint_latest.knng per iteration");
   opts.add_uint("recall-samples",
                 "users sampled for the final recall estimate (0 = skip)",
@@ -176,6 +184,8 @@ int main(int argc, char** argv) {
   config.storage_mode = opts.get_flag("mmap") ? PartitionStore::Mode::Mmap
                                               : PartitionStore::Mode::Read;
   config.spill_scores = opts.get_flag("spill-scores");
+  config.kernel = opts.get_string("kernel");
+  config.quantize_profiles = opts.get_flag("quantize-profiles");
   config.checkpoint = opts.get_flag("checkpoint");
   config.seed = opts.get_uint("seed");
 

@@ -4,21 +4,30 @@
 // and verifies the bit-identical-output contract by checksumming every
 // run (all modes) against thread-mode S=1.
 //
-// Usage: bench_shards [--users=N] [--k=N] [--iters=N] [--json]
+// Usage: bench_shards [--users=N] [--k=N] [--iters=N] [--agents=N] [--json]
 // With --json the table is replaced by one JSON object on stdout (the CI
 // perf-tracking job parses it; see tools/bench_to_json.py). On
 // multi-iteration runs (--iters > 1) the persistent column shows the
 // spawn-amortisation story: process mode pays fork+execv + plan +
 // snapshot + store-open per shard per wave per iteration, persistent
 // mode pays the spawn once and ships G(t) deltas after that.
+// --agents=N adds a distributed column: the persistent sweep re-run with
+// the workers behind N in-process loopback-TCP worker agents, measuring
+// the coordinator/sync overhead against local persistent mode and
+// re-verifying the checksum contract over real sockets.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/shard_driver.h"
+#include "core/worker_agent.h"
 #include "graph/knn_graph_io.h"
 #include "profiles/generators.h"
+#include "storage/block_file.h"
 #include "util/options.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -38,6 +47,32 @@ std::vector<SparseProfile> pinned_profiles(VertexId n) {
   return clustered_profiles(pconfig, rng);
 }
 
+/// One in-process loopback worker agent on a background thread, with its
+/// own scratch work root — the bench-local stand-in for a remote host.
+struct LoopbackAgent {
+  ScratchDir scratch;
+  WorkerAgent agent;
+  std::thread thread;
+
+  explicit LoopbackAgent(const std::string& tag)
+      : scratch("bench_shards_" + tag),
+        agent([&] {
+          WorkerAgentConfig config;
+          config.work_root = scratch.path();
+          return config;
+        }()),
+        thread([this] { agent.run(); }) {}
+
+  ~LoopbackAgent() {
+    agent.stop();
+    thread.join();
+  }
+
+  [[nodiscard]] std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(agent.port());
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -49,11 +84,16 @@ int main(int argc, char** argv) {
   opts.add_uint("users", "number of users", 20000);
   opts.add_uint("k", "neighbours per user", 10);
   opts.add_uint("iters", "iterations per shard count", 1);
+  opts.add_uint("agents",
+                "also run the persistent sweep behind N loopback-TCP "
+                "worker agents (0 = skip the distributed column)",
+                0);
   opts.add_flag("json", "emit results as JSON instead of a table");
   if (!opts.parse(argc, argv)) return 0;
   const auto n = static_cast<VertexId>(opts.get_uint("users"));
   const auto k = static_cast<std::uint32_t>(opts.get_uint("k"));
   const auto iters = static_cast<std::uint32_t>(opts.get_uint("iters"));
+  const auto agents = static_cast<std::uint32_t>(opts.get_uint("agents"));
   const bool json = opts.get_flag("json");
 
   if (!json) {
@@ -92,13 +132,24 @@ int main(int argc, char** argv) {
     std::uint64_t persistent_bytes_tx = 0;
     std::uint64_t persistent_bytes_rx = 0;
     std::uint64_t persistent_profile_reads = 0;
+    /// --agents only: the persistent sweep again, workers behind
+    /// loopback-TCP agents. distributed_wall_s - persistent_wall_s is
+    /// the coordinator tax (run-dir sync + spool relay + TCP); the sync
+    /// counters total what the content-addressed sync moved vs skipped.
+    double distributed_wall_s = 0.0;
+    std::uint64_t distributed_sync_files_tx = 0;
+    std::uint64_t distributed_sync_bytes_tx = 0;
+    std::uint64_t distributed_sync_files_skipped = 0;
+    std::uint64_t distributed_sync_bytes_skipped = 0;
     std::vector<double> shard_wall_s;
     std::uint64_t checksum = 0;
     std::uint64_t process_checksum = 0;
     std::uint64_t persistent_checksum = 0;
+    std::uint64_t distributed_checksum = 0;
     bool identical = false;
     bool process_identical = false;
     bool persistent_identical = false;
+    bool distributed_identical = true;  // vacuously when --agents=0
   };
   std::vector<Row> rows;
   double baseline = 0.0;
@@ -154,6 +205,32 @@ int main(int argc, char** argv) {
       row.persistent_wall_s = wall.elapsed_seconds();
       row.persistent_checksum = knn_graph_checksum(driver.graph());
     }
+    if (agents > 0) {
+      const std::uint32_t fleet = std::min(agents, shards);
+      std::vector<std::unique_ptr<LoopbackAgent>> fleet_agents;
+      std::vector<std::string> endpoints;
+      for (std::uint32_t a = 0; a < fleet; ++a) {
+        fleet_agents.push_back(std::make_unique<LoopbackAgent>(
+            "s" + std::to_string(shards) + "_a" + std::to_string(a)));
+        endpoints.push_back(fleet_agents.back()->endpoint());
+      }
+      shard_config.worker_mode = ShardWorkerMode::Persistent;
+      shard_config.worker_endpoints = endpoints;
+      ShardedKnnEngine driver(config, shard_config, pinned_profiles(n));
+      Timer wall;
+      for (std::uint32_t i = 0; i < iters; ++i) {
+        const ShardedIterationStats s = driver.run_iteration();
+        for (const ShardWorkerStats& w : s.workers) {
+          row.distributed_sync_files_tx += w.sync_files_tx;
+          row.distributed_sync_bytes_tx += w.sync_bytes_tx;
+          row.distributed_sync_files_skipped += w.sync_files_skipped;
+          row.distributed_sync_bytes_skipped += w.sync_bytes_skipped;
+        }
+      }
+      row.distributed_wall_s = wall.elapsed_seconds();
+      row.distributed_checksum = knn_graph_checksum(driver.graph());
+      shard_config.worker_endpoints.clear();
+    }
     if (shards == 1) {
       baseline = row.wall_s;
       reference_checksum = row.checksum;
@@ -161,6 +238,10 @@ int main(int argc, char** argv) {
     row.identical = row.checksum == reference_checksum;
     row.process_identical = row.process_checksum == reference_checksum;
     row.persistent_identical = row.persistent_checksum == reference_checksum;
+    if (agents > 0) {
+      row.distributed_identical =
+          row.distributed_checksum == reference_checksum;
+    }
     rows.push_back(row);
     if (!json) {
       double max_wall = 0.0;
@@ -173,6 +254,10 @@ int main(int argc, char** argv) {
                   row.process_identical ? "yes" : "NO",
                   row.persistent_wall_s,
                   row.persistent_identical ? "yes" : "NO");
+      if (agents > 0) {
+        std::printf("dist %.3f %s | ", row.distributed_wall_s,
+                    row.distributed_identical ? "yes" : "NO");
+      }
       for (double w : row.shard_wall_s) std::printf("%.3f ", w);
       std::printf("\n");
     }
@@ -196,8 +281,7 @@ int main(int argc, char** argv) {
                   "\"persistent_round_trips\":%u,"
                   "\"persistent_bytes_tx\":%llu,"
                   "\"persistent_bytes_rx\":%llu,"
-                  "\"persistent_profile_reads\":%llu,"
-                  "\"per_shard_wall_s\":[",
+                  "\"persistent_profile_reads\":%llu,",
                   i == 0 ? "" : ",", row.shards, row.threads_per_shard,
                   row.wall_s, row.cpu_s, row.phase4_s,
                   baseline / row.wall_s,
@@ -213,6 +297,27 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(row.persistent_bytes_rx),
                   static_cast<unsigned long long>(
                       row.persistent_profile_reads));
+      if (agents > 0) {
+        std::printf("\"distributed_wall_s\":%.6f,"
+                    "\"distributed_checksum\":\"%016llx\","
+                    "\"distributed_identical\":%s,"
+                    "\"distributed_sync_files_tx\":%llu,"
+                    "\"distributed_sync_bytes_tx\":%llu,"
+                    "\"distributed_sync_files_skipped\":%llu,"
+                    "\"distributed_sync_bytes_skipped\":%llu,",
+                    row.distributed_wall_s,
+                    static_cast<unsigned long long>(row.distributed_checksum),
+                    row.distributed_identical ? "true" : "false",
+                    static_cast<unsigned long long>(
+                        row.distributed_sync_files_tx),
+                    static_cast<unsigned long long>(
+                        row.distributed_sync_bytes_tx),
+                    static_cast<unsigned long long>(
+                        row.distributed_sync_files_skipped),
+                    static_cast<unsigned long long>(
+                        row.distributed_sync_bytes_skipped));
+      }
+      std::printf("\"per_shard_wall_s\":[");
       for (std::size_t s = 0; s < row.shard_wall_s.size(); ++s) {
         std::printf("%s%.6f", s == 0 ? "" : ",", row.shard_wall_s[s]);
       }
@@ -234,7 +339,8 @@ int main(int argc, char** argv) {
   }
   const bool all_identical =
       std::all_of(rows.begin(), rows.end(), [](const Row& r) {
-        return r.identical && r.process_identical && r.persistent_identical;
+        return r.identical && r.process_identical &&
+               r.persistent_identical && r.distributed_identical;
       });
   // The one-round-trip contract: a clean persistent run sends exactly one
   // heavy command per worker per iteration (the GO barrier is payload-

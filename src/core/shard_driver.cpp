@@ -1,6 +1,9 @@
 #include "core/shard_driver.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -9,6 +12,7 @@
 #include <exception>
 #include <filesystem>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -17,6 +21,7 @@
 
 #include "core/convergence.h"
 #include "core/stats_io.h"
+#include "core/worker_agent.h"
 #include "core/topk.h"
 #include "core/tuple_generation.h"
 #include "core/tuple_table.h"
@@ -32,8 +37,11 @@
 #include "profiles/profile_delta.h"
 #include "profiles/similarity_kernels.h"
 #include "staticgraph/sharded_graph.h"
+#include "storage/block_file.h"
+#include "storage/file_sync.h"
 #include "storage/partition_store.h"
 #include "storage/shard_writer.h"
+#include "util/fnv.h"
 #include "util/ipc_channel.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -778,6 +786,12 @@ void append_owner_maps(std::vector<std::byte>& out,
 struct PersistentWorker {
   Subprocess proc;
   IpcChannel channel;
+  /// Distributed mode: this worker lives behind the agent at
+  /// `worker_endpoints[endpoint]` — `proc` stays invalid (the agent holds
+  /// the process handle; kills go over its control connection) and
+  /// `channel` is the TCP socket the agent wired to the worker's stdio.
+  bool remote = false;
+  std::uint32_t endpoint = 0;
   /// READY seen (consumed lazily before the first command reply).
   bool ready = false;
   /// Worker holds current ownership maps.
@@ -792,9 +806,36 @@ struct PersistentWorker {
   std::uint32_t resync_count = 0;
 };
 
+/// Shard -> endpoint: contiguous balanced groups (shard s belongs to
+/// endpoint s * E / S) — the one arithmetic the spawn path, the spool
+/// relay and the stats attribution must all agree on.
+std::uint32_t agent_of_shard(std::uint32_t shard, std::uint32_t shards,
+                             std::uint32_t agents) {
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(shard) * agents / shards);
+}
+
+/// One worker-agent endpoint the driver coordinates: its held control
+/// connection (run-long; dropping it is how the agent learns the run
+/// died) and this iteration's content-addressed transfer accounting,
+/// folded into the endpoint's lowest shard's ShardWorkerStats.
+struct RemoteAgentLink {
+  std::string endpoint;  // as configured, for diagnostics
+  std::string host;
+  std::uint16_t port = 0;
+  IpcChannel control;
+  std::uint32_t lowest_shard = std::numeric_limits<std::uint32_t>::max();
+  AgentTransferCounters sync;
+};
+
 /// Driver-side state of the persistent fleet, owned by Impl.
 struct PersistentRuntime {
   std::vector<PersistentWorker> workers;
+  /// Distributed mode only: one link per configured endpoint (empty =
+  /// all-local fleet) and the token naming this run's directory on every
+  /// agent.
+  std::vector<RemoteAgentLink> agents;
+  std::string run_token;
   bool plan_written = false;
   /// The last G broadcast to the fleet and its version counter —
   /// the base the next iteration's incremental delta diffs against.
@@ -810,25 +851,107 @@ struct PersistentRuntime {
   std::vector<PartitionId> sent_shard_owner;
 };
 
-void spawn_persistent_worker(PersistentWorker& worker,
+void spawn_persistent_worker(PersistentRuntime& rt,
                              const ShardConfig& shard_config,
                              const fs::path& work_dir, std::uint32_t shard) {
-  const std::string exe = shard_config.worker_exe.empty()
-                              ? current_executable().string()
-                              : shard_config.worker_exe;
-  IpcChannelPair pair = make_ipc_channel_pair();
-  worker.proc = Subprocess(
-      std::vector<std::string>{
-          exe, "--shard-worker",
-          "--plan=" + plan_file_path(work_dir).string(), "--wave=serve",
-          "--shard=" + std::to_string(shard)},
-      pair.child_read_fd, pair.child_write_fd);
-  worker.channel = std::move(pair.parent);
+  PersistentWorker& worker = rt.workers[shard];
+  if (!rt.agents.empty()) {
+    // Distributed: the agent spawns the process on its machine and wires
+    // the accepted socket to the worker's stdio — from here on the same
+    // protocol as a local pipe pair, including READY. The run's files
+    // were synced before any spawn (the worker opens its partition store
+    // at startup).
+    worker.remote = true;
+    worker.endpoint = agent_of_shard(
+        shard, static_cast<std::uint32_t>(rt.workers.size()),
+        static_cast<std::uint32_t>(rt.agents.size()));
+    const RemoteAgentLink& agent = rt.agents[worker.endpoint];
+    worker.proc = Subprocess();
+    worker.channel =
+        agent_connect_worker(agent.host, agent.port, rt.run_token, shard,
+                             shard_config.agent_timeout_s);
+  } else {
+    const std::string exe = shard_config.worker_exe.empty()
+                                ? current_executable().string()
+                                : shard_config.worker_exe;
+    IpcChannelPair pair = make_ipc_channel_pair();
+    worker.proc = Subprocess(
+        std::vector<std::string>{
+            exe, "--shard-worker",
+            "--plan=" + plan_file_path(work_dir).string(), "--wave=serve",
+            "--shard=" + std::to_string(shard)},
+        pair.child_read_fd, pair.child_write_fd);
+    worker.channel = std::move(pair.parent);
+  }
   worker.ready = false;
   worker.has_maps = false;
   worker.graph_version = -1;
   worker.profile_version = -1;
   ++worker.spawn_count;
+}
+
+/// Opens the control connections on the first distributed iteration and
+/// assigns each endpoint its lowest shard (the stats attribution target).
+void ensure_agent_links(PersistentRuntime& rt,
+                        const ShardConfig& shard_config, std::uint32_t S) {
+  if (shard_config.worker_endpoints.empty() || !rt.agents.empty()) return;
+  // Distinct per engine instance so one agent can host several runs
+  // (tests drive serial and distributed engines against one agent).
+  static std::atomic<std::uint64_t> counter{0};
+  rt.run_token = "run-" + std::to_string(::getpid()) + "-" +
+                 std::to_string(counter.fetch_add(1));
+  const auto E =
+      static_cast<std::uint32_t>(shard_config.worker_endpoints.size());
+  for (std::uint32_t e = 0; e < E; ++e) {
+    RemoteAgentLink link;
+    link.endpoint = shard_config.worker_endpoints[e];
+    const auto [host, port] = parse_host_port(link.endpoint);
+    link.host = host;
+    link.port = port;
+    link.control = agent_connect_control(host, port, rt.run_token,
+                                         shard_config.agent_timeout_s);
+    rt.agents.push_back(std::move(link));
+  }
+  for (std::uint32_t s = 0; s < S; ++s) {
+    RemoteAgentLink& link = rt.agents[agent_of_shard(s, S, E)];
+    link.lowest_shard = std::min(link.lowest_shard, s);
+  }
+}
+
+/// Ships this iteration's run files — the plan and the freshly rewritten
+/// partition store — to every shard-owning agent, content-addressed:
+/// each agent answers the manifest with the checksums it lacks and only
+/// those files transfer. Resets and charges the per-iteration transfer
+/// counters. Must complete before any worker (re)spawn.
+void sync_agent_files(PersistentRuntime& rt, const ShardConfig& shard_config,
+                      const fs::path& work_dir) {
+  if (rt.agents.empty()) return;
+  IoCounters scratch_io;
+  std::vector<SyncFileEntry> manifest;
+  {
+    SyncFileEntry plan;
+    plan.relpath = "plan.bin";
+    const std::vector<std::byte> bytes =
+        read_file(plan_file_path(work_dir), scratch_io);
+    plan.size = bytes.size();
+    plan.checksum = fnv1a_bytes(bytes);
+    manifest.push_back(std::move(plan));
+  }
+  for (SyncFileEntry entry : scan_sync_root(work_dir / "partitions")) {
+    entry.relpath = "partitions/" + entry.relpath;
+    manifest.push_back(std::move(entry));
+  }
+  const auto load = [&](const std::string& relpath) {
+    return read_file(work_dir / fs::path(relpath), scratch_io);
+  };
+  for (RemoteAgentLink& link : rt.agents) {
+    link.sync = AgentTransferCounters{};
+    if (link.lowest_shard == std::numeric_limits<std::uint32_t>::max()) {
+      continue;  // endpoint owns no shards (more endpoints than shards)
+    }
+    link.sync += agent_sync_push(link.control, manifest, load,
+                                 shard_config.agent_timeout_s);
+  }
 }
 
 /// Everything one iteration needs to build per-worker commands.
@@ -979,15 +1102,34 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
   // of a healthy one whose reply is still streaming), consuming the
   // leading READY of a fresh (re)spawn first. Throws IpcError /
   // runtime_error; the per-phase fail path takes over.
+  // Kills worker s NOW and reports how it died: locally SIGKILL + reap,
+  // remotely the agent's KillWorker round-trip (whose OK payload is the
+  // describe string). "still running" when even the control link failed
+  // — the agent kills its orphans itself once the link drops.
+  auto kill_worker_now = [&](std::uint32_t s) -> std::string {
+    PersistentWorker& worker = rt.workers[s];
+    if (worker.remote) {
+      try {
+        return agent_kill_worker(rt.agents[worker.endpoint].control, s,
+                                 shard_config.agent_timeout_s);
+      } catch (const std::exception&) {
+        return "still running";
+      }
+    }
+    worker.proc.kill_now();
+    worker.proc.wait();
+    return worker.proc.status().describe();
+  };
+
   auto collect_reply = [&](std::uint32_t s, std::uint32_t expected_reply)
       -> IpcFrame {
     PersistentWorker& worker = rt.workers[s];
     const auto deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(
-                               timeout_s > 0.0 ? timeout_s : 0.0));
+                               timeout_s >= 0.0 ? timeout_s : 0.0));
     auto remaining = [&]() -> double {
-      if (timeout_s <= 0.0) return -1.0;
+      if (timeout_s < 0.0) return -1.0;
       return std::max(
           std::chrono::duration<double>(deadline - Clock::now()).count(),
           0.0);
@@ -1024,27 +1166,29 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
     for (std::uint32_t attempt = 0; attempt < 2; ++attempt) {
       std::vector<std::uint32_t> failed;
       std::vector<bool> send_ok(S, true);
-      // Record a failure for this attempt; the worker is killed and
-      // reaped so the next step (respawn or diagnostic) starts clean.
-      auto fail_worker = [&](std::uint32_t s, const std::string& why) {
+      // Record a failure for this attempt; the worker is killed (unless
+      // the caller already did, to describe the corpse) so the next step
+      // (respawn or diagnostic) starts clean.
+      auto fail_worker = [&](std::uint32_t s, const std::string& why,
+                             bool kill = true) {
         failed.push_back(s);
         if (!history[s].empty()) history[s] += "; ";
         history[s] += "attempt " + std::to_string(attempt) + ": " + why;
-        rt.workers[s].proc.kill_now();
-        rt.workers[s].proc.wait();
+        if (kill) (void)kill_worker_now(s);
         rt.workers[s].channel = IpcChannel();
       };
 
       // Send phase: every pending worker gets its command (a dead peer
       // surfaces as an EPIPE SysError here and is handled like any other
-      // failure — no hang, no partial wave).
+      // failure — no hang, no partial wave; a socket peer that stops
+      // draining hits the send deadline instead of wedging the driver).
       for (const std::uint32_t s : pending) {
         PersistentWorker& worker = rt.workers[s];
         const std::vector<std::byte> payload =
             build_command(s, attempt, /*skip_produce=*/false);
         ++replies[s].round_trips;
         try {
-          worker.channel.send(kCmdRunIteration, payload);
+          worker.channel.send(kCmdRunIteration, payload, timeout_s);
           replies[s].bytes_tx += frame_wire_bytes(payload.size());
         } catch (const IpcError& e) {
           // An OversizedFrame here is the DRIVER refusing its own
@@ -1059,9 +1203,15 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
                 "size");
           }
           send_ok[s] = false;
+          // Local: describe the (unreaped) process as-is, then kill.
+          // Remote: the kill round-trip is the only way to learn how the
+          // worker died, so it doubles as the describe.
+          const std::string describe = worker.remote
+                                           ? kill_worker_now(s)
+                                           : worker.proc.status().describe();
           fail_worker(s, std::string("command send failed (") + e.what() +
-                             "; worker " + worker.proc.status().describe() +
-                             ")");
+                             "; worker " + describe + ")",
+                      /*kill=*/!worker.remote);
         }
       }
 
@@ -1089,12 +1239,11 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
                                std::to_string(timeout_s) +
                                "s (killed with SIGKILL)");
           } else {
-            // EOF / truncation / garbage: reap first so the description
-            // carries how the process actually died.
-            rt.workers[s].proc.kill_now();
-            rt.workers[s].proc.wait();
+            // EOF / truncation / garbage: kill and reap first so the
+            // description carries how the process actually died.
             fail_worker(s, std::string(e.what()) + " (worker " +
-                               rt.workers[s].proc.status().describe() + ")");
+                               kill_worker_now(s) + ")",
+                        /*kill=*/false);
           }
         } catch (const std::exception& e) {
           fail_worker(s, e.what());
@@ -1107,7 +1256,7 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
           KNNPC_LOG(Warn) << "persistent shard " << s << " produce"
                           << " worker failed (" << history[s]
                           << "); respawning once with a full resync";
-          spawn_persistent_worker(rt.workers[s], shard_config, work_dir, s);
+          spawn_persistent_worker(rt, shard_config, work_dir, s);
           rt.workers[s].needs_resync = true;
         }
         pending = std::move(failed);
@@ -1121,6 +1270,37 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
     }
   }
 
+  // ---- Spool relay (distributed, several agents): spool (p, c) was
+  // written on p's machine but c consumes it on its own. Between the
+  // PRODUCED barrier (all spools complete on disk) and any GO, route
+  // every cross-agent spool through the driver, content-addressed like
+  // any other sync — a converged spool that did not change since the
+  // last iteration never re-transfers. A missing spool relays as empty
+  // bytes so the consumer-side file always exists. ----------------------
+  if (rt.agents.size() > 1) {
+    const auto E = static_cast<std::uint32_t>(rt.agents.size());
+    for (std::uint32_t p = 0; p < S; ++p) {
+      const std::uint32_t ep = agent_of_shard(p, S, E);
+      for (std::uint32_t c = 0; c < S; ++c) {
+        const std::uint32_t ec = agent_of_shard(c, S, E);
+        if (ep == ec) continue;
+        const std::string relpath =
+            routed_spool_path("spools", kSpoolStem, p, c).generic_string();
+        const FileBlob blob = agent_fetch_file(
+            rt.agents[ep].control, relpath, shard_config.agent_timeout_s);
+        SyncFileEntry entry;
+        entry.relpath = relpath;
+        entry.size = blob.bytes.size();
+        entry.checksum = fnv1a_bytes(blob.bytes);
+        RemoteAgentLink& dest = rt.agents[ec];
+        dest.sync += agent_sync_push(
+            dest.control, {entry},
+            [&](const std::string&) { return blob.bytes; },
+            shard_config.agent_timeout_s);
+      }
+    }
+  }
+
   // ---- Consume phase: GO out (the barrier — every shard has spooled by
   // now), ITERATION_DONE back. A respawn replays with skip_produce
   // instead of GO. -------------------------------------------------------
@@ -1131,12 +1311,12 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
     for (std::uint32_t attempt = 0; attempt < 2; ++attempt) {
       std::vector<std::uint32_t> failed;
       std::vector<bool> send_ok(S, true);
-      auto fail_worker = [&](std::uint32_t s, const std::string& why) {
+      auto fail_worker = [&](std::uint32_t s, const std::string& why,
+                             bool kill = true) {
         failed.push_back(s);
         if (!history[s].empty()) history[s] += "; ";
         history[s] += "attempt " + std::to_string(attempt) + ": " + why;
-        rt.workers[s].proc.kill_now();
-        rt.workers[s].proc.wait();
+        if (kill) (void)kill_worker_now(s);
         rt.workers[s].channel = IpcChannel();
       };
 
@@ -1144,7 +1324,7 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
         PersistentWorker& worker = rt.workers[s];
         try {
           if (attempt == 0) {
-            worker.channel.send(kCmdGo, std::vector<std::byte>{});
+            worker.channel.send(kCmdGo, std::vector<std::byte>{}, timeout_s);
             replies[s].bytes_tx += frame_wire_bytes(0);
           } else {
             // The respawned worker re-runs only the consume wave: the
@@ -1154,7 +1334,7 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
             const std::vector<std::byte> payload =
                 build_command(s, attempt, /*skip_produce=*/true);
             ++replies[s].round_trips;
-            worker.channel.send(kCmdRunIteration, payload);
+            worker.channel.send(kCmdRunIteration, payload, timeout_s);
             replies[s].bytes_tx += frame_wire_bytes(payload.size());
           }
         } catch (const IpcError& e) {
@@ -1166,9 +1346,12 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
                 "size");
           }
           send_ok[s] = false;
+          const std::string describe = worker.remote
+                                           ? kill_worker_now(s)
+                                           : worker.proc.status().describe();
           fail_worker(s, std::string("command send failed (") + e.what() +
-                             "; worker " + worker.proc.status().describe() +
-                             ")");
+                             "; worker " + describe + ")",
+                      /*kill=*/!worker.remote);
         }
       }
 
@@ -1197,10 +1380,9 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
                                std::to_string(timeout_s) +
                                "s (killed with SIGKILL)");
           } else {
-            rt.workers[s].proc.kill_now();
-            rt.workers[s].proc.wait();
             fail_worker(s, std::string(e.what()) + " (worker " +
-                               rt.workers[s].proc.status().describe() + ")");
+                               kill_worker_now(s) + ")",
+                        /*kill=*/false);
           }
         } catch (const std::exception& e) {
           fail_worker(s, e.what());
@@ -1213,7 +1395,7 @@ std::vector<PersistentIterationReply> run_persistent_iteration(
           KNNPC_LOG(Warn) << "persistent shard " << s << " consume"
                           << " worker failed (" << history[s]
                           << "); respawning once with a full resync";
-          spawn_persistent_worker(rt.workers[s], shard_config, work_dir, s);
+          spawn_persistent_worker(rt, shard_config, work_dir, s);
           rt.workers[s].needs_resync = true;
         }
         pending = std::move(failed);
@@ -1652,6 +1834,19 @@ struct ShardedKnnEngine::Impl {
     using Clock = std::chrono::steady_clock;
     bool any = false;
     for (PersistentWorker& w : persistent.workers) {
+      if (w.remote) {
+        // Remote worker: best-effort orderly SHUTDOWN with a short
+        // deadline (the socket may be backpressured by a dead peer),
+        // then half-close so its recv loop sees EOF either way.
+        if (w.channel.valid()) {
+          try {
+            w.channel.send(kCmdShutdown, {}, /*timeout_s=*/5.0);
+          } catch (...) {
+          }
+          w.channel.close_write();
+        }
+        continue;
+      }
       if (!w.proc.valid() || w.proc.status().finished()) continue;
       any = true;
       try {
@@ -1661,6 +1856,9 @@ struct ShardedKnnEngine::Impl {
       }
       w.channel.close_write();
     }
+    // Dropping the control links tells every agent this run is over; an
+    // agent kills whatever workers ignored their SHUTDOWN.
+    persistent.agents.clear();
     if (!any) return;
     const auto deadline = Clock::now() + std::chrono::seconds(5);
     for (PersistentWorker& w : persistent.workers) {
@@ -1719,6 +1917,13 @@ ShardedKnnEngine::ShardedKnnEngine(EngineConfig config,
     throw std::invalid_argument(
         "ShardedKnnEngine: memory_slots must be >= 2 (a PI pair needs "
         "both partitions resident)");
+  }
+  if (!shard_config_.worker_endpoints.empty() &&
+      shard_config_.worker_mode != ShardWorkerMode::Persistent) {
+    throw std::invalid_argument(
+        "ShardedKnnEngine: worker_endpoints requires the persistent "
+        "worker mode (distributed execution rides the persistent-worker "
+        "protocol)");
   }
   // Identical bootstrap to KnnEngine: same seed, same initial G(0).
   Rng rng(config_.seed);
@@ -1912,11 +2117,16 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
       save_plan_file(plan_file_path(impl_->work_dir), plan);
       rt.plan_written = true;
     }
+    // Distributed mode: connect the agent fleet once, then ship this
+    // iteration's plan + partition store (rewritten by phase 1 just
+    // above) content-addressed BEFORE any worker can spawn — a
+    // persistent worker opens its partition store at startup.
+    ensure_agent_links(rt, shard_config_, S);
+    sync_agent_files(rt, shard_config_, impl_->work_dir);
     if (rt.workers.size() != S) {
       rt.workers = std::vector<PersistentWorker>(S);
       for (std::uint32_t s = 0; s < S; ++s) {
-        spawn_persistent_worker(rt.workers[s], shard_config_,
-                                impl_->work_dir, s);
+        spawn_persistent_worker(rt, shard_config_, impl_->work_dir, s);
       }
     }
     std::vector<PartitionId> part_owner = owner_vector(assignment);
@@ -1979,6 +2189,16 @@ ShardedIterationStats ShardedKnnEngine::run_iteration() {
                          r.result_bytes,
                          "persistent worker " + std::to_string(s) +
                              "'s ITERATION_DONE reply"));
+    }
+    // Content-addressed transfer accounting, attributed to each
+    // endpoint's lowest shard (see ShardWorkerStats).
+    for (const RemoteAgentLink& link : rt.agents) {
+      if (link.lowest_shard >= S) continue;
+      ShardWorkerStats& worker = out.workers[link.lowest_shard];
+      worker.sync_files_tx = link.sync.files_tx;
+      worker.sync_bytes_tx = link.sync.bytes_tx;
+      worker.sync_files_skipped = link.sync.files_skipped;
+      worker.sync_bytes_skipped = link.sync.bytes_skipped;
     }
   } else {
     // ---- Thread mode: one producer and one consumer thread per shard.

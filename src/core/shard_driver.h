@@ -128,14 +128,34 @@ struct ShardConfig {
   /// Process/persistent modes: wall-clock budget for ONE wave of ONE
   /// worker (persistent mode: for one wave command's reply). A worker
   /// exceeding it is SIGKILLed, counted as wedged, and retried once like
-  /// any other failure. <= 0 disables the deadline (a truly wedged
-  /// worker then hangs the run — keep a bound in production).
+  /// any other failure. Follows the uniform timeout contract
+  /// (util/ipc_channel.h): < 0 disables the deadline (a truly wedged
+  /// worker then hangs the run — keep a bound in production), 0 polls
+  /// once and treats any still-pending reply as a timeout.
   double worker_timeout_s = 600.0;
   /// Process/persistent modes: binary to re-execute as --shard-worker;
   /// empty = the running executable (/proc/self/exe). The binary must
   /// dispatch maybe_run_shard_worker() before its own argv parsing —
   /// knnpc_run, bench_shards and the process-mode test suites all do.
   std::string worker_exe;
+  /// Distributed persistent mode: worker-agent endpoints ("host:port",
+  /// one `knnpc_run --worker-agent` process each). Non-empty turns the
+  /// driver into a cluster coordinator — EVERY worker runs behind an
+  /// agent (shard s connects to endpoint s*E/S: contiguous balanced
+  /// shard groups), the plan + partition store sync to each agent
+  /// content-addressed by FNV-1a checksums (storage/file_sync.h), and
+  /// cross-agent spool traffic relays through the driver between the
+  /// produce and consume phases. Supervision (retry-once, full resync,
+  /// deadline kills) and the merged output are identical to local
+  /// persistent mode — a remote worker kill mid-run still yields the
+  /// serial engine's bit-exact graph. Requires worker_mode ==
+  /// Persistent; worker_exe is ignored remotely (each agent decides its
+  /// own binary).
+  std::vector<std::string> worker_endpoints;
+  /// Deadline for connecting to an agent and for each agent control
+  /// round-trip (sync, spool relay, remote kill). Same < 0 / 0 / > 0
+  /// contract as worker_timeout_s.
+  double agent_timeout_s = 30.0;
 };
 
 /// Per-worker observability for one iteration.
@@ -176,6 +196,18 @@ struct ShardWorkerStats {
   /// (persistent mode): the churned users on the steady path, all n on a
   /// respawn resync — how tests pin "a resync carries a full snapshot".
   std::uint64_t profile_rows_rx = 0;
+  /// Distributed mode: content-addressed transfer accounting for this
+  /// worker's agent endpoint this iteration, attributed to the
+  /// endpoint's LOWEST shard (zero on the endpoint's other shards and in
+  /// every local mode). Files/bytes actually shipped vs skipped because
+  /// the agent already held an identical checksum — "unchanged
+  /// partitions never re-transfer", in numbers. Cross-agent spool relays
+  /// count on the destination endpoint (shipped or, when the identical
+  /// spool was already pushed, skipped).
+  std::uint64_t sync_files_tx = 0;
+  std::uint64_t sync_bytes_tx = 0;
+  std::uint64_t sync_files_skipped = 0;
+  std::uint64_t sync_bytes_skipped = 0;
   /// This worker's share of the merged counters (sum_iteration_stats
   /// folds these into ShardedIterationStats::merged).
   IterationStats stats;

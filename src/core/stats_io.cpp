@@ -57,6 +57,38 @@ std::string run_to_json(const RunStats& run) {
   return out.str();
 }
 
+void write_shard_workers_json(
+    std::ostream& out, const std::vector<ShardedIterationStats>& iterations) {
+  out << "{\"iterations\":[\n";
+  for (std::size_t i = 0; i < iterations.size(); ++i) {
+    if (i > 0) out << ",\n";
+    const ShardedIterationStats& it = iterations[i];
+    out << "{\"iteration\":" << it.merged.iteration << ",\"workers\":[";
+    for (std::size_t w = 0; w < it.workers.size(); ++w) {
+      if (w > 0) out << ",";
+      const ShardWorkerStats& s = it.workers[w];
+      out << "{\"shard\":" << s.shard << ",\"users\":" << s.users
+          << ",\"produce_s\":" << s.produce_s
+          << ",\"consume_s\":" << s.consume_s
+          << ",\"spooled_tuples\":" << s.spooled_tuples
+          << ",\"spawn_count\":" << s.spawn_count
+          << ",\"resync_count\":" << s.resync_count
+          << ",\"bytes_tx\":" << s.bytes_tx
+          << ",\"bytes_rx\":" << s.bytes_rx
+          << ",\"round_trips\":" << s.round_trips
+          << ",\"partitions_touched\":" << s.partitions_touched
+          << ",\"profile_reads\":" << s.profile_reads
+          << ",\"profile_rows_rx\":" << s.profile_rows_rx
+          << ",\"sync_files_tx\":" << s.sync_files_tx
+          << ",\"sync_bytes_tx\":" << s.sync_bytes_tx
+          << ",\"sync_files_skipped\":" << s.sync_files_skipped
+          << ",\"sync_bytes_skipped\":" << s.sync_bytes_skipped << "}";
+    }
+    out << "]}";
+  }
+  out << "\n]}\n";
+}
+
 namespace {
 
 constexpr char kStatsMagic[4] = {'K', 'W', 'S', 'T'};
@@ -65,7 +97,9 @@ constexpr char kStatsMagic[4] = {'K', 'W', 'S', 'T'};
 // stale sidecar from an older binary into a typed error.
 // v3: round-trip accounting — bytes_tx/bytes_rx/round_trips plus the
 // partitions_touched/profile_reads/profile_rows_rx data-movement counters.
-constexpr std::uint32_t kStatsVersion = 3;
+// v4: distributed-mode content-addressed sync accounting —
+// sync_files_tx/sync_bytes_tx/sync_files_skipped/sync_bytes_skipped.
+constexpr std::uint32_t kStatsVersion = 4;
 
 // The raw-record sidecar only works while the stats structs stay
 // trivially copyable; a std::string member added later must come with a

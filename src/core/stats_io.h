@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/shard_driver.h"
@@ -25,6 +26,15 @@ void write_run_json(std::ostream& out, const RunStats& run);
 
 /// Convenience: render a run to a string.
 std::string run_to_json(const RunStats& run);
+
+/// Writes per-shard worker observability for a sequence of sharded
+/// iterations: {"iterations":[{"iteration":..,"workers":[{...}]}]} with
+/// one object per ShardWorkerStats — supervision (spawn/resync), channel
+/// traffic, and the distributed sync_* transfer counters. The CI
+/// distributed-smoke job asserts on this (e.g. "a converged partition
+/// store re-transfers zero bytes").
+void write_shard_workers_json(
+    std::ostream& out, const std::vector<ShardedIterationStats>& iterations);
 
 /// Stats sidecar ("KWST"): magic, u32 version, then the raw
 /// ShardWorkerStats record. Same-build producer and consumer only (the

@@ -199,7 +199,9 @@ void Subprocess::kill_now() noexcept {
 std::vector<SubprocessStatus> wait_all(std::span<Subprocess> procs,
                                        double timeout_s) {
   using Clock = std::chrono::steady_clock;
-  const bool bounded = timeout_s > 0.0;
+  // Uniform timeout contract (matches IpcChannel): negative waits
+  // forever, zero polls each child once and kills the stragglers.
+  const bool bounded = timeout_s >= 0.0;
   const auto deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(bounded ? timeout_s

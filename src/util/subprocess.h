@@ -108,11 +108,14 @@ class Subprocess {
   std::vector<std::string> argv_;
 };
 
-/// Waits for every process with one shared deadline. `timeout_s <= 0`
-/// waits forever; otherwise children still running when the deadline
-/// expires are SIGKILLed, reaped, and reported with `timed_out = true`
-/// (a child that beat the kill to a normal exit keeps its real status).
-/// Never hangs and never leaves a zombie: every child is reaped.
+/// Waits for every process with one shared deadline, following the same
+/// timeout contract as IpcChannel: `timeout_s < 0` waits forever,
+/// `timeout_s == 0` polls each child exactly once, and `timeout_s > 0`
+/// is a bounded deadline. Children still running when the deadline
+/// expires (immediately, for a zero timeout) are SIGKILLed, reaped, and
+/// reported with `timed_out = true` (a child that beat the kill to a
+/// normal exit keeps its real status). Never hangs and never leaves a
+/// zombie: every child is reaped.
 std::vector<SubprocessStatus> wait_all(std::span<Subprocess> procs,
                                        double timeout_s);
 

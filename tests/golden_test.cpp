@@ -22,13 +22,16 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/churn.h"
 #include "core/engine.h"
 #include "core/shard_driver.h"
+#include "core/worker_agent.h"
 #include "graph/knn_graph_io.h"
 #include "profiles/generators.h"
+#include "storage/block_file.h"
 #include "util/rng.h"
 #include "workloads/workload.h"
 
@@ -170,13 +173,17 @@ std::uint64_t run_serial(const GoldenRow& row, std::uint32_t threads = 1) {
   return knn_graph_checksum(engine.graph());
 }
 
-/// The same row through a sharded engine in any worker mode.
+/// The same row through a sharded engine in any worker mode. A non-empty
+/// `endpoints` list runs the persistent workers behind remote worker
+/// agents (the distributed mode).
 std::uint64_t run_sharded(const GoldenRow& row, std::uint32_t shards,
-                          ShardWorkerMode mode) {
+                          ShardWorkerMode mode,
+                          const std::vector<std::string>& endpoints = {}) {
   ShardConfig shard_config;
   shard_config.shards = shards;
   shard_config.worker_mode = mode;
   shard_config.worker_timeout_s = 120.0;
+  shard_config.worker_endpoints = endpoints;
   if (is_wl_row(row)) {
     Workload workload = golden_workload(row);
     const auto n = static_cast<VertexId>(workload.profiles.size());
@@ -293,6 +300,46 @@ TEST(GoldenTest, ChurnWorkloadReplaysThroughEveryMode) {
           << row.name << "' at S=" << shards;
     }
   }
+}
+
+TEST(GoldenTest, DistributedLoopbackReproducesTheGoldenGraph) {
+  // The tentpole acceptance replay: golden rows run with every
+  // persistent worker living behind a loopback-TCP worker agent — remote
+  // spawn, content-addressed run-dir sync, stdio-over-TCP protocol —
+  // and must land on the same pinned checksums as the serial engine,
+  // including the multi-iteration churn row that exercises the delta
+  // sync across remote round trips.
+  const std::vector<GoldenRow> rows = load_rows();
+  ASSERT_FALSE(rows.empty());
+  if (std::getenv("KNNPC_UPDATE_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "corpus being regenerated; modes covered on rerun";
+  }
+
+  ScratchDir scratch("golden_distributed_agent");
+  WorkerAgentConfig agent_config;
+  agent_config.port = 0;
+  agent_config.work_root = scratch.path();
+  WorkerAgent agent(agent_config);  // spawns this binary as its workers
+  std::thread agent_thread([&] { agent.run(); });
+  const std::vector<std::string> endpoints = {
+      "127.0.0.1:" + std::to_string(agent.port())};
+
+  const GoldenRow& base = rows.front();
+  EXPECT_EQ(hex(run_sharded(base, 3, ShardWorkerMode::Persistent, endpoints)),
+            hex(base.checksum))
+      << "distributed execution drifted from the golden graph";
+  for (const GoldenRow& row : rows) {
+    if (!is_churn_row(row)) continue;
+    EXPECT_EQ(hex(run_sharded(row, 2, ShardWorkerMode::Persistent,
+                              endpoints)),
+              hex(row.checksum))
+        << "distributed execution drifted on churn workload '" << row.name
+        << "'";
+    break;  // one churn row keeps the replay inside the suite's budget
+  }
+
+  agent.stop();
+  agent_thread.join();
 }
 
 TEST(GoldenTest, WorkloadZooReplaysThroughEveryMode) {

@@ -63,6 +63,38 @@ TEST(StatsIoTest, RunJsonWrapsIterations) {
   EXPECT_NE(json.find("\"iteration\":1"), std::string::npos);
 }
 
+TEST(StatsIoTest, ShardWorkersJsonCarriesSupervisionAndSyncCounters) {
+  // The distributed-smoke CI job greps and python-parses this export to
+  // assert "unchanged partitions re-transfer zero bytes", so the field
+  // names and nesting are a contract, not a convenience.
+  std::vector<ShardedIterationStats> iterations(2);
+  iterations[0].merged.iteration = 0;
+  iterations[0].workers.resize(2);
+  iterations[0].workers[0].shard = 0;
+  iterations[0].workers[0].spawn_count = 1;
+  iterations[0].workers[0].sync_files_tx = 5;
+  iterations[0].workers[0].sync_bytes_tx = 4096;
+  iterations[1].merged.iteration = 1;
+  iterations[1].workers.resize(2);
+  iterations[1].workers[0].shard = 0;
+  iterations[1].workers[0].resync_count = 1;
+  iterations[1].workers[0].sync_files_skipped = 5;
+  iterations[1].workers[0].sync_bytes_skipped = 4096;
+  std::ostringstream out;
+  write_shard_workers_json(out, iterations);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"iterations\":["), std::string::npos);
+  EXPECT_NE(json.find("\"iteration\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"iteration\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"workers\":["), std::string::npos);
+  EXPECT_NE(json.find("\"spawn_count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"resync_count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"sync_files_tx\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"sync_bytes_tx\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"sync_files_skipped\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"sync_bytes_skipped\":4096"), std::string::npos);
+}
+
 TEST(StatsIoTest, RealRunSerialises) {
   Rng rng(3);
   ClusteredGenConfig gen;

@@ -138,13 +138,41 @@ TEST(WaitAllTest, DeadlineKillsWedgedChildrenAndMarksThem) {
   EXPECT_NE(statuses[1].describe().find("timed out"), std::string::npos);
 }
 
-TEST(WaitAllTest, NoDeadlineWaitsForCompletion) {
+TEST(WaitAllTest, NegativeTimeoutWaitsForCompletion) {
   std::vector<Subprocess> procs;
   procs.push_back(shell("exit 0"));
   procs.push_back(shell("exit 1"));
-  const auto statuses = wait_all(procs, /*timeout_s=*/0.0);
+  const auto statuses = wait_all(procs, /*timeout_s=*/-1.0);
   EXPECT_TRUE(statuses[0].success());
   EXPECT_EQ(statuses[1].exit_code, 1);
+}
+
+// Regression for the zero-timeout unification: `0` used to mean "wait
+// forever" here while IpcChannel::recv(0) meant "poll once" — a computed
+// deadline that reached exactly 0 silently flipped meaning between the
+// two layers. Now both poll once: a still-running child is killed and
+// marked timed out instead of being waited out.
+TEST(WaitAllTest, ZeroTimeoutPollsOnceAndKillsStragglers) {
+  std::vector<Subprocess> procs;
+  procs.push_back(shell("sleep 60"));
+  Timer timer;
+  const auto statuses = wait_all(procs, /*timeout_s=*/0.0);
+  EXPECT_LT(timer.elapsed_seconds(), 10.0);  // never waits out the sleep
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].state, SubprocessStatus::State::Signaled);
+  EXPECT_TRUE(statuses[0].timed_out);
+}
+
+// ...while a child that already finished keeps its genuine status even at
+// a zero timeout (the poll-once still reaps completed work).
+TEST(WaitAllTest, ZeroTimeoutStillReapsFinishedChildren) {
+  std::vector<Subprocess> procs;
+  procs.push_back(shell("exit 6"));
+  procs[0].wait();  // finished before wait_all even looks
+  const auto statuses = wait_all(procs, /*timeout_s=*/0.0);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].exit_code, 6);
+  EXPECT_FALSE(statuses[0].timed_out);
 }
 
 // -------------------------------------------------- current_executable --

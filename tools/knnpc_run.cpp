@@ -9,6 +9,9 @@
 //   knnpc_run --users=50000 --shards=4 --checkpoint --workdir=/tmp/run
 //   knnpc_run --users=50000 --shards=4 --worker-mode=process
 //   knnpc_run --users=50000 --shards=4 --iters=10 --worker-mode=persistent
+//   knnpc_run --worker-agent=127.0.0.1:7070 --agent-workdir=/tmp/agent
+//   knnpc_run --users=50000 --shards=4 --worker-mode=persistent \
+//             --worker-endpoint=127.0.0.1:7070
 //
 // With --csv the per-iteration table is machine-readable. --shards=S runs
 // the sharded driver (core/shard_driver.h); the KNN output is
@@ -19,6 +22,10 @@
 // --worker-mode=persistent keeps those processes alive across iterations
 // and drives them over pipes with per-iteration deltas, amortising the
 // spawn cost on multi-iteration runs — same checksum once more.
+// --worker-endpoint moves those persistent workers behind worker-agent
+// processes (started with --worker-agent on each machine) and the
+// commands ride TCP instead of pipes — same checksum over the network,
+// kill-a-remote-worker-mid-run included.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -31,8 +38,10 @@
 #include "core/engine.h"
 #include "core/shard_driver.h"
 #include "core/stats_io.h"
+#include "core/worker_agent.h"
 #include "graph/knn_graph_io.h"
 #include "serve/knn_server.h"
+#include "util/ipc_channel.h"
 #include "util/timer.h"
 #include "profiles/generators.h"
 #include "profiles/ratings_io.h"
@@ -41,6 +50,27 @@
 #include "util/rng.h"
 
 using namespace knnpc;
+
+namespace {
+
+/// Splits a comma-separated flag value ("h1:p1,h2:p2"); empty input ->
+/// empty list.
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size() && !value.empty()) {
+    const std::size_t comma = value.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(value.substr(start));
+      break;
+    }
+    out.push_back(value.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   // Process-mode shard workers re-execute this binary; the worker role
@@ -85,8 +115,35 @@ int main(int argc, char** argv) {
   opts.add_double("worker-timeout",
                   "process/persistent modes: seconds one worker wave (or "
                   "wave command) may run before the worker is killed and "
-                  "retried (<= 0 = no deadline)",
+                  "retried (< 0 = no deadline)",
                   600.0);
+  opts.add_string("worker-endpoint",
+                  "distributed persistent mode: comma-separated worker-"
+                  "agent endpoints (host:port); shards are split across "
+                  "them in contiguous balanced groups",
+                  "");
+  opts.add_double("agent-timeout",
+                  "distributed mode: seconds for agent connects and each "
+                  "control round-trip (sync, spool relay, remote kill)",
+                  30.0);
+  opts.add_string("shard-stats-json",
+                  "with --shards > 1: write per-shard worker stats "
+                  "(supervision, channel traffic, distributed sync "
+                  "counters) to this file",
+                  "");
+  opts.add_string("worker-agent",
+                  "run as a worker agent on host:port (serves remote "
+                  "drivers; all other engine flags are ignored)",
+                  "");
+  opts.add_string("agent-workdir",
+                  "worker agent: root directory for per-run files "
+                  "(required with --worker-agent)",
+                  "");
+  opts.add_string("agent-port-file",
+                  "worker agent: write the bound port here atomically "
+                  "(how launchers learn an ephemeral --worker-agent=host:0 "
+                  "port)",
+                  "");
   opts.add_uint("iters", "max iterations", 15);
   opts.add_double("delta", "convergence threshold on change rate", 0.01);
   opts.add_string("device", "none | hdd | ssd | nvme (I/O cost model)",
@@ -130,6 +187,27 @@ int main(int argc, char** argv) {
   opts.add_string("log", "debug | info | warn | error", "warn");
   if (!opts.parse(argc, argv)) return 0;
   set_log_level(parse_log_level(opts.get_string("log")));
+
+  // Agent role: serve remote drivers until killed; nothing below runs.
+  if (!opts.get_string("worker-agent").empty()) {
+    WorkerAgentConfig agent_config;
+    try {
+      const auto [host, port] =
+          parse_host_port(opts.get_string("worker-agent"));
+      agent_config.host = host;
+      agent_config.port = port;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--worker-agent: %s\n", e.what());
+      return 2;
+    }
+    agent_config.work_root = opts.get_string("agent-workdir");
+    if (agent_config.work_root.empty()) {
+      std::fprintf(stderr, "--worker-agent requires --agent-workdir\n");
+      return 2;
+    }
+    return worker_agent_main(agent_config,
+                             opts.get_string("agent-port-file"));
+  }
 
   // Input profiles.
   std::vector<SparseProfile> profiles;
@@ -205,16 +283,29 @@ int main(int argc, char** argv) {
     shard_config.worker_mode =
         parse_worker_mode(opts.get_string("worker-mode"));
     shard_config.worker_timeout_s = opts.get_double("worker-timeout");
+    shard_config.worker_endpoints =
+        split_csv(opts.get_string("worker-endpoint"));
+    shard_config.agent_timeout_s = opts.get_double("agent-timeout");
     sharded = std::make_unique<ShardedKnnEngine>(config, shard_config,
                                                  std::move(profiles));
     std::fprintf(stderr, "sharded driver: %u workers x %u threads (%s "
-                         "mode)\n",
+                         "mode%s)\n",
                  sharded->num_shards(), sharded->threads_per_shard(),
-                 worker_mode_name(shard_config.worker_mode));
+                 worker_mode_name(shard_config.worker_mode),
+                 shard_config.worker_endpoints.empty() ? ""
+                                                       : ", distributed");
   }
+  // Per-shard stats are retained only when something will read them
+  // (--shard-stats-json) — a long run's per-worker vectors are not free.
+  std::vector<ShardedIterationStats> shard_iterations;
+  const bool keep_shard_stats =
+      sharded != nullptr && !opts.get_string("shard-stats-json").empty();
   auto step = [&]() -> IterationStats {
     if (engine) return engine->run_iteration();
-    return sharded->run_iteration().merged;
+    ShardedIterationStats stats = sharded->run_iteration();
+    IterationStats merged = stats.merged;
+    if (keep_shard_stats) shard_iterations.push_back(std::move(stats));
+    return merged;
   };
   const auto graph = [&]() -> const KnnGraph& {
     return engine ? engine->graph() : sharded->graph();
@@ -394,6 +485,18 @@ int main(int argc, char** argv) {
     }
     write_run_json(json_out, run);
     std::fprintf(stderr, "wrote %s\n", opts.get_string("json").c_str());
+  }
+
+  if (keep_shard_stats) {
+    std::ofstream stats_out(opts.get_string("shard-stats-json"));
+    if (!stats_out) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   opts.get_string("shard-stats-json").c_str());
+      return 1;
+    }
+    write_shard_workers_json(stats_out, shard_iterations);
+    std::fprintf(stderr, "wrote %s\n",
+                 opts.get_string("shard-stats-json").c_str());
   }
 
   const auto samples =

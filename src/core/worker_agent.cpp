@@ -305,6 +305,10 @@ void WorkerAgent::run() {
                   << listener_.port() << " (work root "
                   << config_.work_root.string() << ")";
   while (!stop_.load(std::memory_order_relaxed)) {
+    // handle_new_connection() below can append to st.controls; fds only
+    // covers the first `polled` controls, so the dispatch loop must not
+    // index past them.
+    const std::size_t polled = st.controls.size();
     std::vector<pollfd> fds;
     fds.push_back({listener_.fd(), POLLIN, 0});
     for (const State::Control& c : st.controls) {
@@ -324,7 +328,7 @@ void WorkerAgent::run() {
     }
     if (rc <= 0) continue;
     if ((fds[0].revents & POLLIN) != 0) handle_new_connection();
-    for (std::size_t i = st.controls.size(); i-- > 0;) {
+    for (std::size_t i = polled; i-- > 0;) {
       if ((fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       if (!handle_control_frame(st.controls[i])) {
         const std::string token = st.controls[i].token;

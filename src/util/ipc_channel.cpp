@@ -379,7 +379,11 @@ IpcListener::IpcListener(const std::string& host, std::uint16_t port,
                          std::uint32_t max_frame_bytes)
     : max_frame_bytes_(max_frame_bytes) {
   const ResolvedAddr bind_addr = resolve_host(host, port);
-  fd_ = ::socket(bind_addr.family, SOCK_STREAM | SOCK_CLOEXEC, IPPROTO_TCP);
+  // Non-blocking: accept() polls first, but the queued connection can be
+  // reset between poll and accept4 — on a blocking fd that accept4 would
+  // hang forever instead of returning EAGAIN for the re-poll path.
+  fd_ = ::socket(bind_addr.family,
+                 SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, IPPROTO_TCP);
   if (fd_ < 0) throw_errno(IpcErrorKind::SysError, "socket");
   const int one = 1;
   if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
@@ -485,15 +489,36 @@ IpcChannelPair make_ipc_channel_pair(std::uint32_t max_frame_bytes) {
 
 std::pair<std::string, std::uint16_t> parse_host_port(
     const std::string& endpoint) {
-  const std::size_t colon = endpoint.rfind(':');
-  if (colon == std::string::npos || colon == 0 ||
-      colon + 1 >= endpoint.size()) {
-    throw IpcError(IpcErrorKind::SysError,
-                   "malformed endpoint \"" + endpoint +
-                       "\" (expected host:port)");
+  std::string host;
+  std::string port_text;
+  if (!endpoint.empty() && endpoint.front() == '[') {
+    // Bracketed IPv6 literal: "[::1]:7070".
+    const std::size_t close = endpoint.find(']');
+    if (close == std::string::npos || close < 2 ||
+        close + 2 >= endpoint.size() || endpoint[close + 1] != ':') {
+      throw IpcError(IpcErrorKind::SysError,
+                     "malformed endpoint \"" + endpoint +
+                         "\" (expected [ipv6-addr]:port)");
+    }
+    host = endpoint.substr(1, close - 1);
+    port_text = endpoint.substr(close + 2);
+  } else {
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= endpoint.size()) {
+      throw IpcError(IpcErrorKind::SysError,
+                     "malformed endpoint \"" + endpoint +
+                         "\" (expected host:port)");
+    }
+    if (endpoint.find(':') != colon) {
+      throw IpcError(IpcErrorKind::SysError,
+                     "malformed endpoint \"" + endpoint +
+                         "\" (bare IPv6 literals are ambiguous; use "
+                         "[addr]:port)");
+    }
+    host = endpoint.substr(0, colon);
+    port_text = endpoint.substr(colon + 1);
   }
-  const std::string host = endpoint.substr(0, colon);
-  const std::string port_text = endpoint.substr(colon + 1);
   std::uint32_t port = 0;
   for (const char c : port_text) {
     if (c < '0' || c > '9') {

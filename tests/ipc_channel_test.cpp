@@ -653,8 +653,17 @@ TEST(IpcChannelTcpTest, ParseHostPortAcceptsGoodAndRejectsMalformed) {
   const auto [name_host, name_port] = parse_host_port("worker-3.local:65535");
   EXPECT_EQ(name_host, "worker-3.local");
   EXPECT_EQ(name_port, 65535);
+  // IPv6 literals must use the bracket form so the port separator is
+  // unambiguous; the brackets are stripped before resolution.
+  const auto [v6_host, v6_port] = parse_host_port("[::1]:7070");
+  EXPECT_EQ(v6_host, "::1");
+  EXPECT_EQ(v6_port, 7070);
   for (const char* bad : {"no-colon", ":7070", "host:", "host:notaport",
-                          "host:70999", "host:-1", ""}) {
+                          "host:70999", "host:-1", "",
+                          // Bare multi-colon (unbracketed IPv6) and broken
+                          // bracket forms are rejected, not misparsed.
+                          "::1", "fe80::1:7070", "[::1]", "[::1]:", "[]:7070",
+                          "[::1]7070"}) {
     EXPECT_THROW((void)parse_host_port(bad), IpcError) << bad;
   }
 }

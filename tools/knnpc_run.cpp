@@ -53,18 +53,16 @@ using namespace knnpc;
 
 namespace {
 
-/// Splits a comma-separated flag value ("h1:p1,h2:p2"); empty input ->
-/// empty list.
+/// Splits a comma-separated flag value ("h1:p1,h2:p2"); empty segments
+/// (trailing or doubled commas) are skipped, so "h1:p1," and
+/// "h1:p1,,h2:p2" parse the same as their tidy forms.
 std::vector<std::string> split_csv(const std::string& value) {
   std::vector<std::string> out;
   std::size_t start = 0;
-  while (start <= value.size() && !value.empty()) {
-    const std::size_t comma = value.find(',', start);
-    if (comma == std::string::npos) {
-      out.push_back(value.substr(start));
-      break;
-    }
-    out.push_back(value.substr(start, comma - start));
+  while (start < value.size()) {
+    std::size_t comma = value.find(',', start);
+    if (comma == std::string::npos) comma = value.size();
+    if (comma > start) out.push_back(value.substr(start, comma - start));
     start = comma + 1;
   }
   return out;
